@@ -1,0 +1,132 @@
+// Command stmbench7 is the benchmark's command-line interface, mirroring
+// Appendix A.1 of the paper:
+//
+//	stmbench7 -t 8 -l 10 -w rw -g medium --no-traversals --ttc-histograms
+//
+// Flags:
+//
+//	-t N               number of threads (default 1)
+//	-l SECONDS         benchmark length in seconds (default 10)
+//	-w r|rw|w          workload type (default r, read-dominated)
+//	-g STRATEGY        synchronization: coarse, medium, ostm, tl2 (default coarse)
+//	--no-traversals    disable long traversals
+//	--no-sms           disable structure modification operations
+//	--ttc-histograms   print TTC (latency) histograms
+//
+// Extensions over the paper's CLI:
+//
+//	-size tiny|small|medium   structure size (default small; medium is the paper's)
+//	-seed N                   build/workload seed (default 42)
+//	-reduced                  use the §5 reduced operation set (Figure 6)
+//	-cm NAME                  OSTM contention manager: polka, karma, aggressive, timid, backoff
+//	-commit-time-validation   disable OSTM's incremental validation (ablation)
+//	-check                    verify all structural invariants after the run
+//	-chunks N                 split the manual into N chunks (§5 optimization)
+//	-group-atomic             group atomic-part state per composite part (§5 optimization)
+//	-tx-index                 use per-node transactional B-tree indexes (§5 optimization)
+//
+// The report (Appendix A.1's output format) goes to stdout; diagnostics go
+// to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	stmbench7 "repro"
+	"repro/stm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench7:", err)
+		os.Exit(1)
+	}
+}
+
+func contentionManager(name string) (stm.ContentionManager, error) {
+	switch name {
+	case "", "polka":
+		return stm.Polka{}, nil
+	case "karma":
+		return stm.Karma{}, nil
+	case "aggressive":
+		return stm.Aggressive{}, nil
+	case "timid":
+		return stm.Timid{}, nil
+	case "backoff":
+		return stm.Backoff{}, nil
+	default:
+		return nil, fmt.Errorf("unknown contention manager %q", name)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("stmbench7", flag.ContinueOnError)
+	threads := fs.Int("t", 1, "number of threads")
+	length := fs.Float64("l", 10, "benchmark length in seconds")
+	workload := fs.String("w", "r", "workload type: r, rw or w")
+	strategy := fs.String("g", "coarse", "synchronization strategy: coarse, medium, ostm, tl2")
+	noTraversals := fs.Bool("no-traversals", false, "disable long traversals")
+	noSMs := fs.Bool("no-sms", false, "disable structure modification operations")
+	histograms := fs.Bool("ttc-histograms", false, "print TTC histograms")
+	size := fs.String("size", "small", "structure size: tiny, small or medium (paper scale)")
+	seed := fs.Uint64("seed", 42, "benchmark seed")
+	reduced := fs.Bool("reduced", false, "use the reduced operation set of §5 (Figure 6)")
+	cmName := fs.String("cm", "polka", "OSTM contention manager")
+	ctv := fs.Bool("commit-time-validation", false, "OSTM: validate only at commit (ablation)")
+	visible := fs.Bool("visible-reads", false, "OSTM: visible reads instead of invisible+validation (ablation)")
+	check := fs.Bool("check", false, "check structural invariants after the run")
+	chunks := fs.Int("chunks", 1, "manual chunks (§5 optimization when > 1)")
+	groupAtomic := fs.Bool("group-atomic", false, "group atomic-part state per composite (§5 optimization)")
+	txIndex := fs.Bool("tx-index", false, "per-node transactional B-tree indexes (§5 optimization)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params, ok := stmbench7.NamedParams(*size)
+	if !ok {
+		return fmt.Errorf("unknown size %q (want tiny, small or medium)", *size)
+	}
+	params.ManualChunks = *chunks
+	params.GroupAtomicParts = *groupAtomic
+	params.TxIndexes = *txIndex
+
+	w, err := stmbench7.ParseWorkload(*workload)
+	if err != nil {
+		return err
+	}
+	cm, err := contentionManager(*cmName)
+	if err != nil {
+		return err
+	}
+
+	opts := stmbench7.Options{
+		Params:                   params,
+		Seed:                     *seed,
+		Threads:                  *threads,
+		Duration:                 time.Duration(*length * float64(time.Second)),
+		Workload:                 w,
+		LongTraversals:           !*noTraversals,
+		StructureMods:            !*noSMs,
+		Reduced:                  *reduced,
+		Strategy:                 *strategy,
+		CM:                       cm,
+		CommitTimeValidationOnly: *ctv,
+		VisibleReads:             *visible,
+		CollectHistograms:        *histograms,
+		CheckInvariants:          *check,
+	}
+
+	fmt.Fprintf(os.Stderr, "building %s structure (seed %d)...\n", *size, *seed)
+	t0 := time.Now()
+	res, err := stmbench7.Run(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(t0).Round(time.Millisecond))
+	stmbench7.WriteReport(os.Stdout, res)
+	return nil
+}

@@ -1,0 +1,70 @@
+package stmbench7_test
+
+import (
+	"fmt"
+
+	stmbench7 "repro"
+	"repro/stm"
+)
+
+// ExampleRun executes a tiny deterministic benchmark and prints headline
+// numbers from the result.
+func ExampleRun() {
+	res, err := stmbench7.Run(stmbench7.Options{
+		Params:          stmbench7.TinyParams(),
+		Threads:         1,
+		MaxOps:          100, // operation-count mode: deterministic
+		Seed:            42,
+		Workload:        stmbench7.ReadWrite,
+		LongTraversals:  true,
+		StructureMods:   true,
+		Strategy:        "tl2",
+		CheckInvariants: true,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("attempted:", res.TotalAttempted())
+	fmt.Println("all operations accounted:", res.TotalAttempted() == 100)
+	// Output:
+	// attempted: 100
+	// all operations accounted: true
+}
+
+// Example_stm shows the stm package on its own: a transaction that moves
+// funds atomically between two cells.
+func Example_stm() {
+	eng := stm.NewTL2()
+	a := stm.NewCell(eng.VarSpace(), 70)
+	b := stm.NewCell(eng.VarSpace(), 30)
+
+	err := eng.Atomic(func(tx stm.Tx) error {
+		amount := 25
+		a.Update(tx, func(v int) int { return v - amount })
+		b.Update(tx, func(v int) int { return v + amount })
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	eng.Atomic(func(tx stm.Tx) error {
+		fmt.Println("a:", a.Get(tx), "b:", b.Get(tx), "total:", a.Get(tx)+b.Get(tx))
+		return nil
+	})
+	// Output:
+	// a: 45 b: 55 total: 100
+}
+
+// ExampleParseWorkload demonstrates the Appendix-A workload notation.
+func ExampleParseWorkload() {
+	for _, s := range []string{"r", "rw", "w"} {
+		w, _ := stmbench7.ParseWorkload(s)
+		fmt.Println(s, "->", w)
+	}
+	// Output:
+	// r -> read-dominated
+	// rw -> read-write
+	// w -> write-dominated
+}

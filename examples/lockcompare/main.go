@@ -1,0 +1,51 @@
+// lockcompare reproduces the paper's §4 comparison interactively: it sweeps
+// thread counts for the coarse- and medium-grained locking strategies on
+// the three workload types and prints the Figure 4-style series, so you can
+// see on your own machine where medium-grained locking starts paying off.
+//
+//	go run ./examples/lockcompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	stmbench7 "repro"
+)
+
+func main() {
+	workloads := []struct {
+		name string
+		w    stmbench7.Workload
+	}{
+		{"read-dominated", stmbench7.ReadDominated},
+		{"read-write", stmbench7.ReadWrite},
+		{"write-dominated", stmbench7.WriteDominated},
+	}
+	threads := []int{1, 2, 4, 8}
+
+	fmt.Println("throughput [ops/s], long traversals disabled (cf. paper Figure 4)")
+	for _, wl := range workloads {
+		fmt.Printf("\n%s:\n%8s %12s %12s %9s\n", wl.name, "threads", "coarse", "medium", "medium/coarse")
+		for _, th := range threads {
+			var tput [2]float64
+			for i, strat := range []string{"coarse", "medium"} {
+				res, err := stmbench7.Run(stmbench7.Options{
+					Params:         stmbench7.TinyParams(),
+					Threads:        th,
+					Duration:       time.Second,
+					Workload:       wl.w,
+					LongTraversals: false,
+					StructureMods:  true,
+					Strategy:       strat,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				tput[i] = res.Throughput()
+			}
+			fmt.Printf("%8d %12.0f %12.0f %8.2fx\n", th, tput[0], tput[1], tput[1]/tput[0])
+		}
+	}
+}

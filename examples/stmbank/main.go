@@ -1,0 +1,110 @@
+// stmbank demonstrates the stm package — the STM runtime built for this
+// STMBench7 reproduction — as a standalone library on the classic bank
+// example: concurrent transfers between accounts with an invariant auditor
+// running alongside, under both engines (TL2 and the ASTM-style OSTM).
+//
+//	go run ./examples/stmbank
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/stm"
+)
+
+const (
+	accounts       = 64
+	initialBalance = 1000
+	workers        = 8
+	transfersEach  = 5000
+)
+
+func demo(eng stm.Engine) {
+	space := eng.VarSpace()
+	cells := make([]*stm.Cell[int], accounts)
+	for i := range cells {
+		cells[i] = stm.NewCell(space, initialBalance)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			x := seed*2654435761 + 1
+			next := func(n int) int {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				return int(x % uint64(n))
+			}
+			for i := 0; i < transfersEach; i++ {
+				from, to, amt := next(accounts), next(accounts), next(100)
+				if from == to {
+					continue
+				}
+				err := eng.Atomic(func(tx stm.Tx) error {
+					f := cells[from].Get(tx)
+					if f < amt {
+						return nil // insufficient funds; commit a no-op
+					}
+					cells[from].Set(tx, f-amt)
+					cells[to].Update(tx, func(v int) int { return v + amt })
+					return nil
+				})
+				if err != nil {
+					log.Fatalf("transfer: %v", err)
+				}
+			}
+		}(uint64(w + 1))
+	}
+
+	// Audit concurrently: a read-only transaction must always see the
+	// conserved total, no matter how many transfers are in flight.
+	stop := make(chan struct{})
+	var auditWG sync.WaitGroup
+	auditWG.Add(1)
+	go func() {
+		defer auditWG.Done()
+		audits := 0
+		for {
+			select {
+			case <-stop:
+				fmt.Printf("  %d consistent audits while transfers ran\n", audits)
+				return
+			default:
+			}
+			total := 0
+			if err := eng.Atomic(func(tx stm.Tx) error {
+				total = 0
+				for _, c := range cells {
+					total += c.Get(tx)
+				}
+				return nil
+			}); err != nil {
+				log.Fatalf("audit: %v", err)
+			}
+			if total != accounts*initialBalance {
+				log.Fatalf("INVARIANT VIOLATION: total = %d, want %d", total, accounts*initialBalance)
+			}
+			audits++
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	auditWG.Wait()
+
+	stats := eng.Stats()
+	fmt.Printf("  commits %d, conflict aborts %d (abort rate %.1f%%)\n",
+		stats.Commits, stats.ConflictAborts, 100*stats.AbortRate())
+}
+
+func main() {
+	fmt.Println("bank demo under TL2:")
+	demo(stm.NewTL2())
+	fmt.Println("bank demo under OSTM (ASTM-style, Polka contention management):")
+	demo(stm.NewOSTM())
+}

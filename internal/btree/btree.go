@@ -1,0 +1,419 @@
+// Package btree implements an in-memory B-tree map with ordered keys.
+//
+// It is the index substrate for the STMBench7 reproduction (Table 1 of the
+// paper lists six indexes over the shared data structure). The paper's §5
+// discussion — "the indexes could be implemented manually, using, for
+// example, B-trees" — is why this is a B-tree rather than a hash map: the
+// build-date index needs range scans (operations OP2/OP3 query build-date
+// ranges), and the transactional-index extension (internal/txbtree) reuses
+// the same node discipline.
+//
+// The map is NOT safe for concurrent use; in the benchmark each index lives
+// in a single stm Var and all access is mediated by a transaction or an
+// external lock.
+//
+// Clone performs an eager deep copy of the tree structure (nodes, key and
+// value slices). Values themselves are copied shallowly: callers that store
+// mutable values (e.g. slice-valued buckets) must replace, not mutate,
+// bucket values when updating a cloned tree. This copy-everything behaviour
+// is intentional — under the object-granular STM the whole index is one
+// object, and cloning it on first write is exactly the ASTM cost model the
+// paper measures.
+package btree
+
+import "cmp"
+
+// degree is the minimum degree t of the B-tree: every node except the root
+// holds between t-1 and 2t-1 keys. 16 keeps nodes around two cache lines of
+// keys for integer keys.
+const degree = 16
+
+const (
+	maxKeys = 2*degree - 1
+	minKeys = degree - 1
+)
+
+// Map is a B-tree map from ordered keys to arbitrary values. The zero value
+// is not usable; call New.
+type Map[K cmp.Ordered, V any] struct {
+	root *node[K, V]
+	size int
+}
+
+type node[K cmp.Ordered, V any] struct {
+	keys     []K
+	vals     []V
+	children []*node[K, V] // nil for leaves
+}
+
+// New returns an empty map.
+func New[K cmp.Ordered, V any]() *Map[K, V] {
+	return &Map[K, V]{root: &node[K, V]{}}
+}
+
+func (n *node[K, V]) leaf() bool { return n.children == nil }
+
+// find returns the position of the first key >= k and whether it equals k.
+func (n *node[K, V]) find(k K) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && n.keys[lo] == k
+}
+
+// Len returns the number of entries.
+func (m *Map[K, V]) Len() int { return m.size }
+
+// Get returns the value stored under k.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	n := m.root
+	for {
+		i, ok := n.find(k)
+		if ok {
+			return n.vals[i], true
+		}
+		if n.leaf() {
+			var zero V
+			return zero, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Contains reports whether k is present.
+func (m *Map[K, V]) Contains(k K) bool {
+	_, ok := m.Get(k)
+	return ok
+}
+
+// Put stores v under k, returning the previous value and whether one
+// existed.
+func (m *Map[K, V]) Put(k K, v V) (V, bool) {
+	if len(m.root.keys) == maxKeys {
+		old := m.root
+		m.root = &node[K, V]{children: []*node[K, V]{old}}
+		m.root.splitChild(0)
+	}
+	prev, replaced := m.root.insert(k, v)
+	if !replaced {
+		m.size++
+	}
+	return prev, replaced
+}
+
+// insert inserts into a non-full subtree.
+func (n *node[K, V]) insert(k K, v V) (V, bool) {
+	i, ok := n.find(k)
+	if ok {
+		prev := n.vals[i]
+		n.vals[i] = v
+		return prev, true
+	}
+	if n.leaf() {
+		n.keys = append(n.keys, k)
+		n.vals = append(n.vals, v)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.vals[i+1:], n.vals[i:])
+		n.keys[i] = k
+		n.vals[i] = v
+		var zero V
+		return zero, false
+	}
+	if len(n.children[i].keys) == maxKeys {
+		n.splitChild(i)
+		if k == n.keys[i] {
+			prev := n.vals[i]
+			n.vals[i] = v
+			return prev, true
+		}
+		if k > n.keys[i] {
+			i++
+		}
+	}
+	return n.children[i].insert(k, v)
+}
+
+// splitChild splits the full child at index i, hoisting its median into n.
+func (n *node[K, V]) splitChild(i int) {
+	child := n.children[i]
+	mid := maxKeys / 2
+	midKey, midVal := child.keys[mid], child.vals[mid]
+
+	right := &node[K, V]{
+		keys: append([]K(nil), child.keys[mid+1:]...),
+		vals: append([]V(nil), child.vals[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*node[K, V](nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.keys = child.keys[:mid]
+	child.vals = child.vals[:mid]
+
+	n.keys = append(n.keys, midKey)
+	n.vals = append(n.vals, midVal)
+	n.children = append(n.children, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	copy(n.vals[i+1:], n.vals[i:])
+	copy(n.children[i+2:], n.children[i+1:])
+	n.keys[i] = midKey
+	n.vals[i] = midVal
+	n.children[i+1] = right
+}
+
+// Delete removes k, returning the removed value and whether it existed.
+func (m *Map[K, V]) Delete(k K) (V, bool) {
+	v, ok := m.root.delete(k)
+	if ok {
+		m.size--
+	}
+	if len(m.root.keys) == 0 && !m.root.leaf() {
+		m.root = m.root.children[0]
+	}
+	return v, ok
+}
+
+// delete removes k from the subtree rooted at n. n is guaranteed to have
+// more than minKeys keys unless it is the root (standard CLRS discipline).
+func (n *node[K, V]) delete(k K) (V, bool) {
+	i, found := n.find(k)
+	if n.leaf() {
+		if !found {
+			var zero V
+			return zero, false
+		}
+		v := n.vals[i]
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return v, true
+	}
+	if found {
+		v := n.vals[i]
+		switch {
+		case len(n.children[i].keys) > minKeys:
+			pk, pv := n.children[i].removeMax()
+			n.keys[i], n.vals[i] = pk, pv
+		case len(n.children[i+1].keys) > minKeys:
+			sk, sv := n.children[i+1].removeMin()
+			n.keys[i], n.vals[i] = sk, sv
+		default:
+			n.mergeChildren(i)
+			_, _ = n.children[i].delete(k)
+		}
+		return v, true
+	}
+	// Descend, topping up the child first if it is minimal.
+	if len(n.children[i].keys) == minKeys {
+		i = n.fill(i)
+	}
+	return n.children[i].delete(k)
+}
+
+// removeMax removes and returns the largest entry of the subtree.
+func (n *node[K, V]) removeMax() (K, V) {
+	if n.leaf() {
+		last := len(n.keys) - 1
+		k, v := n.keys[last], n.vals[last]
+		n.keys = n.keys[:last]
+		n.vals = n.vals[:last]
+		return k, v
+	}
+	i := len(n.children) - 1
+	if len(n.children[i].keys) == minKeys {
+		i = n.fill(i)
+		i = len(n.children) - 1 // fill may have merged the last two children
+	}
+	return n.children[len(n.children)-1].removeMax()
+}
+
+// removeMin removes and returns the smallest entry of the subtree.
+func (n *node[K, V]) removeMin() (K, V) {
+	if n.leaf() {
+		k, v := n.keys[0], n.vals[0]
+		n.keys = append(n.keys[:0], n.keys[1:]...)
+		n.vals = append(n.vals[:0], n.vals[1:]...)
+		return k, v
+	}
+	if len(n.children[0].keys) == minKeys {
+		n.fill(0)
+	}
+	return n.children[0].removeMin()
+}
+
+// fill ensures children[i] has more than minKeys keys, borrowing from a
+// sibling or merging. It returns the index at which the (possibly merged)
+// child now lives.
+func (n *node[K, V]) fill(i int) int {
+	switch {
+	case i > 0 && len(n.children[i-1].keys) > minKeys:
+		n.borrowFromLeft(i)
+		return i
+	case i < len(n.children)-1 && len(n.children[i+1].keys) > minKeys:
+		n.borrowFromRight(i)
+		return i
+	case i > 0:
+		n.mergeChildren(i - 1)
+		return i - 1
+	default:
+		n.mergeChildren(i)
+		return i
+	}
+}
+
+func (n *node[K, V]) borrowFromLeft(i int) {
+	child, left := n.children[i], n.children[i-1]
+	// Rotate: parent separator moves down, left's max moves up.
+	child.keys = append(child.keys, *new(K))
+	child.vals = append(child.vals, *new(V))
+	copy(child.keys[1:], child.keys)
+	copy(child.vals[1:], child.vals)
+	child.keys[0] = n.keys[i-1]
+	child.vals[0] = n.vals[i-1]
+	last := len(left.keys) - 1
+	n.keys[i-1] = left.keys[last]
+	n.vals[i-1] = left.vals[last]
+	left.keys = left.keys[:last]
+	left.vals = left.vals[:last]
+	if !child.leaf() {
+		child.children = append(child.children, nil)
+		copy(child.children[1:], child.children)
+		child.children[0] = left.children[len(left.children)-1]
+		left.children = left.children[:len(left.children)-1]
+	}
+}
+
+func (n *node[K, V]) borrowFromRight(i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys = append(child.keys, n.keys[i])
+	child.vals = append(child.vals, n.vals[i])
+	n.keys[i] = right.keys[0]
+	n.vals[i] = right.vals[0]
+	right.keys = append(right.keys[:0], right.keys[1:]...)
+	right.vals = append(right.vals[:0], right.vals[1:]...)
+	if !child.leaf() {
+		child.children = append(child.children, right.children[0])
+		right.children = append(right.children[:0], right.children[1:]...)
+	}
+}
+
+// mergeChildren merges children[i], keys[i], children[i+1] into one node.
+func (n *node[K, V]) mergeChildren(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.keys = append(left.keys, n.keys[i])
+	left.vals = append(left.vals, n.vals[i])
+	left.keys = append(left.keys, right.keys...)
+	left.vals = append(left.vals, right.vals...)
+	if !left.leaf() {
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Ascend calls fn for every entry in ascending key order until fn returns
+// false.
+func (m *Map[K, V]) Ascend(fn func(K, V) bool) {
+	m.root.ascend(fn)
+}
+
+func (n *node[K, V]) ascend(fn func(K, V) bool) bool {
+	for i := range n.keys {
+		if !n.leaf() && !n.children[i].ascend(fn) {
+			return false
+		}
+		if !fn(n.keys[i], n.vals[i]) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascend(fn)
+	}
+	return true
+}
+
+// Range calls fn for every entry with lo <= key <= hi in ascending order
+// until fn returns false.
+func (m *Map[K, V]) Range(lo, hi K, fn func(K, V) bool) {
+	m.root.rang(lo, hi, fn)
+}
+
+func (n *node[K, V]) rang(lo, hi K, fn func(K, V) bool) bool {
+	i, _ := n.find(lo)
+	for ; i < len(n.keys); i++ {
+		if !n.leaf() && !n.children[i].rang(lo, hi, fn) {
+			return false
+		}
+		if n.keys[i] > hi {
+			return true
+		}
+		if !fn(n.keys[i], n.vals[i]) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].rang(lo, hi, fn)
+	}
+	return true
+}
+
+// Min returns the smallest entry.
+func (m *Map[K, V]) Min() (K, V, bool) {
+	if m.size == 0 {
+		var k K
+		var v V
+		return k, v, false
+	}
+	n := m.root
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.keys[0], n.vals[0], true
+}
+
+// Max returns the largest entry.
+func (m *Map[K, V]) Max() (K, V, bool) {
+	if m.size == 0 {
+		var k K
+		var v V
+		return k, v, false
+	}
+	n := m.root
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1], true
+}
+
+// Keys returns all keys in ascending order (mostly for tests/debug).
+func (m *Map[K, V]) Keys() []K {
+	out := make([]K, 0, m.size)
+	m.Ascend(func(k K, _ V) bool { out = append(out, k); return true })
+	return out
+}
+
+// Clone returns an eager deep copy of the tree. See the package comment for
+// value-copy semantics.
+func (m *Map[K, V]) Clone() *Map[K, V] {
+	return &Map[K, V]{root: m.root.clone(), size: m.size}
+}
+
+func (n *node[K, V]) clone() *node[K, V] {
+	out := &node[K, V]{
+		keys: append([]K(nil), n.keys...),
+		vals: append([]V(nil), n.vals...),
+	}
+	if !n.leaf() {
+		out.children = make([]*node[K, V], len(n.children))
+		for i, c := range n.children {
+			out.children[i] = c.clone()
+		}
+	}
+	return out
+}

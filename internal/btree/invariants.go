@@ -1,0 +1,83 @@
+package btree
+
+import (
+	"cmp"
+	"fmt"
+)
+
+// CheckInvariants validates the structural invariants of the tree and
+// returns a descriptive error on the first violation. It is exported for
+// the test suites of this package and of internal/txbtree.
+//
+// Checked: key ordering within nodes and across subtrees, node fill bounds
+// (minKeys..maxKeys for non-root nodes), uniform leaf depth, child-count =
+// key-count + 1 for internal nodes, and size bookkeeping.
+func (m *Map[K, V]) CheckInvariants() error {
+	if m.root == nil {
+		return fmt.Errorf("btree: nil root")
+	}
+	count := 0
+	_, err := check(m.root, true, nil, nil, &count)
+	if err != nil {
+		return err
+	}
+	if count != m.size {
+		return fmt.Errorf("btree: size %d but %d entries reachable", m.size, count)
+	}
+	return nil
+}
+
+// check validates the subtree and returns its leaf depth.
+func check[K cmp.Ordered, V any](n *node[K, V], isRoot bool, lo, hi *K, count *int) (int, error) {
+	if !isRoot && len(n.keys) < minKeys {
+		return 0, fmt.Errorf("btree: underfull node (%d keys)", len(n.keys))
+	}
+	if len(n.keys) > maxKeys {
+		return 0, fmt.Errorf("btree: overfull node (%d keys)", len(n.keys))
+	}
+	if len(n.keys) != len(n.vals) {
+		return 0, fmt.Errorf("btree: %d keys but %d vals", len(n.keys), len(n.vals))
+	}
+	for i := range n.keys {
+		if i > 0 && n.keys[i-1] >= n.keys[i] {
+			return 0, fmt.Errorf("btree: keys out of order at %d", i)
+		}
+		if lo != nil && n.keys[i] <= *lo {
+			return 0, fmt.Errorf("btree: key below subtree lower bound")
+		}
+		if hi != nil && n.keys[i] >= *hi {
+			return 0, fmt.Errorf("btree: key above subtree upper bound")
+		}
+	}
+	*count += len(n.keys)
+	if n.leaf() {
+		return 1, nil
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return 0, fmt.Errorf("btree: internal node with %d keys, %d children", len(n.keys), len(n.children))
+	}
+	depth := -1
+	for i, c := range n.children {
+		var cLo, cHi *K
+		if i > 0 {
+			cLo = &n.keys[i-1]
+		} else {
+			cLo = lo
+		}
+		if i < len(n.keys) {
+			cHi = &n.keys[i]
+		} else {
+			cHi = hi
+		}
+		d, err := check(c, false, cLo, cHi, count)
+		if err != nil {
+			return 0, err
+		}
+		if depth == -1 {
+			depth = d
+		} else if d != depth {
+			return 0, fmt.Errorf("btree: non-uniform leaf depth (%d vs %d)", d, depth)
+		}
+	}
+	return depth + 1, nil
+}

@@ -1,0 +1,512 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/stm"
+)
+
+// buildTiny builds a Tiny structure on a direct engine and returns both.
+func buildTiny(t *testing.T) (*Structure, stm.Engine) {
+	t.Helper()
+	eng := stm.NewDirect()
+	s, err := Build(Tiny(), 42, eng.VarSpace())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s, eng
+}
+
+func TestParamsPresets(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "medium"} {
+		p, ok := Named(name)
+		if !ok {
+			t.Fatalf("Named(%q) missing", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, ok := Named("giant"); ok {
+		t.Error("Named(giant) should not exist")
+	}
+}
+
+func TestParamsMediumMatchesPaper(t *testing.T) {
+	p := Medium()
+	// §2.2: six levels of complex assemblies (7 with base), fan-out 3,
+	// 500 composite parts, 100000 atomic parts altogether.
+	if p.NumAssmLevels != 7 || p.NumAssmPerAssm != 3 {
+		t.Errorf("assembly shape = %d levels fan-out %d", p.NumAssmLevels, p.NumAssmPerAssm)
+	}
+	if p.NumCompParts != 500 {
+		t.Errorf("NumCompParts = %d, want 500", p.NumCompParts)
+	}
+	if total := p.NumCompParts * p.NumAtomicPerComp; total != 100000 {
+		t.Errorf("total atomic parts = %d, want 100000", total)
+	}
+	if p.InitialComplexAssemblies() != 364 {
+		t.Errorf("InitialComplexAssemblies = %d, want 364 (1+3+9+27+81+243)", p.InitialComplexAssemblies())
+	}
+	if p.InitialBaseAssemblies() != 729 {
+		t.Errorf("InitialBaseAssemblies = %d, want 729 (3^6)", p.InitialBaseAssemblies())
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{NumAssmLevels: 1, NumAssmPerAssm: 3, NumCompPerAssm: 1, NumCompParts: 1, NumAtomicPerComp: 1, NumConnPerAtomic: 1, DocumentSize: 10, ManualSize: 10},
+		{NumAssmLevels: 3, NumAssmPerAssm: 0, NumCompPerAssm: 1, NumCompParts: 1, NumAtomicPerComp: 1, NumConnPerAtomic: 1, DocumentSize: 10, ManualSize: 10},
+		{NumAssmLevels: 3, NumAssmPerAssm: 3, NumCompPerAssm: 1, NumCompParts: 0, NumAtomicPerComp: 1, NumConnPerAtomic: 1, DocumentSize: 10, ManualSize: 10},
+		{NumAssmLevels: 3, NumAssmPerAssm: 3, NumCompPerAssm: 1, NumCompParts: 1, NumAtomicPerComp: 1, NumConnPerAtomic: 1, DocumentSize: 1, ManualSize: 10},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d validated", i)
+		}
+	}
+}
+
+func TestBuildCounts(t *testing.T) {
+	s, eng := buildTiny(t)
+	p := s.P
+	eng.Atomic(func(tx stm.Tx) error {
+		if got := s.Idx.CompositeByID.Len(tx); got != p.NumCompParts {
+			t.Errorf("composite parts = %d, want %d", got, p.NumCompParts)
+		}
+		if got := s.Idx.AtomicByID.Len(tx); got != p.NumCompParts*p.NumAtomicPerComp {
+			t.Errorf("atomic parts = %d, want %d", got, p.NumCompParts*p.NumAtomicPerComp)
+		}
+		if got := s.Idx.DocumentByTitle.Len(tx); got != p.NumCompParts {
+			t.Errorf("documents = %d, want %d", got, p.NumCompParts)
+		}
+		if got := s.Idx.BaseByID.Len(tx); got != p.InitialBaseAssemblies() {
+			t.Errorf("base assemblies = %d, want %d", got, p.InitialBaseAssemblies())
+		}
+		if got := s.Idx.ComplexByID.Len(tx); got != p.InitialComplexAssemblies() {
+			t.Errorf("complex assemblies = %d, want %d", got, p.InitialComplexAssemblies())
+		}
+		return nil
+	})
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	e1, e2 := stm.NewDirect(), stm.NewDirect()
+	s1, err := Build(Tiny(), 7, e1.VarSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Build(Tiny(), 7, e2.VarSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare a structural fingerprint: every atomic part's state and the
+	// components of every base assembly.
+	fp := func(s *Structure, eng stm.Engine) []int {
+		var out []int
+		eng.Atomic(func(tx stm.Tx) error {
+			s.Idx.AtomicByID.Ascend(tx, func(id uint64, ap *AtomicPart) bool {
+				st := ap.State(tx)
+				out = append(out, int(id), st.X, st.Y, st.BuildDate, len(ap.To))
+				return true
+			})
+			s.Idx.BaseByID.Ascend(tx, func(id uint64, ba *BaseAssembly) bool {
+				for _, cp := range ba.State(tx).Components {
+					out = append(out, int(id), int(cp.ID))
+				}
+				return true
+			})
+			return nil
+		})
+		return out
+	}
+	f1, f2 := fp(s1, e1), fp(s2, e2)
+	if len(f1) != len(f2) {
+		t.Fatalf("fingerprint lengths differ: %d vs %d", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("fingerprints diverge at %d: %d vs %d", i, f1[i], f2[i])
+		}
+	}
+}
+
+func TestBuildInvariants(t *testing.T) {
+	s, eng := buildTiny(t)
+	eng.Atomic(func(tx stm.Tx) error {
+		if err := s.CheckInvariants(tx); err != nil {
+			t.Error(err)
+		}
+		return nil
+	})
+}
+
+func TestBuildSmallInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small build in -short mode")
+	}
+	eng := stm.NewDirect()
+	s, err := Build(Small(), 99, eng.VarSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Atomic(func(tx stm.Tx) error {
+		if err := s.CheckInvariants(tx); err != nil {
+			t.Error(err)
+		}
+		return nil
+	})
+}
+
+func TestDocumentText(t *testing.T) {
+	txt := DocumentText(17, 300)
+	if len(txt) != 300 {
+		t.Errorf("len = %d, want 300", len(txt))
+	}
+	if !strings.HasPrefix(txt, "I am the documentation for composite part #17.") {
+		t.Errorf("unexpected prefix: %q", txt[:50])
+	}
+	if CountChar(txt, 'I') == 0 {
+		t.Error("document text contains no 'I'")
+	}
+}
+
+func TestManualText(t *testing.T) {
+	txt := ManualText(1, 500)
+	if len(txt) != 500 {
+		t.Errorf("len = %d, want 500", len(txt))
+	}
+	if txt[0] != 'I' {
+		t.Errorf("first char = %q, want 'I'", txt[0])
+	}
+}
+
+func TestSwapIAmRoundTrip(t *testing.T) {
+	orig := DocumentText(3, 400)
+	swapped, n1 := SwapIAm(orig)
+	if n1 == 0 {
+		t.Fatal("no replacements on first swap")
+	}
+	if strings.Contains(swapped, "I am") {
+		t.Error("swap left 'I am' behind")
+	}
+	back, n2 := SwapIAm(swapped)
+	if n1 != n2 {
+		t.Errorf("asymmetric swap: %d vs %d", n1, n2)
+	}
+	if back != orig {
+		t.Error("swap is not an involution")
+	}
+}
+
+func TestSwapCase(t *testing.T) {
+	s, n := SwapCase("III")
+	if s != "iii" || n != 3 {
+		t.Errorf("SwapCase(III) = %q,%d", s, n)
+	}
+	s2, n2 := SwapCase(s)
+	if s2 != "III" || n2 != 3 {
+		t.Errorf("reverse SwapCase = %q,%d", s2, n2)
+	}
+	if _, n := SwapCase(""); n != 0 {
+		t.Errorf("SwapCase empty = %d changes", n)
+	}
+}
+
+func TestCountChar(t *testing.T) {
+	if got := CountChar("mississippi", 'i'); got != 4 {
+		t.Errorf("CountChar = %d, want 4", got)
+	}
+	if got := CountChar("", 'x'); got != 0 {
+		t.Errorf("CountChar empty = %d", got)
+	}
+}
+
+func TestIDAllocationExhaustion(t *testing.T) {
+	s, eng := buildTiny(t)
+	eng.Atomic(func(tx stm.Tx) error {
+		seen := map[uint64]bool{}
+		for {
+			id, ok := s.AllocCompID(tx)
+			if !ok {
+				break
+			}
+			if seen[id] {
+				t.Fatalf("duplicate allocated id %d", id)
+			}
+			seen[id] = true
+			if id > s.P.MaxCompParts() {
+				t.Fatalf("allocated id %d beyond cap %d", id, s.P.MaxCompParts())
+			}
+		}
+		// Free one and it must come back.
+		s.FreeCompID(tx, 3)
+		id, ok := s.AllocCompID(tx)
+		if !ok || id != 3 {
+			t.Errorf("realloc after free = %d,%v; want 3,true", id, ok)
+		}
+		return nil
+	})
+}
+
+func TestSetAtomicDateMaintainsIndex(t *testing.T) {
+	s, eng := buildTiny(t)
+	eng.Atomic(func(tx stm.Tx) error {
+		cp, _ := s.LookupComposite(tx, 1)
+		ap := cp.Parts[0]
+		old := ap.BuildDate(tx)
+		s.SetAtomicDate(tx, ap, old+1)
+		if got := ap.BuildDate(tx); got != old+1 {
+			t.Errorf("date = %d, want %d", got, old+1)
+		}
+		// Old bucket no longer holds it; new bucket does.
+		if bucket, _ := s.Idx.AtomicByDate.Get(tx, old); containsPtr(bucket, ap) {
+			t.Error("old bucket still holds part")
+		}
+		bucket, _ := s.Idx.AtomicByDate.Get(tx, old+1)
+		if !containsPtr(bucket, ap) {
+			t.Error("new bucket missing part")
+		}
+		if err := s.CheckInvariants(tx); err != nil {
+			t.Error(err)
+		}
+		return nil
+	})
+}
+
+func TestToggleAtomicDateStaysInRange(t *testing.T) {
+	s, eng := buildTiny(t)
+	eng.Atomic(func(tx stm.Tx) error {
+		cp, _ := s.LookupComposite(tx, 2)
+		ap := cp.Parts[1]
+		for i := 0; i < 10; i++ {
+			s.ToggleAtomicDate(tx, ap)
+			d := ap.BuildDate(tx)
+			if d < MinDate || d > MaxDate {
+				t.Fatalf("date %d escaped range", d)
+			}
+		}
+		return s.CheckInvariants(tx)
+	})
+}
+
+func TestDeleteCompositePart(t *testing.T) {
+	s, eng := buildTiny(t)
+	eng.Atomic(func(tx stm.Tx) error {
+		cp, ok := s.LookupComposite(tx, 1)
+		if !ok {
+			t.Fatal("composite 1 missing")
+		}
+		users := len(cp.State(tx).UsedIn)
+		_ = users
+		s.DeleteCompositePart(tx, cp)
+		if _, ok := s.LookupComposite(tx, 1); ok {
+			t.Error("composite still indexed")
+		}
+		if _, ok := s.LookupDocument(tx, cp.Doc.Title); ok {
+			t.Error("document still indexed")
+		}
+		for _, ap := range cp.Parts {
+			if _, ok := s.LookupAtomic(tx, ap.ID); ok {
+				t.Errorf("atomic %d still indexed", ap.ID)
+			}
+		}
+		return s.CheckInvariants(tx)
+	})
+}
+
+func TestCreateAndDeleteCompositeRoundTrip(t *testing.T) {
+	s, eng := buildTiny(t)
+	r := rng.New(5)
+	eng.Atomic(func(tx stm.Tx) error {
+		id, ok := s.AllocCompID(tx)
+		if !ok {
+			t.Fatal("no free composite id")
+		}
+		cp := s.BuildCompositePart(tx, r, id)
+		if err := s.CheckInvariants(tx); err != nil {
+			t.Fatalf("after create: %v", err)
+		}
+		s.DeleteCompositePart(tx, cp)
+		if err := s.CheckInvariants(tx); err != nil {
+			t.Fatalf("after delete: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestLinkUnlinkCompositeBase(t *testing.T) {
+	s, eng := buildTiny(t)
+	eng.Atomic(func(tx stm.Tx) error {
+		var ba *BaseAssembly
+		s.Idx.BaseByID.Ascend(tx, func(_ uint64, b *BaseAssembly) bool { ba = b; return false })
+		cp, _ := s.LookupComposite(tx, 4)
+		before := len(ba.State(tx).Components)
+		LinkCompositeToBase(tx, ba, cp)
+		if got := len(ba.State(tx).Components); got != before+1 {
+			t.Errorf("components = %d, want %d", got, before+1)
+		}
+		if !containsPtr(cp.State(tx).UsedIn, ba) {
+			t.Error("usedIn missing")
+		}
+		UnlinkCompositeFromBase(tx, ba, cp)
+		if got := len(ba.State(tx).Components); got != before {
+			t.Errorf("components after unlink = %d, want %d", got, before)
+		}
+		return s.CheckInvariants(tx)
+	})
+}
+
+func TestBuildAssemblySubtree(t *testing.T) {
+	s, eng := buildTiny(t)
+	r := rng.New(9)
+	eng.Atomic(func(tx stm.Tx) error {
+		root := s.Module.DesignRoot
+		ok := s.BuildAssemblySubtree(tx, r, root.Lvl-1, root)
+		if !ok {
+			t.Skip("id pools too small for subtree in tiny preset")
+		}
+		return s.CheckInvariants(tx)
+	})
+}
+
+func TestDeleteAssemblySubtree(t *testing.T) {
+	s, eng := buildTiny(t)
+	eng.Atomic(func(tx stm.Tx) error {
+		root := s.Module.DesignRoot
+		st := root.State(tx)
+		if len(st.SubComplex) < 2 {
+			t.Fatal("root needs 2+ children for this test")
+		}
+		victim := st.SubComplex[0]
+		s.DeleteAssemblySubtree(tx, victim)
+		if _, ok := s.LookupComplex(tx, victim.ID); ok {
+			t.Error("victim still indexed")
+		}
+		if containsPtr(root.State(tx).SubComplex, victim) {
+			t.Error("victim still linked to root")
+		}
+		return s.CheckInvariants(tx)
+	})
+}
+
+func TestGroupAtomicParts(t *testing.T) {
+	p := Tiny()
+	p.GroupAtomicParts = true
+	eng := stm.NewDirect()
+	s, err := Build(p, 42, eng.VarSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Atomic(func(tx stm.Tx) error {
+		if err := s.CheckInvariants(tx); err != nil {
+			t.Error(err)
+		}
+		cp, _ := s.LookupComposite(tx, 1)
+		ap := cp.Parts[2]
+		before := ap.State(tx)
+		ap.SwapXY(tx)
+		after := ap.State(tx)
+		if after.X != before.Y || after.Y != before.X {
+			t.Errorf("SwapXY: %+v -> %+v", before, after)
+		}
+		// Neighbour unaffected.
+		if cp.Parts[3].State(tx) != cp.Parts[3].State(tx) {
+			t.Error("neighbour state unstable")
+		}
+		return nil
+	})
+}
+
+func TestGroupedDateIndexMaintenance(t *testing.T) {
+	p := Tiny()
+	p.GroupAtomicParts = true
+	eng := stm.NewDirect()
+	s, err := Build(p, 42, eng.VarSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Atomic(func(tx stm.Tx) error {
+		cp, _ := s.LookupComposite(tx, 1)
+		s.ToggleAtomicDate(tx, cp.Parts[0])
+		return s.CheckInvariants(tx)
+	})
+}
+
+func TestManualChunking(t *testing.T) {
+	p := Tiny()
+	p.ManualChunks = 4
+	eng := stm.NewDirect()
+	s, err := Build(p, 1, eng.VarSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Atomic(func(tx stm.Tx) error {
+		man := s.Module.Man
+		if man.NumChunks() != 4 {
+			t.Errorf("chunks = %d, want 4", man.NumChunks())
+		}
+		if got := man.FullText(tx); got != ManualText(1, p.ManualSize) {
+			t.Error("chunked manual text mismatch")
+		}
+		return nil
+	})
+}
+
+func TestStructureRandomIDDomains(t *testing.T) {
+	s, _ := buildTiny(t)
+	r := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		if id := s.RandomAtomicID(r); id == 0 || id > s.P.MaxAtomicParts() {
+			t.Fatalf("atomic id %d out of domain", id)
+		}
+		if id := s.RandomCompID(r); id == 0 || id > s.P.MaxCompParts() {
+			t.Fatalf("comp id %d out of domain", id)
+		}
+		if id := s.RandomBaseID(r); id == 0 || id > s.P.MaxBaseAssemblies() {
+			t.Fatalf("base id %d out of domain", id)
+		}
+		if id := s.RandomComplexID(r); id == 0 || id > s.P.MaxComplexAssemblies() {
+			t.Fatalf("complex id %d out of domain", id)
+		}
+		if d := RandomDate(r); d < MinDate || d > MaxDate {
+			t.Fatalf("date %d out of range", d)
+		}
+	}
+}
+
+// TestBuildUnderSTMEngines ensures a structure built on an STM engine's
+// VarSpace is usable through real transactions.
+func TestBuildUnderSTMEngines(t *testing.T) {
+	for _, mk := range []func() stm.Engine{
+		func() stm.Engine { return stm.NewOSTM() },
+		func() stm.Engine { return stm.NewTL2() },
+	} {
+		eng := mk()
+		s, err := Build(Tiny(), 42, eng.VarSpace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = eng.Atomic(func(tx stm.Tx) error {
+			return s.CheckInvariants(tx)
+		})
+		if err != nil {
+			t.Errorf("%s: %v", eng.Name(), err)
+		}
+		// A mutation through the STM engine.
+		err = eng.Atomic(func(tx stm.Tx) error {
+			cp, _ := s.LookupComposite(tx, 1)
+			s.ToggleAtomicDate(tx, cp.Parts[0])
+			return nil
+		})
+		if err != nil {
+			t.Errorf("%s mutation: %v", eng.Name(), err)
+		}
+		err = eng.Atomic(func(tx stm.Tx) error { return s.CheckInvariants(tx) })
+		if err != nil {
+			t.Errorf("%s after mutation: %v", eng.Name(), err)
+		}
+	}
+}

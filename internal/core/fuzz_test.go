@@ -1,0 +1,100 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the text operations. `go test` runs the seed corpus;
+// `go test -fuzz=FuzzSwapIAm ./internal/core` explores further.
+
+func FuzzSwapIAm(f *testing.F) {
+	f.Add("I am the documentation. I am here.")
+	f.Add("This is the documentation.")
+	f.Add("")
+	f.Add("I amI amI am")
+	f.Add("This isThis is I am")
+	f.Add(DocumentText(3, 257))
+	f.Fuzz(func(t *testing.T, s string) {
+		out, n := SwapIAm(s)
+		if n < 0 {
+			t.Fatalf("negative count %d", n)
+		}
+		// Postcondition: the direction chosen must be fully applied.
+		if strings.Count(s, "I am") > 0 {
+			if strings.Contains(out, "I am") {
+				t.Fatalf("forward swap left %q in %q", "I am", out)
+			}
+			if n != strings.Count(s, "I am") {
+				t.Fatalf("count %d != occurrences %d", n, strings.Count(s, "I am"))
+			}
+		} else if n != strings.Count(s, "This is") {
+			t.Fatalf("reverse count %d != occurrences %d", n, strings.Count(s, "This is"))
+		}
+		// Documents produced by the builder round-trip exactly (checked in
+		// unit tests); arbitrary strings at least never grow unboundedly.
+		if len(out) > len(s)+3*n {
+			t.Fatalf("output grew more than replacements allow: %d -> %d with %d swaps", len(s), len(out), n)
+		}
+	})
+}
+
+func FuzzSwapCase(f *testing.F) {
+	f.Add("I am the manual")
+	f.Add("iiii")
+	f.Add("")
+	f.Add("M")
+	f.Add(ManualText(1, 100))
+	f.Fuzz(func(t *testing.T, s string) {
+		out, n := SwapCase(s)
+		if len(out) != len(s) {
+			t.Fatalf("length changed: %d -> %d", len(s), len(out))
+		}
+		if n < 0 {
+			t.Fatalf("negative count")
+		}
+		if strings.Count(s, "I") > 0 {
+			if strings.Contains(out, "I") {
+				t.Fatal("forward swap left 'I'")
+			}
+			if n != strings.Count(s, "I") {
+				t.Fatalf("count mismatch")
+			}
+		} else if strings.Contains(out, "i") && strings.Count(s, "i") > 0 {
+			t.Fatal("reverse swap left 'i'")
+		}
+	})
+}
+
+func FuzzCountChar(f *testing.F) {
+	f.Add("mississippi", byte('i'))
+	f.Add("", byte('x'))
+	f.Add(DocumentText(9, 128), byte('I'))
+	f.Fuzz(func(t *testing.T, s string, c byte) {
+		got := CountChar(s, c)
+		want := strings.Count(s, string([]byte{c}))
+		// strings.Count on a single non-UTF8 byte still counts bytes here
+		// because the pattern is one byte long.
+		if got != want {
+			t.Fatalf("CountChar(%q, %q) = %d, want %d", s, c, got, want)
+		}
+	})
+}
+
+func FuzzRepeatToSize(f *testing.F) {
+	f.Add("abc", 10)
+	f.Add("x", 1)
+	f.Add("template ", 1000)
+	f.Fuzz(func(t *testing.T, template string, size int) {
+		if template == "" || size < 0 || size > 1<<16 {
+			t.Skip()
+		}
+		out := repeatToSize(template, size)
+		if len(out) != size {
+			t.Fatalf("len = %d, want %d", len(out), size)
+		}
+		if size >= len(template) && !strings.HasPrefix(out, template) {
+			t.Fatal("output does not start with template")
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"cmp"
+
+	"repro/internal/btree"
+	"repro/internal/txbtree"
+	"repro/stm"
+)
+
+// Index is the interface of one Table-1 index. Two representations exist:
+//
+//   - the paper-faithful one (cellIndex): the whole index is ONE object —
+//     a single Var holding a B-tree, deep-cloned on first transactional
+//     write. This is what makes index writers pathological under the
+//     object-granular STM (§5).
+//   - the §5 optimization (txIndex): a transactional B-tree with one Var
+//     per node (internal/txbtree), selected with Params.TxIndexes.
+//
+// All methods run inside the caller's transaction.
+type Index[K cmp.Ordered, V any] interface {
+	Get(tx stm.Tx, k K) (V, bool)
+	Put(tx stm.Tx, k K, v V)
+	Delete(tx stm.Tx, k K) (V, bool)
+	Ascend(tx stm.Tx, fn func(K, V) bool)
+	Range(tx stm.Tx, lo, hi K, fn func(K, V) bool)
+	Len(tx stm.Tx) int
+}
+
+// cellIndex is the single-object representation.
+type cellIndex[K cmp.Ordered, V any] struct {
+	c *stm.Cell[*btree.Map[K, V]]
+}
+
+func newCellIndex[K cmp.Ordered, V any](space *stm.VarSpace, domain string) *cellIndex[K, V] {
+	c := stm.NewCellClone(space, btree.New[K, V](), (*btree.Map[K, V]).Clone)
+	c.Var().SetName(domain)
+	return &cellIndex[K, V]{c: c}
+}
+
+func (x *cellIndex[K, V]) Get(tx stm.Tx, k K) (V, bool) { return x.c.Get(tx).Get(k) }
+
+func (x *cellIndex[K, V]) Put(tx stm.Tx, k K, v V) {
+	x.c.Update(tx, func(m *btree.Map[K, V]) *btree.Map[K, V] {
+		m.Put(k, v)
+		return m
+	})
+}
+
+func (x *cellIndex[K, V]) Delete(tx stm.Tx, k K) (V, bool) {
+	var out V
+	var ok bool
+	x.c.Update(tx, func(m *btree.Map[K, V]) *btree.Map[K, V] {
+		out, ok = m.Delete(k)
+		return m
+	})
+	return out, ok
+}
+
+func (x *cellIndex[K, V]) Ascend(tx stm.Tx, fn func(K, V) bool) { x.c.Get(tx).Ascend(fn) }
+
+func (x *cellIndex[K, V]) Range(tx stm.Tx, lo, hi K, fn func(K, V) bool) {
+	x.c.Get(tx).Range(lo, hi, fn)
+}
+
+func (x *cellIndex[K, V]) Len(tx stm.Tx) int { return x.c.Get(tx).Len() }
+
+// txIndex adapts txbtree.Tree to Index.
+type txIndex[K cmp.Ordered, V any] struct {
+	t *txbtree.Tree[K, V]
+}
+
+func newTxIndex[K cmp.Ordered, V any](space *stm.VarSpace, domain string) *txIndex[K, V] {
+	return &txIndex[K, V]{t: txbtree.New[K, V](space, domain)}
+}
+
+func (x *txIndex[K, V]) Get(tx stm.Tx, k K) (V, bool)         { return x.t.Get(tx, k) }
+func (x *txIndex[K, V]) Put(tx stm.Tx, k K, v V)              { x.t.Put(tx, k, v) }
+func (x *txIndex[K, V]) Delete(tx stm.Tx, k K) (V, bool)      { return x.t.Delete(tx, k) }
+func (x *txIndex[K, V]) Ascend(tx stm.Tx, fn func(K, V) bool) { x.t.Ascend(tx, fn) }
+func (x *txIndex[K, V]) Range(tx stm.Tx, lo, hi K, fn func(K, V) bool) {
+	x.t.Range(tx, lo, hi, fn)
+}
+func (x *txIndex[K, V]) Len(tx stm.Tx) int { return x.t.Len(tx) }
+
+func newIndex[K cmp.Ordered, V any](space *stm.VarSpace, domain string, transactional bool) Index[K, V] {
+	if transactional {
+		return newTxIndex[K, V](space, domain)
+	}
+	return newCellIndex[K, V](space, domain)
+}

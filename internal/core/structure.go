@@ -1,0 +1,527 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/stm"
+)
+
+// IDState is the transactional id-allocation state for the three object
+// kinds that structure modification operations create and delete. Ids are
+// reused through free lists so the live id set stays dense in
+// [1, cap], keeping the failure probability of random-id lookups stable
+// (§3: operations pick random ids and fail when the id does not exist).
+type IDState struct {
+	NextComp    uint64
+	FreeComp    []uint64
+	NextBase    uint64
+	FreeBase    []uint64
+	NextComplex uint64
+	FreeComplex []uint64
+}
+
+func cloneIDState(s IDState) IDState {
+	s.FreeComp = stm.CloneSlice(s.FreeComp)
+	s.FreeBase = stm.CloneSlice(s.FreeBase)
+	s.FreeComplex = stm.CloneSlice(s.FreeComplex)
+	return s
+}
+
+// Structure is the complete shared data structure: the module graph, the
+// indexes, and the id-allocation state. One Structure is built per
+// benchmark run (see Build) and shared by all worker threads.
+type Structure struct {
+	P      Params
+	Space  *stm.VarSpace
+	Module *Module
+	Idx    *Indexes
+
+	ids *stm.Cell[IDState]
+}
+
+// --- id allocation -------------------------------------------------------
+
+// allocID pops from free or advances next, respecting the cap.
+func allocID(next *uint64, free *[]uint64, cap uint64) (uint64, bool) {
+	if n := len(*free); n > 0 {
+		id := (*free)[n-1]
+		*free = (*free)[:n-1]
+		return id, true
+	}
+	if *next > cap {
+		return 0, false
+	}
+	id := *next
+	*next++
+	return id, true
+}
+
+// AllocCompID reserves a composite-part id; ok is false at the cap.
+func (s *Structure) AllocCompID(tx stm.Tx) (id uint64, ok bool) {
+	s.ids.Update(tx, func(st IDState) IDState {
+		id, ok = allocID(&st.NextComp, &st.FreeComp, s.P.MaxCompParts())
+		return st
+	})
+	return id, ok
+}
+
+// FreeCompID returns a composite-part id to the pool.
+func (s *Structure) FreeCompID(tx stm.Tx, id uint64) {
+	s.ids.Update(tx, func(st IDState) IDState {
+		st.FreeComp = append(st.FreeComp, id)
+		return st
+	})
+}
+
+// AllocBaseID reserves a base-assembly id; ok is false at the cap.
+func (s *Structure) AllocBaseID(tx stm.Tx) (id uint64, ok bool) {
+	s.ids.Update(tx, func(st IDState) IDState {
+		id, ok = allocID(&st.NextBase, &st.FreeBase, s.P.MaxBaseAssemblies())
+		return st
+	})
+	return id, ok
+}
+
+// FreeBaseID returns a base-assembly id to the pool.
+func (s *Structure) FreeBaseID(tx stm.Tx, id uint64) {
+	s.ids.Update(tx, func(st IDState) IDState {
+		st.FreeBase = append(st.FreeBase, id)
+		return st
+	})
+}
+
+// AllocComplexID reserves a complex-assembly id; ok is false at the cap.
+func (s *Structure) AllocComplexID(tx stm.Tx) (id uint64, ok bool) {
+	s.ids.Update(tx, func(st IDState) IDState {
+		id, ok = allocID(&st.NextComplex, &st.FreeComplex, s.P.MaxComplexAssemblies())
+		return st
+	})
+	return id, ok
+}
+
+// FreeComplexID returns a complex-assembly id to the pool.
+func (s *Structure) FreeComplexID(tx stm.Tx, id uint64) {
+	s.ids.Update(tx, func(st IDState) IDState {
+		st.FreeComplex = append(st.FreeComplex, id)
+		return st
+	})
+}
+
+func available(next uint64, free int, cap uint64) int {
+	n := free
+	if next <= cap {
+		n += int(cap - next + 1)
+	}
+	return n
+}
+
+// AvailableCompIDs returns how many composite-part ids can still be
+// allocated.
+func (s *Structure) AvailableCompIDs(tx stm.Tx) int {
+	st := s.ids.Get(tx)
+	return available(st.NextComp, len(st.FreeComp), s.P.MaxCompParts())
+}
+
+// AvailableBaseIDs returns how many base-assembly ids can still be
+// allocated.
+func (s *Structure) AvailableBaseIDs(tx stm.Tx) int {
+	st := s.ids.Get(tx)
+	return available(st.NextBase, len(st.FreeBase), s.P.MaxBaseAssemblies())
+}
+
+// AvailableComplexIDs returns how many complex-assembly ids can still be
+// allocated.
+func (s *Structure) AvailableComplexIDs(tx stm.Tx) int {
+	st := s.ids.Get(tx)
+	return available(st.NextComplex, len(st.FreeComplex), s.P.MaxComplexAssemblies())
+}
+
+// SubtreeIDNeeds returns how many complex and base assembly ids a full
+// subtree rooted at the given level requires (SM7's pre-check: the
+// operation must fail before creating anything if a pool would run dry).
+func (p Params) SubtreeIDNeeds(level int) (complexN, baseN int) {
+	if level <= 1 {
+		return 0, 1
+	}
+	f := p.NumAssmPerAssm
+	pow := 1
+	for j := 0; j <= level-2; j++ {
+		complexN += pow
+		pow *= f
+	}
+	return complexN, pow // pow == f^(level-1)
+}
+
+// --- random id domains (no tx needed; caps are static) -------------------
+
+// RandomAtomicID draws from the atomic-part id domain.
+func (s *Structure) RandomAtomicID(r *rng.Rand) uint64 { return 1 + r.Uint64n(s.P.MaxAtomicParts()) }
+
+// RandomCompID draws from the composite-part id domain.
+func (s *Structure) RandomCompID(r *rng.Rand) uint64 { return 1 + r.Uint64n(s.P.MaxCompParts()) }
+
+// RandomBaseID draws from the base-assembly id domain.
+func (s *Structure) RandomBaseID(r *rng.Rand) uint64 {
+	return 1 + r.Uint64n(s.P.MaxBaseAssemblies())
+}
+
+// RandomComplexID draws from the complex-assembly id domain.
+func (s *Structure) RandomComplexID(r *rng.Rand) uint64 {
+	return 1 + r.Uint64n(s.P.MaxComplexAssemblies())
+}
+
+// RandomDate draws a build date.
+func RandomDate(r *rng.Rand) int { return r.Range(MinDate, MaxDate) }
+
+// --- index lookups -------------------------------------------------------
+
+// LookupAtomic finds an atomic part by id (index 1 of Table 1).
+func (s *Structure) LookupAtomic(tx stm.Tx, id uint64) (*AtomicPart, bool) {
+	return s.Idx.AtomicByID.Get(tx, id)
+}
+
+// LookupComposite finds a composite part by id (index 3).
+func (s *Structure) LookupComposite(tx stm.Tx, id uint64) (*CompositePart, bool) {
+	return s.Idx.CompositeByID.Get(tx, id)
+}
+
+// LookupDocument finds a document by title (index 4).
+func (s *Structure) LookupDocument(tx stm.Tx, title string) (*Document, bool) {
+	return s.Idx.DocumentByTitle.Get(tx, title)
+}
+
+// LookupBase finds a base assembly by id (index 5).
+func (s *Structure) LookupBase(tx stm.Tx, id uint64) (*BaseAssembly, bool) {
+	return s.Idx.BaseByID.Get(tx, id)
+}
+
+// LookupComplex finds a complex assembly by id (index 6).
+func (s *Structure) LookupComplex(tx stm.Tx, id uint64) (*ComplexAssembly, bool) {
+	return s.Idx.ComplexByID.Get(tx, id)
+}
+
+// --- build-date index maintenance (index 2) ------------------------------
+
+// dateBucketAdd returns a new bucket with p added (buckets are
+// replace-not-mutate so B-tree clones stay independent).
+func dateBucketAdd(bucket []*AtomicPart, p *AtomicPart) []*AtomicPart {
+	out := make([]*AtomicPart, len(bucket)+1)
+	copy(out, bucket)
+	out[len(bucket)] = p
+	return out
+}
+
+// dateBucketRemove returns a new bucket without p (nil when empty).
+func dateBucketRemove(bucket []*AtomicPart, p *AtomicPart) []*AtomicPart {
+	if len(bucket) == 1 && bucket[0] == p {
+		return nil
+	}
+	out := make([]*AtomicPart, 0, len(bucket)-1)
+	for _, q := range bucket {
+		if q != p {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// indexAtomicDate inserts p under date in the build-date index.
+func (s *Structure) indexAtomicDate(tx stm.Tx, p *AtomicPart, date int) {
+	bucket, _ := s.Idx.AtomicByDate.Get(tx, date)
+	s.Idx.AtomicByDate.Put(tx, date, dateBucketAdd(bucket, p))
+}
+
+// unindexAtomicDate removes p from date's bucket.
+func (s *Structure) unindexAtomicDate(tx stm.Tx, p *AtomicPart, date int) {
+	bucket, _ := s.Idx.AtomicByDate.Get(tx, date)
+	nb := dateBucketRemove(bucket, p)
+	if nb == nil {
+		s.Idx.AtomicByDate.Delete(tx, date)
+	} else {
+		s.Idx.AtomicByDate.Put(tx, date, nb)
+	}
+}
+
+// SetAtomicDate changes p's buildDate and maintains the build-date index —
+// the paper's "update operation on an indexed attribute" (T3, OP15).
+func (s *Structure) SetAtomicDate(tx stm.Tx, p *AtomicPart, newDate int) {
+	old := p.BuildDate(tx)
+	if old == newDate {
+		return
+	}
+	p.Mutate(tx, func(st *AtomicPartState) { st.BuildDate = newDate })
+	s.unindexAtomicDate(tx, p, old)
+	s.indexAtomicDate(tx, p, newDate)
+}
+
+// ToggleAtomicDate is the canonical indexed update: nudge the date's parity
+// (stays within [MinDate, MaxDate]).
+func (s *Structure) ToggleAtomicDate(tx stm.Tx, p *AtomicPart) {
+	old := p.BuildDate(tx)
+	nd := old + 1
+	if old%2 != 0 || nd > MaxDate {
+		nd = old - 1
+	}
+	if nd < MinDate {
+		nd = old + 1
+	}
+	s.SetAtomicDate(tx, p, nd)
+}
+
+// --- creation and deletion helpers (shared by the builder and SM ops) ----
+
+// connTypes is the small set of connection type strings, as in OO7.
+var connTypes = [...]string{"type_a", "type_b", "type_c", "type_d"}
+
+// BuildCompositePart creates a composite part with the given id — its
+// document and its atomic-part graph (a ring plus NumConnPerAtomic-1 random
+// extra connections per part, so the graph is connected) — and registers
+// everything in the indexes. It does NOT link the part to any base assembly
+// (SM1 semantics: "add it to the design library without linking").
+func (s *Structure) BuildCompositePart(tx stm.Tx, r *rng.Rand, id uint64) *CompositePart {
+	p := s.P
+	cp := &CompositePart{ID: id}
+	cp.Doc = &Document{
+		ID:    id,
+		Title: DocumentTitle(id),
+		Part:  cp,
+	}
+	cp.Doc.text = named(stm.NewCell(s.Space, DocumentText(id, p.DocumentSize)), DomainDocument)
+	cp.state = named(stm.NewCellClone(s.Space, CompositePartState{BuildDate: RandomDate(r)},
+		func(st CompositePartState) CompositePartState {
+			st.UsedIn = stm.CloneSlice(st.UsedIn)
+			return st
+		}), DomainComposite)
+
+	n := p.NumAtomicPerComp
+	parts := make([]*AtomicPart, n)
+	states := make([]AtomicPartState, n)
+	baseID := (id-1)*uint64(n) + 1
+	for i := 0; i < n; i++ {
+		states[i] = AtomicPartState{
+			X:         r.Intn(1 << 16),
+			Y:         r.Intn(1 << 16),
+			BuildDate: RandomDate(r),
+		}
+		parts[i] = &AtomicPart{ID: baseID + uint64(i), PartOf: cp}
+	}
+	if p.GroupAtomicParts {
+		group := named(stm.NewCellClone(s.Space, states, stm.CloneSlice[AtomicPartState]), DomainAtomic)
+		cp.groupStates = group
+		for i, ap := range parts {
+			ap.group = group
+			ap.slot = i
+		}
+	} else {
+		for i, ap := range parts {
+			ap.state = named(stm.NewCell(s.Space, states[i]), DomainAtomic)
+		}
+	}
+
+	// Connections: ring edge i -> (i+1) mod n keeps the graph connected
+	// for T1's depth-first searches; extras go to random parts.
+	for i, ap := range parts {
+		addConn := func(to *AtomicPart, kind int) {
+			c := &Connection{
+				Type:   connTypes[kind%len(connTypes)],
+				Length: 1 + r.Intn(100),
+				From:   ap,
+				To:     to,
+			}
+			ap.To = append(ap.To, c)
+			to.From = append(to.From, c)
+		}
+		addConn(parts[(i+1)%n], 0)
+		for k := 1; k < p.NumConnPerAtomic; k++ {
+			addConn(parts[r.Intn(n)], k)
+		}
+	}
+	cp.RootPart = parts[0]
+	cp.Parts = parts
+
+	// Register in the design library and indexes.
+	s.Idx.CompositeByID.Put(tx, id, cp)
+	s.Idx.DocumentByTitle.Put(tx, cp.Doc.Title, cp.Doc)
+	for i, ap := range parts {
+		s.Idx.AtomicByID.Put(tx, ap.ID, ap)
+		s.indexAtomicDate(tx, ap, states[i].BuildDate)
+	}
+	return cp
+}
+
+// DeleteCompositePart removes cp from the design library, all indexes and
+// every base assembly using it (SM2 semantics).
+func (s *Structure) DeleteCompositePart(tx stm.Tx, cp *CompositePart) {
+	// Unlink from base assemblies.
+	for _, ba := range cp.State(tx).UsedIn {
+		b := ba
+		b.Mutate(tx, func(st *BaseAssemblyState) {
+			st.Components = removePtr(st.Components, cp)
+		})
+	}
+	s.Idx.CompositeByID.Delete(tx, cp.ID)
+	s.Idx.DocumentByTitle.Delete(tx, cp.Doc.Title)
+	for _, ap := range cp.Parts {
+		s.Idx.AtomicByID.Delete(tx, ap.ID)
+		s.unindexAtomicDate(tx, ap, ap.BuildDate(tx))
+	}
+	s.FreeCompID(tx, cp.ID)
+}
+
+// removePtr returns a new slice without the first occurrence of x. The
+// original is not mutated (slices inside states are shared across clones).
+func removePtr[T comparable](s []T, x T) []T {
+	out := make([]T, 0, len(s))
+	removed := false
+	for _, e := range s {
+		if !removed && e == x {
+			removed = true
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// LinkCompositeToBase attaches cp to ba (SM3 and assembly creation).
+func LinkCompositeToBase(tx stm.Tx, ba *BaseAssembly, cp *CompositePart) {
+	ba.Mutate(tx, func(st *BaseAssemblyState) {
+		st.Components = appendCopy(st.Components, cp)
+	})
+	cp.Mutate(tx, func(st *CompositePartState) {
+		st.UsedIn = appendCopy(st.UsedIn, ba)
+	})
+}
+
+// UnlinkCompositeFromBase detaches cp from ba (SM4, deletions).
+func UnlinkCompositeFromBase(tx stm.Tx, ba *BaseAssembly, cp *CompositePart) {
+	ba.Mutate(tx, func(st *BaseAssemblyState) {
+		st.Components = removePtr(st.Components, cp)
+	})
+	cp.Mutate(tx, func(st *CompositePartState) {
+		st.UsedIn = removePtr(st.UsedIn, ba)
+	})
+}
+
+// appendCopy appends into a fresh backing array (never mutates the shared
+// one).
+func appendCopy[T any](s []T, x T) []T {
+	out := make([]T, len(s)+1)
+	copy(out, s)
+	out[len(s)] = x
+	return out
+}
+
+// BuildBaseAssembly creates a base assembly with the given id under parent,
+// links NumCompPerAssm random live composite parts to it, registers it in
+// the index, and appends it to the parent's children.
+func (s *Structure) BuildBaseAssembly(tx stm.Tx, r *rng.Rand, id uint64, parent *ComplexAssembly) *BaseAssembly {
+	ba := &BaseAssembly{ID: id, Super: parent}
+	ba.state = named(stm.NewCellClone(s.Space, BaseAssemblyState{BuildDate: RandomDate(r)},
+		func(st BaseAssemblyState) BaseAssemblyState {
+			st.Components = stm.CloneSlice(st.Components)
+			return st
+		}), DomainBase)
+	// Link random composite parts from the design library. Random ids may
+	// miss (the id domain has growth headroom), so retry each slot a few
+	// times; a base assembly can still end up with fewer components, which
+	// ST1-style traversals handle by failing.
+	for k := 0; k < s.P.NumCompPerAssm; k++ {
+		for try := 0; try < 4; try++ {
+			if cp, ok := s.Idx.CompositeByID.Get(tx, s.RandomCompID(r)); ok {
+				LinkCompositeToBase(tx, ba, cp)
+				break
+			}
+		}
+	}
+	s.Idx.BaseByID.Put(tx, id, ba)
+	parent.Mutate(tx, func(st *ComplexAssemblyState) {
+		st.SubBase = appendCopy(st.SubBase, ba)
+	})
+	return ba
+}
+
+// DeleteBaseAssembly unlinks ba's composite parts, removes it from its
+// parent and the index, and frees its id (SM6 semantics; the caller checks
+// the not-only-child constraint).
+func (s *Structure) DeleteBaseAssembly(tx stm.Tx, ba *BaseAssembly) {
+	for _, cp := range ba.State(tx).Components {
+		c := cp
+		c.Mutate(tx, func(st *CompositePartState) {
+			st.UsedIn = removePtr(st.UsedIn, ba)
+		})
+	}
+	ba.Super.Mutate(tx, func(st *ComplexAssemblyState) {
+		st.SubBase = removePtr(st.SubBase, ba)
+	})
+	s.Idx.BaseByID.Delete(tx, ba.ID)
+	s.FreeBaseID(tx, ba.ID)
+}
+
+// BuildComplexAssembly creates a complex assembly with the given id at the
+// given level under parent (nil for the root), registers it, and appends it
+// to the parent's children.
+func (s *Structure) BuildComplexAssembly(tx stm.Tx, r *rng.Rand, id uint64, level int, parent *ComplexAssembly) *ComplexAssembly {
+	ca := &ComplexAssembly{ID: id, Lvl: level, Super: parent}
+	ca.state = named(stm.NewCellClone(s.Space, ComplexAssemblyState{BuildDate: RandomDate(r)},
+		func(st ComplexAssemblyState) ComplexAssemblyState {
+			st.SubComplex = stm.CloneSlice(st.SubComplex)
+			st.SubBase = stm.CloneSlice(st.SubBase)
+			return st
+		}), fmt.Sprintf("%s%d", DomainComplexPfx, level))
+	s.Idx.ComplexByID.Put(tx, id, ca)
+	if parent != nil {
+		parent.Mutate(tx, func(st *ComplexAssemblyState) {
+			st.SubComplex = appendCopy(st.SubComplex, ca)
+		})
+	}
+	return ca
+}
+
+// DeleteAssemblySubtree removes ca and every descendant assembly (SM8
+// semantics; the caller checks root/only-child constraints). Composite
+// parts survive — only their usedIn links to deleted base assemblies go.
+func (s *Structure) DeleteAssemblySubtree(tx stm.Tx, ca *ComplexAssembly) {
+	st := ca.State(tx)
+	for _, sub := range st.SubComplex {
+		s.DeleteAssemblySubtree(tx, sub)
+	}
+	for _, ba := range st.SubBase {
+		s.DeleteBaseAssembly(tx, ba)
+	}
+	if ca.Super != nil {
+		ca.Super.Mutate(tx, func(ps *ComplexAssemblyState) {
+			ps.SubComplex = removePtr(ps.SubComplex, ca)
+		})
+	}
+	s.Idx.ComplexByID.Delete(tx, ca.ID)
+	s.FreeComplexID(tx, ca.ID)
+}
+
+// BuildAssemblySubtree creates a full subtree of the given height under
+// parent: a complex assembly with NumAssmPerAssm children per level, base
+// assemblies at level 1 (SM7 semantics). It returns false — failing the
+// enclosing operation — if an id pool runs dry partway (the transaction is
+// rolled back by the caller returning an error).
+func (s *Structure) BuildAssemblySubtree(tx stm.Tx, r *rng.Rand, level int, parent *ComplexAssembly) bool {
+	if level == 1 {
+		id, ok := s.AllocBaseID(tx)
+		if !ok {
+			return false
+		}
+		s.BuildBaseAssembly(tx, r, id, parent)
+		return true
+	}
+	id, ok := s.AllocComplexID(tx)
+	if !ok {
+		return false
+	}
+	ca := s.BuildComplexAssembly(tx, r, id, level, parent)
+	for i := 0; i < s.P.NumAssmPerAssm; i++ {
+		if !s.BuildAssemblySubtree(tx, r, level-1, ca) {
+			return false
+		}
+	}
+	return true
+}

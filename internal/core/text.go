@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Document and manual texts follow the OO7 convention: a repeated template
+// beginning with "I am" — which is what the text operations look for. T4
+// counts 'I' characters, T5 and ST7 swap "I am" <-> "This is", OP4 counts
+// 'I' in the manual, OP5 compares first and last characters, OP11 swaps
+// 'I' <-> 'i' in the manual.
+
+// docTemplate deliberately contains "I am" and capital 'I' characters.
+const docTemplate = "I am the documentation for composite part #%d. I describe its atomic parts and their interconnections. "
+
+// manualTemplate likewise. Its first character is 'I'.
+const manualTemplate = "I am the manual for module #%d. I list assembly instructions In tedIous detaIl. "
+
+// repeatToSize tiles template until the result is exactly size bytes.
+func repeatToSize(template string, size int) string {
+	if size <= 0 {
+		return ""
+	}
+	n := size/len(template) + 1
+	return strings.Repeat(template, n)[:size]
+}
+
+// DocumentText builds the initial text for composite part id.
+func DocumentText(id uint64, size int) string {
+	return repeatToSize(fmt.Sprintf(docTemplate, id), size)
+}
+
+// ManualText builds the initial manual text for module id.
+func ManualText(id uint64, size int) string {
+	return repeatToSize(fmt.Sprintf(manualTemplate, id), size)
+}
+
+// DocumentTitle derives the (immutable, indexed) title for the document of
+// composite part id. ST4 regenerates titles from random composite ids.
+func DocumentTitle(id uint64) string {
+	return fmt.Sprintf("Documentation for composite part #%d", id)
+}
+
+// CountChar returns the number of occurrences of c in s (T4, OP4).
+func CountChar(s string, c byte) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			n++
+		}
+	}
+	return n
+}
+
+// SwapIAm replaces every "I am" with "This is" or, if there is no "I am",
+// every "This is" with "I am". It returns the new text and the number of
+// replacements (T5, ST7).
+func SwapIAm(s string) (string, int) {
+	if n := strings.Count(s, "I am"); n > 0 {
+		return strings.ReplaceAll(s, "I am", "This is"), n
+	}
+	n := strings.Count(s, "This is")
+	return strings.ReplaceAll(s, "This is", "I am"), n
+}
+
+// SwapCase replaces every 'I' with 'i' or, if there is no 'I', every 'i'
+// with 'I'. It returns the new text and the number of changes (OP11).
+func SwapCase(s string) (string, int) {
+	if n := strings.Count(s, "I"); n > 0 {
+		return strings.ReplaceAll(s, "I", "i"), n
+	}
+	n := strings.Count(s, "i")
+	return strings.ReplaceAll(s, "i", "I"), n
+}

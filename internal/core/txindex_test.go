@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/stm"
+)
+
+// TestBuildWithTxIndexes builds a structure on transactional B-tree indexes
+// and validates it end to end, including under real STM engines.
+func TestBuildWithTxIndexes(t *testing.T) {
+	p := Tiny()
+	p.TxIndexes = true
+	for _, mk := range []func() stm.Engine{
+		func() stm.Engine { return stm.NewDirect() },
+		func() stm.Engine { return stm.NewOSTM() },
+		func() stm.Engine { return stm.NewTL2() },
+	} {
+		eng := mk()
+		s, err := Build(p, 42, eng.VarSpace())
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if err := eng.Atomic(func(tx stm.Tx) error { return s.CheckInvariants(tx) }); err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+	}
+}
+
+// TestTxIndexesMatchCellIndexes: a structure built with the same seed must
+// have identical contents under both index representations.
+func TestTxIndexesMatchCellIndexes(t *testing.T) {
+	pCell := Tiny()
+	pTx := Tiny()
+	pTx.TxIndexes = true
+
+	e1, e2 := stm.NewDirect(), stm.NewDirect()
+	s1, err := Build(pCell, 42, e1.VarSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Build(pTx, 42, e2.VarSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := func(s *Structure, eng stm.Engine) (atoms, comps, bases, complexes []uint64, docs []string) {
+		eng.Atomic(func(tx stm.Tx) error {
+			s.Idx.AtomicByID.Ascend(tx, func(id uint64, _ *AtomicPart) bool { atoms = append(atoms, id); return true })
+			s.Idx.CompositeByID.Ascend(tx, func(id uint64, _ *CompositePart) bool { comps = append(comps, id); return true })
+			s.Idx.BaseByID.Ascend(tx, func(id uint64, _ *BaseAssembly) bool { bases = append(bases, id); return true })
+			s.Idx.ComplexByID.Ascend(tx, func(id uint64, _ *ComplexAssembly) bool { complexes = append(complexes, id); return true })
+			s.Idx.DocumentByTitle.Ascend(tx, func(ti string, _ *Document) bool { docs = append(docs, ti); return true })
+			return nil
+		})
+		return
+	}
+	a1, c1, b1, x1, d1 := collect(s1, e1)
+	a2, c2, b2, x2, d2 := collect(s2, e2)
+	eq := func(name string, u, v []uint64) {
+		if len(u) != len(v) {
+			t.Fatalf("%s: %d vs %d entries", name, len(u), len(v))
+		}
+		for i := range u {
+			if u[i] != v[i] {
+				t.Fatalf("%s: diverges at %d (%d vs %d)", name, i, u[i], v[i])
+			}
+		}
+	}
+	eq("atomic", a1, a2)
+	eq("composite", c1, c2)
+	eq("base", b1, b2)
+	eq("complex", x1, x2)
+	if len(d1) != len(d2) {
+		t.Fatalf("docs: %d vs %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("docs diverge at %d", i)
+		}
+	}
+}
+
+// TestTxIndexSMOperationsPreserveInvariants hammers a TxIndexes structure
+// with creation/deletion cycles.
+func TestTxIndexSMOperationsPreserveInvariants(t *testing.T) {
+	p := Tiny()
+	p.TxIndexes = true
+	eng := stm.NewDirect()
+	s, err := Build(p, 42, eng.VarSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	eng.Atomic(func(tx stm.Tx) error {
+		for i := 0; i < 30; i++ {
+			if id, ok := s.AllocCompID(tx); ok {
+				cp := s.BuildCompositePart(tx, r, id)
+				if i%2 == 0 {
+					s.DeleteCompositePart(tx, cp)
+				}
+			}
+			if i%5 == 0 {
+				if err := s.CheckInvariants(tx); err != nil {
+					t.Fatalf("iter %d: %v", i, err)
+				}
+			}
+		}
+		return s.CheckInvariants(tx)
+	})
+}

@@ -1,0 +1,399 @@
+// Package harness is the STMBench7 benchmark driver (§2.3 and Appendix A):
+// it builds the data structure, runs a user-specified number of threads for
+// a fixed duration (or operation count), has every thread draw operations
+// from the Table 2 ratio distribution, collects per-thread measurements
+// locally, merges them at the end, and formats the Appendix-A report
+// (parameters, optional TTC histograms, detailed per-operation results,
+// sample errors, summary).
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/rng"
+	"repro/internal/sync7"
+	"repro/stm"
+)
+
+// Options configures one benchmark run. Zero values get defaults from
+// Defaults.
+type Options struct {
+	// Params sizes the data structure.
+	Params core.Params
+	// Seed makes the build and the operation streams deterministic.
+	Seed uint64
+	// Threads is the number of concurrent worker threads (-t).
+	Threads int
+	// Duration is the benchmark length (-l). Ignored when MaxOps > 0.
+	Duration time.Duration
+	// MaxOps, when positive, runs exactly MaxOps operations per thread
+	// instead of a fixed duration (used by tests and benches).
+	MaxOps int
+	// Workload is the -w workload type.
+	Workload ops.Workload
+	// LongTraversals / StructureMods correspond to --no-traversals /
+	// --no-sms (both default to enabled via Defaults).
+	LongTraversals bool
+	StructureMods  bool
+	// Reduced applies the §5 reduced operation set (Figure 6, Table 3).
+	Reduced bool
+	// Strategy is the synchronization strategy (-g): coarse, medium,
+	// ostm, tl2 or direct.
+	Strategy string
+	// CM optionally overrides OSTM's contention manager.
+	CM stm.ContentionManager
+	// CommitTimeValidationOnly disables OSTM's incremental validation
+	// (ablation).
+	CommitTimeValidationOnly bool
+	// VisibleReads switches OSTM to visible-reads mode (ablation).
+	VisibleReads bool
+	// CollectHistograms enables TTC histograms (--ttc-histograms).
+	CollectHistograms bool
+	// CheckInvariants runs the full structural invariant checker after
+	// the run and fails the run on violations.
+	CheckInvariants bool
+}
+
+// Defaults fills in unset fields: 1 thread, 1 s, read-dominated, coarse,
+// Tiny structure, everything enabled.
+func Defaults(o Options) Options {
+	if o.Params == (core.Params{}) {
+		o.Params = core.Tiny()
+	}
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	if o.Duration <= 0 && o.MaxOps <= 0 {
+		o.Duration = time.Second
+	}
+	if o.Strategy == "" {
+		o.Strategy = "coarse"
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Profile derives the operation mix from the options.
+func (o Options) Profile() ops.Profile {
+	return ops.Profile{
+		Workload:       o.Workload,
+		LongTraversals: o.LongTraversals,
+		StructureMods:  o.StructureMods,
+		Reduced:        o.Reduced,
+	}
+}
+
+// OpResult is the merged measurement for one operation type.
+type OpResult struct {
+	Name      string
+	Category  ops.Category
+	ReadOnly  bool
+	Succeeded int64
+	Failed    int64
+	MaxTTC    time.Duration
+	// Hist maps TTC in milliseconds to completion counts (successful
+	// executions only), per the Appendix-A histogram format. Nil unless
+	// CollectHistograms was set.
+	Hist map[int64]int64
+}
+
+// Attempted returns successes plus failures.
+func (r *OpResult) Attempted() int64 { return r.Succeeded + r.Failed }
+
+// Result is a completed benchmark run.
+type Result struct {
+	Options Options
+	Elapsed time.Duration
+	// PerOp holds one entry per operation enabled in the profile.
+	PerOp map[string]*OpResult
+	// Expected is the expected ratio per operation (from Table 2).
+	Expected map[string]float64
+	// EngineStats snapshots the stm engine counters (commits, aborts,
+	// validations, clones...) after the run.
+	EngineStats stm.Stats
+}
+
+// threadStats is the per-thread measurement record; merged at the end per
+// §4 ("Each thread registers locally its performance measurements").
+type threadStats struct {
+	succeeded map[string]int64
+	failed    map[string]int64
+	maxTTC    map[string]time.Duration
+	hist      map[string]map[int64]int64
+}
+
+func newThreadStats() *threadStats {
+	return &threadStats{
+		succeeded: map[string]int64{},
+		failed:    map[string]int64{},
+		maxTTC:    map[string]time.Duration{},
+		hist:      map[string]map[int64]int64{},
+	}
+}
+
+// Setup builds the executor and the data structure for the options — split
+// out so callers that run several measurements on one structure (thread
+// sweeps, benches) can reuse the build.
+func Setup(o Options) (sync7.Executor, *core.Structure, error) {
+	o = Defaults(o)
+	ex, err := sync7.New(sync7.Config{
+		Strategy:                 o.Strategy,
+		NumAssmLevels:            o.Params.NumAssmLevels,
+		CM:                       o.CM,
+		CommitTimeValidationOnly: o.CommitTimeValidationOnly,
+		VisibleReads:             o.VisibleReads,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := core.Build(o.Params, o.Seed, ex.Engine().VarSpace())
+	if err != nil {
+		return nil, nil, err
+	}
+	return ex, s, nil
+}
+
+// Run executes the benchmark.
+func Run(o Options) (*Result, error) {
+	ex, s, err := Setup(o)
+	if err != nil {
+		return nil, err
+	}
+	return RunOn(o, ex, s)
+}
+
+// RunOn executes the benchmark on a pre-built structure (callers that sweep
+// thread counts over identical structures build once per point themselves).
+func RunOn(o Options, ex sync7.Executor, s *core.Structure) (*Result, error) {
+	o = Defaults(o)
+	profile := o.Profile()
+	picker := ops.NewPicker(profile)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	perThread := make([]*threadStats, o.Threads)
+	errCh := make(chan error, o.Threads)
+
+	seedRng := rng.New(o.Seed ^ 0xb7b7b7b7)
+	threadSeeds := make([]uint64, o.Threads)
+	for i := range threadSeeds {
+		threadSeeds[i] = seedRng.Uint64()
+	}
+
+	start := time.Now()
+	for t := 0; t < o.Threads; t++ {
+		wg.Add(1)
+		perThread[t] = newThreadStats()
+		go func(t int) {
+			defer wg.Done()
+			st := perThread[t]
+			r := rng.New(threadSeeds[t])
+			for i := 0; o.MaxOps <= 0 || i < o.MaxOps; i++ {
+				if o.MaxOps <= 0 && stop.Load() {
+					return
+				}
+				op := picker.Pick(r)
+				t0 := time.Now()
+				_, err := ex.Execute(op, s, r)
+				ttc := time.Since(t0)
+				switch err {
+				case nil:
+					st.succeeded[op.Name]++
+					if ttc > st.maxTTC[op.Name] {
+						st.maxTTC[op.Name] = ttc
+					}
+					if o.CollectHistograms {
+						h := st.hist[op.Name]
+						if h == nil {
+							h = map[int64]int64{}
+							st.hist[op.Name] = h
+						}
+						h[ttc.Milliseconds()]++
+					}
+				default:
+					if err == ops.ErrFailed || err == stm.ErrAborted {
+						st.failed[op.Name]++
+					} else {
+						errCh <- fmt.Errorf("harness: %s: %w", op.Name, err)
+						return
+					}
+				}
+			}
+		}(t)
+	}
+
+	if o.MaxOps <= 0 {
+		timer := time.NewTimer(o.Duration)
+		<-timer.C
+		stop.Store(true)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	res := &Result{
+		Options:     o,
+		Elapsed:     elapsed,
+		PerOp:       map[string]*OpResult{},
+		Expected:    profile.Ratios(),
+		EngineStats: ex.Engine().Stats(),
+	}
+	for _, op := range picker.Ops() {
+		res.PerOp[op.Name] = &OpResult{Name: op.Name, Category: op.Category, ReadOnly: op.ReadOnly}
+	}
+	for _, st := range perThread {
+		for name, n := range st.succeeded {
+			res.PerOp[name].Succeeded += n
+		}
+		for name, n := range st.failed {
+			res.PerOp[name].Failed += n
+		}
+		for name, ttc := range st.maxTTC {
+			if ttc > res.PerOp[name].MaxTTC {
+				res.PerOp[name].MaxTTC = ttc
+			}
+		}
+		if o.CollectHistograms {
+			for name, h := range st.hist {
+				dst := res.PerOp[name].Hist
+				if dst == nil {
+					dst = map[int64]int64{}
+					res.PerOp[name].Hist = dst
+				}
+				for ms, n := range h {
+					dst[ms] += n
+				}
+			}
+		}
+	}
+
+	if o.CheckInvariants {
+		if err := ex.Engine().Atomic(func(tx stm.Tx) error { return s.CheckInvariants(tx) }); err != nil {
+			return nil, fmt.Errorf("harness: post-run invariant violation: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// --- aggregate views ------------------------------------------------------
+
+// TotalSucceeded is the number of operations that completed successfully.
+func (r *Result) TotalSucceeded() int64 {
+	var n int64
+	for _, op := range r.PerOp {
+		n += op.Succeeded
+	}
+	return n
+}
+
+// TotalAttempted counts successes and failures.
+func (r *Result) TotalAttempted() int64 {
+	var n int64
+	for _, op := range r.PerOp {
+		n += op.Attempted()
+	}
+	return n
+}
+
+// Throughput returns successful operations per second — the paper's primary
+// Figure 4 / Figure 6 / Table 3 metric.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.TotalSucceeded()) / r.Elapsed.Seconds()
+}
+
+// AttemptedThroughput returns attempted (successful or failed) operations
+// per second — the second summary throughput number of Appendix A.
+func (r *Result) AttemptedThroughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.TotalAttempted()) / r.Elapsed.Seconds()
+}
+
+// MaxTTC returns the maximum time-to-completion observed for the named
+// operation — the Figure 3 metric.
+func (r *Result) MaxTTC(opName string) time.Duration {
+	if op, ok := r.PerOp[opName]; ok {
+		return op.MaxTTC
+	}
+	return 0
+}
+
+// CategoryResult aggregates a category.
+type CategoryResult struct {
+	Category  ops.Category
+	Succeeded int64
+	Failed    int64
+	MaxTTC    time.Duration
+}
+
+// ByCategory aggregates results per operation category.
+func (r *Result) ByCategory() map[ops.Category]*CategoryResult {
+	out := map[ops.Category]*CategoryResult{}
+	for _, op := range r.PerOp {
+		c := out[op.Category]
+		if c == nil {
+			c = &CategoryResult{Category: op.Category}
+			out[op.Category] = c
+		}
+		c.Succeeded += op.Succeeded
+		c.Failed += op.Failed
+		if op.MaxTTC > c.MaxTTC {
+			c.MaxTTC = op.MaxTTC
+		}
+	}
+	return out
+}
+
+// SampleError is the Appendix-A per-operation sample-error record: CT is
+// the ratio derived from the benchmark parameters, RT the measured ratio of
+// successful executions, ET = |CT - RT|; AT is the measured ratio of
+// attempted executions and FT = |AT - RT|.
+type SampleError struct {
+	Name       string
+	CT, RT, ET float64
+	AT, FT     float64
+}
+
+// SampleErrors computes the per-operation sample errors and the totals
+// E = sum(ET), F = sum(FT).
+func (r *Result) SampleErrors() (perOp []SampleError, totalE, totalF float64) {
+	succ := r.TotalSucceeded()
+	att := r.TotalAttempted()
+	for _, op := range sortedOps(r) {
+		se := SampleError{Name: op.Name, CT: r.Expected[op.Name]}
+		if succ > 0 {
+			se.RT = float64(op.Succeeded) / float64(succ)
+		}
+		if att > 0 {
+			se.AT = float64(op.Attempted()) / float64(att)
+		}
+		se.ET = abs(se.CT - se.RT)
+		se.FT = abs(se.AT - se.RT)
+		perOp = append(perOp, se)
+		totalE += se.ET
+		totalF += se.FT
+	}
+	return perOp, totalE, totalF
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/ops"
+)
+
+func TestSummarizeHistogramBasics(t *testing.T) {
+	// 10 completions at 1ms, 80 at 2ms, 9 at 5ms, 1 at 100ms.
+	h := map[int64]int64{1: 10, 2: 80, 5: 9, 100: 1}
+	s := summarizeHistogram(h)
+	if s.Count != 100 {
+		t.Errorf("Count = %d, want 100", s.Count)
+	}
+	wantMean := (10*1 + 80*2 + 9*5 + 1*100) / 100.0
+	if s.MeanMs != wantMean {
+		t.Errorf("Mean = %v, want %v", s.MeanMs, wantMean)
+	}
+	if s.P50Ms != 2 {
+		t.Errorf("P50 = %v, want 2", s.P50Ms)
+	}
+	if s.P90Ms != 2 {
+		t.Errorf("P90 = %v, want 2 (rank 90 falls in the 2ms mass)", s.P90Ms)
+	}
+	if s.P99Ms != 5 {
+		t.Errorf("P99 = %v, want 5", s.P99Ms)
+	}
+	if s.MaxMs != 100 {
+		t.Errorf("Max = %v, want 100", s.MaxMs)
+	}
+	if s.ApproxMax().Milliseconds() != 100 {
+		t.Errorf("ApproxMax = %v", s.ApproxMax())
+	}
+}
+
+func TestSummarizeHistogramSingleBucket(t *testing.T) {
+	s := summarizeHistogram(map[int64]int64{0: 42})
+	if s.Count != 42 || s.MeanMs != 0 || s.P50Ms != 0 || s.P99Ms != 0 || s.MaxMs != 0 {
+		t.Errorf("single-bucket summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeHistogramEmpty(t *testing.T) {
+	if s := summarizeHistogram(map[int64]int64{}); s.Count != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	if s := summarizeHistogram(map[int64]int64{3: 0}); s.Count != 0 {
+		t.Errorf("zero-mass summary = %+v", s)
+	}
+}
+
+func TestPercentileMonotonicity(t *testing.T) {
+	h := map[int64]int64{}
+	for i := int64(0); i < 50; i++ {
+		h[i] = i + 1
+	}
+	s := summarizeHistogram(h)
+	if !(s.P50Ms <= s.P90Ms && s.P90Ms <= s.P99Ms && s.P99Ms <= float64(s.MaxMs)) {
+		t.Errorf("percentiles not monotone: %+v", s)
+	}
+}
+
+func TestResultLatency(t *testing.T) {
+	o := baseOpts()
+	o.CollectHistograms = true
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for name, op := range res.PerOp {
+		if op.Succeeded == 0 {
+			continue
+		}
+		s, ok := res.Latency(name)
+		if !ok {
+			t.Errorf("%s: no latency summary despite %d successes", name, op.Succeeded)
+			continue
+		}
+		found = true
+		if s.Count != op.Succeeded {
+			t.Errorf("%s: summary count %d != successes %d", name, s.Count, op.Succeeded)
+		}
+		if float64(op.MaxTTC.Milliseconds()) < float64(s.MaxMs) {
+			t.Errorf("%s: summary max %dms exceeds recorded MaxTTC %v", name, s.MaxMs, op.MaxTTC)
+		}
+	}
+	if !found {
+		t.Error("no operation had a latency summary")
+	}
+	if _, ok := res.Latency("NOPE"); ok {
+		t.Error("Latency(NOPE) returned ok")
+	}
+}
+
+func TestResultLatencyWithoutHistograms(t *testing.T) {
+	res, err := Run(baseOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Latency("OP1"); ok {
+		t.Error("latency summary present without CollectHistograms")
+	}
+}
+
+func TestCategoryLatency(t *testing.T) {
+	o := baseOpts()
+	o.CollectHistograms = true
+	o.MaxOps = 200
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := res.CategoryLatency(ops.ShortOperation)
+	if !ok {
+		t.Fatal("no category summary for short operations")
+	}
+	var want int64
+	for _, op := range res.PerOp {
+		if op.Category == ops.ShortOperation {
+			want += op.Succeeded
+		}
+	}
+	if s.Count != want {
+		t.Errorf("category count = %d, want %d", s.Count, want)
+	}
+}

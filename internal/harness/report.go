@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/ops"
+)
+
+// sortedOps returns the per-op results in canonical (registry) order.
+func sortedOps(r *Result) []*OpResult {
+	var out []*OpResult
+	for _, op := range ops.All() {
+		if res, ok := r.PerOp[op.Name]; ok {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// WriteReport prints the Appendix-A report: benchmark parameters, optional
+// TTC histograms, detailed per-operation results, sample errors and the
+// summary (per-category counts, totals, the two throughput numbers and the
+// elapsed time).
+func WriteReport(w io.Writer, r *Result) {
+	o := r.Options
+
+	fmt.Fprintln(w, "Benchmark parameters")
+	fmt.Fprintf(w, "  threads:              %d\n", o.Threads)
+	if o.MaxOps > 0 {
+		fmt.Fprintf(w, "  length:               %d ops/thread\n", o.MaxOps)
+	} else {
+		fmt.Fprintf(w, "  length:               %v\n", o.Duration)
+	}
+	fmt.Fprintf(w, "  workload:             %v\n", o.Workload)
+	fmt.Fprintf(w, "  synchronization:      %s\n", o.Strategy)
+	fmt.Fprintf(w, "  long traversals:      %v\n", o.LongTraversals)
+	fmt.Fprintf(w, "  structure mods:       %v\n", o.StructureMods)
+	fmt.Fprintf(w, "  reduced op set:       %v\n", o.Reduced)
+	fmt.Fprintf(w, "  structure:            %d composite parts x %d atomic parts, %d assembly levels\n",
+		o.Params.NumCompParts, o.Params.NumAtomicPerComp, o.Params.NumAssmLevels)
+	fmt.Fprintf(w, "  seed:                 %d\n", o.Seed)
+	fmt.Fprintln(w)
+
+	if o.CollectHistograms {
+		fmt.Fprintln(w, "TTC histograms")
+		for _, op := range sortedOps(r) {
+			if len(op.Hist) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "TTC histogram for %s:", op.Name)
+			keys := make([]int64, 0, len(op.Hist))
+			for ms := range op.Hist {
+				keys = append(keys, ms)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			for _, ms := range keys {
+				fmt.Fprintf(w, " %d,%d", ms, op.Hist[ms])
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintln(w, "Detailed results")
+	if o.CollectHistograms {
+		fmt.Fprintf(w, "  %-6s %12s %14s %10s %10s %10s %10s\n",
+			"op", "succeeded", "max ttc [ms]", "failed", "p50 [ms]", "p90 [ms]", "p99 [ms]")
+		for _, op := range sortedOps(r) {
+			s, ok := r.Latency(op.Name)
+			if !ok {
+				fmt.Fprintf(w, "  %-6s %12d %14.3f %10d\n",
+					op.Name, op.Succeeded, float64(op.MaxTTC.Microseconds())/1000.0, op.Failed)
+				continue
+			}
+			fmt.Fprintf(w, "  %-6s %12d %14.3f %10d %10.0f %10.0f %10.0f\n",
+				op.Name, op.Succeeded, float64(op.MaxTTC.Microseconds())/1000.0, op.Failed,
+				s.P50Ms, s.P90Ms, s.P99Ms)
+		}
+	} else {
+		fmt.Fprintf(w, "  %-6s %12s %14s %10s\n", "op", "succeeded", "max ttc [ms]", "failed")
+		for _, op := range sortedOps(r) {
+			fmt.Fprintf(w, "  %-6s %12d %14.3f %10d\n",
+				op.Name, op.Succeeded, float64(op.MaxTTC.Microseconds())/1000.0, op.Failed)
+		}
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Sample errors")
+	fmt.Fprintf(w, "  %-6s %8s %8s %8s %8s %8s\n", "op", "C_T", "R_T", "E_T", "A_T", "F_T")
+	perOp, totalE, totalF := r.SampleErrors()
+	for _, se := range perOp {
+		fmt.Fprintf(w, "  %-6s %8.4f %8.4f %8.4f %8.4f %8.4f\n", se.Name, se.CT, se.RT, se.ET, se.AT, se.FT)
+	}
+	fmt.Fprintf(w, "  total sample errors: E = %.4f, F = %.4f\n", totalE, totalF)
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Summary results")
+	cats := r.ByCategory()
+	for _, cat := range []ops.Category{ops.LongTraversal, ops.ShortTraversal, ops.ShortOperation, ops.StructureModification} {
+		c, ok := cats[cat]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "  %-24s succeeded %10d  max ttc %10.3f ms  failed %8d  started %10d\n",
+			cat.String()+":", c.Succeeded, float64(c.MaxTTC.Microseconds())/1000.0, c.Failed, c.Succeeded+c.Failed)
+	}
+	fmt.Fprintf(w, "  total throughput:     %10.1f ops/s (successful), %10.1f ops/s (attempted)\n",
+		r.Throughput(), r.AttemptedThroughput())
+	fmt.Fprintf(w, "  elapsed time:         %10.3f s\n", r.Elapsed.Seconds())
+
+	es := r.EngineStats
+	if es.Attempts() > 0 && o.Strategy != "coarse" && o.Strategy != "medium" && o.Strategy != "direct" {
+		fmt.Fprintf(w, "  stm: commits %d, conflict aborts %d (%.1f%%), validations %d, clones %d, enemy aborts %d\n",
+			es.Commits, es.ConflictAborts, 100*es.AbortRate(), es.Validations, es.Clones, es.EnemyAborts)
+	}
+}

@@ -1,0 +1,116 @@
+package ops
+
+import (
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/stm"
+)
+
+// forEachBaseAssembly walks the assembly tree depth-first and calls fn for
+// every base assembly.
+func forEachBaseAssembly(tx stm.Tx, root *core.ComplexAssembly, fn func(*core.BaseAssembly)) {
+	st := root.State(tx)
+	for _, sub := range st.SubComplex {
+		forEachBaseAssembly(tx, sub, fn)
+	}
+	for _, ba := range st.SubBase {
+		fn(ba)
+	}
+}
+
+// graphDFS visits every atomic part reachable from rootPart along outgoing
+// connections (the builder's ring edge guarantees that is the whole graph)
+// and calls fn once per part. It returns the number of parts visited.
+func graphDFS(rootPart *core.AtomicPart, fn func(*core.AtomicPart)) int {
+	seen := map[*core.AtomicPart]bool{rootPart: true}
+	stack := []*core.AtomicPart{rootPart}
+	visited := 0
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visited++
+		fn(p)
+		for _, c := range p.To {
+			if !seen[c.To] {
+				seen[c.To] = true
+				stack = append(stack, c.To)
+			}
+		}
+	}
+	return visited
+}
+
+// readAtomicPart is the canonical "read-only operation on an atomic part":
+// it reads the part's state and folds it into a checksum so the compiler
+// cannot elide the access.
+func readAtomicPart(tx stm.Tx, p *core.AtomicPart, sink *int) {
+	st := p.State(tx)
+	*sink += st.X + st.Y + st.BuildDate
+}
+
+// toggleAssemblyDate is the non-indexed assembly update (ST8, OP12, OP13):
+// nudge buildDate parity, staying in [MinDate, MaxDate]. Assembly dates are
+// not indexed, so no index maintenance is involved.
+func toggleDate(d int) int {
+	nd := d + 1
+	if d%2 != 0 || nd > core.MaxDate {
+		nd = d - 1
+	}
+	if nd < core.MinDate {
+		nd = d + 1
+	}
+	return nd
+}
+
+// randomSubPath descends one random step from a complex assembly: it
+// returns a random child (complex or base). Used by ST1/ST2/ST6/ST7/ST9/ST10.
+func randomChild(tx stm.Tx, ca *core.ComplexAssembly, r *rng.Rand) (nextComplex *core.ComplexAssembly, base *core.BaseAssembly) {
+	st := ca.State(tx)
+	if len(st.SubComplex) > 0 {
+		return st.SubComplex[r.Intn(len(st.SubComplex))], nil
+	}
+	if len(st.SubBase) > 0 {
+		return nil, st.SubBase[r.Intn(len(st.SubBase))]
+	}
+	return nil, nil
+}
+
+// descendToComposite walks a random path module -> ... -> base assembly ->
+// composite part. It fails (returns nil) when it lands on a base assembly
+// with no descendant composite parts, per the ST1/ST2 failure rule.
+func descendToComposite(tx stm.Tx, s *core.Structure, r *rng.Rand) *core.CompositePart {
+	ca := s.Module.DesignRoot
+	for {
+		sub, base := randomChild(tx, ca, r)
+		if base != nil {
+			comps := base.State(tx).Components
+			if len(comps) == 0 {
+				return nil
+			}
+			return comps[r.Intn(len(comps))]
+		}
+		if sub == nil {
+			return nil // defensively: malformed tree
+		}
+		ca = sub
+	}
+}
+
+// ascendantComplexAssemblies walks from each base assembly in bas up to the
+// root, visiting every complex assembly at most once, and calls fn per
+// newly visited assembly. Returns the number visited. (ST3/ST8 semantics.)
+func ascendantComplexAssemblies(bas []*core.BaseAssembly, fn func(*core.ComplexAssembly)) int {
+	seen := map[*core.ComplexAssembly]bool{}
+	count := 0
+	for _, ba := range bas {
+		for ca := ba.Super; ca != nil; ca = ca.Super {
+			if seen[ca] {
+				break // everything above is visited too
+			}
+			seen[ca] = true
+			count++
+			fn(ca)
+		}
+	}
+	return count
+}

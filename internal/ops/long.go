@@ -1,0 +1,214 @@
+package ops
+
+import (
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/stm"
+)
+
+// Long traversals (Appendix B.2.1). All originate from OO7 traversals and
+// queries; none can fail.
+//
+// Like OO7, the traversal is per path: the design library is shared, so a
+// composite part used by several base assemblies is traversed once per
+// using assembly, and the returned visit counts include those repeats.
+
+// t1Like implements the T1/T2/T3/T6 family: a full depth-first traversal of
+// the assembly tree down to the atomic-part graphs. onPart is invoked per
+// atomic part visited with isRoot set for each graph's root part; when
+// rootOnly is set only root parts are visited. Returns the number of
+// atomic-part visits.
+func t1Like(tx stm.Tx, s *core.Structure, rootOnly bool, onPart func(tx stm.Tx, p *core.AtomicPart, isRoot bool, sink *int)) int {
+	visited := 0
+	sink := 0
+	forEachBaseAssembly(tx, s.Module.DesignRoot, func(ba *core.BaseAssembly) {
+		for _, cp := range ba.State(tx).Components {
+			if rootOnly {
+				visited++
+				onPart(tx, cp.RootPart, true, &sink)
+				continue
+			}
+			root := cp.RootPart
+			visited += graphDFS(root, func(p *core.AtomicPart) {
+				onPart(tx, p, p == root, &sink)
+			})
+		}
+	})
+	return visited
+}
+
+// readPart adapts readAtomicPart to the t1Like callback shape.
+func readPart(tx stm.Tx, p *core.AtomicPart, isRoot bool, sink *int) {
+	readAtomicPart(tx, p, sink)
+}
+
+func init() {
+	// T1: full read-only traversal; returns atomic parts visited.
+	register(&Op{
+		Name: "T1", Category: LongTraversal, ReadOnly: true,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			return t1Like(tx, s, false, readPart), nil
+		},
+	})
+
+	// T2a: like T1 but swaps x/y on each root atomic part.
+	register(&Op{
+		Name: "T2a", Category: LongTraversal, ReadOnly: false,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			return t1Like(tx, s, false, func(tx stm.Tx, p *core.AtomicPart, isRoot bool, sink *int) {
+				if isRoot {
+					p.SwapXY(tx)
+				} else {
+					readAtomicPart(tx, p, sink)
+				}
+			}), nil
+		},
+	})
+
+	// T2b: like T1 but swaps x/y on EVERY atomic part.
+	register(&Op{
+		Name: "T2b", Category: LongTraversal, ReadOnly: false,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			return t1Like(tx, s, false, func(tx stm.Tx, p *core.AtomicPart, isRoot bool, sink *int) {
+				p.SwapXY(tx)
+			}), nil
+		},
+	})
+
+	// T2c: like T2b but each update is performed 4 times, one by one.
+	register(&Op{
+		Name: "T2c", Category: LongTraversal, ReadOnly: false,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			return t1Like(tx, s, false, func(tx stm.Tx, p *core.AtomicPart, isRoot bool, sink *int) {
+				for k := 0; k < 4; k++ {
+					p.SwapXY(tx)
+				}
+			}), nil
+		},
+	})
+
+	// T3a: like T1 but updates the INDEXED buildDate of each root part.
+	register(&Op{
+		Name: "T3a", Category: LongTraversal, ReadOnly: false,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			return t1Like(tx, s, false, func(tx stm.Tx, p *core.AtomicPart, isRoot bool, sink *int) {
+				if isRoot {
+					s.ToggleAtomicDate(tx, p)
+				} else {
+					readAtomicPart(tx, p, sink)
+				}
+			}), nil
+		},
+	})
+
+	// T3b: indexed buildDate update on every atomic part.
+	register(&Op{
+		Name: "T3b", Category: LongTraversal, ReadOnly: false,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			return t1Like(tx, s, false, func(tx stm.Tx, p *core.AtomicPart, isRoot bool, sink *int) {
+				s.ToggleAtomicDate(tx, p)
+			}), nil
+		},
+	})
+
+	// T3c: like T3b, 4 updates per part.
+	register(&Op{
+		Name: "T3c", Category: LongTraversal, ReadOnly: false,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			return t1Like(tx, s, false, func(tx stm.Tx, p *core.AtomicPart, isRoot bool, sink *int) {
+				for k := 0; k < 4; k++ {
+					s.ToggleAtomicDate(tx, p)
+				}
+			}), nil
+		},
+	})
+
+	// T4: traversal down to documents; counts 'I' characters.
+	register(&Op{
+		Name: "T4", Category: LongTraversal, ReadOnly: true,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			total := 0
+			forEachBaseAssembly(tx, s.Module.DesignRoot, func(ba *core.BaseAssembly) {
+				for _, cp := range ba.State(tx).Components {
+					total += core.CountChar(cp.Doc.Text(tx), 'I')
+				}
+			})
+			return total, nil
+		},
+	})
+
+	// T5: like T4 but swaps "I am" <-> "This is" in each document; returns
+	// the number of replaced substrings.
+	register(&Op{
+		Name: "T5", Category: LongTraversal, ReadOnly: false,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			total := 0
+			forEachBaseAssembly(tx, s.Module.DesignRoot, func(ba *core.BaseAssembly) {
+				for _, cp := range ba.State(tx).Components {
+					nt, n := core.SwapIAm(cp.Doc.Text(tx))
+					cp.Doc.SetText(tx, nt)
+					total += n
+				}
+			})
+			return total, nil
+		},
+	})
+
+	// T6: like T1 but visits only the root atomic part of each graph.
+	register(&Op{
+		Name: "T6", Category: LongTraversal, ReadOnly: true,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			return t1Like(tx, s, true, readPart), nil
+		},
+	})
+
+	// Q6: find complex assemblies that are ascendants of a base assembly
+	// whose buildDate is lower than that of one of its composite parts.
+	register(&Op{
+		Name: "Q6", Category: LongTraversal, ReadOnly: true,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			matched := 0
+			sink := 0
+			var walk func(ca *core.ComplexAssembly) bool
+			walk = func(ca *core.ComplexAssembly) bool {
+				st := ca.State(tx)
+				hit := false
+				for _, sub := range st.SubComplex {
+					if walk(sub) {
+						hit = true
+					}
+				}
+				for _, ba := range st.SubBase {
+					baDate := ba.BuildDate(tx)
+					for _, cp := range ba.State(tx).Components {
+						if baDate < cp.BuildDate(tx) {
+							hit = true
+							break
+						}
+					}
+				}
+				if hit {
+					matched++
+					sink += st.BuildDate // the read-only operation
+				}
+				return hit
+			}
+			walk(s.Module.DesignRoot)
+			return matched, nil
+		},
+	})
+
+	// Q7: iterate over ALL atomic parts using the id index.
+	register(&Op{
+		Name: "Q7", Category: LongTraversal, ReadOnly: true,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			count, sink := 0, 0
+			s.Idx.AtomicByID.Ascend(tx, func(_ uint64, p *core.AtomicPart) bool {
+				count++
+				readAtomicPart(tx, p, &sink)
+				return true
+			})
+			return count, nil
+		},
+	})
+}

@@ -1,0 +1,198 @@
+package ops
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func sumByCategory(ratios map[string]float64) map[Category]float64 {
+	out := map[Category]float64{}
+	for name, p := range ratios {
+		op, _ := ByName(name)
+		out[op.Category] += p
+	}
+	return out
+}
+
+func sumReadOnly(ratios map[string]float64) float64 {
+	ro := 0.0
+	for name, p := range ratios {
+		op, _ := ByName(name)
+		if op.ReadOnly {
+			ro += p
+		}
+	}
+	return ro
+}
+
+func TestRatiosFullProfileTable2(t *testing.T) {
+	p := Profile{Workload: ReadDominated, LongTraversals: true, StructureMods: true}
+	ratios := p.Ratios()
+	total := 0.0
+	for _, v := range ratios {
+		total += v
+	}
+	if !almost(total, 1.0) {
+		t.Fatalf("ratios sum to %v, want 1", total)
+	}
+	cats := sumByCategory(ratios)
+	// Table 2 bottom: LT 5%, ST 40%, OP 45%, SM 10%.
+	if !almost(cats[LongTraversal], 0.05) {
+		t.Errorf("LT share = %v, want 0.05", cats[LongTraversal])
+	}
+	if !almost(cats[ShortTraversal], 0.40) {
+		t.Errorf("ST share = %v, want 0.40", cats[ShortTraversal])
+	}
+	if !almost(cats[ShortOperation], 0.45) {
+		t.Errorf("OP share = %v, want 0.45", cats[ShortOperation])
+	}
+	if !almost(cats[StructureModification], 0.10) {
+		t.Errorf("SM share = %v, want 0.10", cats[StructureModification])
+	}
+	// Read-only share within traversal/operation categories: 90% of the
+	// 0.90 share applies per category; SMs are all updates, so the global
+	// read-only share is 0.9 * 0.9 = 0.81.
+	if ro := sumReadOnly(ratios); !almost(ro, 0.81) {
+		t.Errorf("read-only share = %v, want 0.81", ro)
+	}
+	// Equal shares within a (category, kind) bucket.
+	if !almost(ratios["T1"], ratios["T4"]) || !almost(ratios["T2a"], ratios["T5"]) {
+		t.Error("long traversals within a kind must share equally")
+	}
+	if !almost(ratios["SM1"], 0.10/8) {
+		t.Errorf("SM1 = %v, want %v", ratios["SM1"], 0.10/8)
+	}
+}
+
+func TestRatiosWorkloadSplits(t *testing.T) {
+	for _, tc := range []struct {
+		w    Workload
+		want float64 // global read-only share with all categories enabled
+	}{
+		{ReadDominated, 0.90 * 0.90},
+		{ReadWrite, 0.90 * 0.60},
+		{WriteDominated, 0.90 * 0.10},
+	} {
+		p := Profile{Workload: tc.w, LongTraversals: true, StructureMods: true}
+		if ro := sumReadOnly(p.Ratios()); !almost(ro, tc.want) {
+			t.Errorf("%v: read-only share = %v, want %v", tc.w, ro, tc.want)
+		}
+	}
+}
+
+func TestRatiosNoTraversals(t *testing.T) {
+	p := Profile{Workload: ReadWrite, LongTraversals: false, StructureMods: true}
+	ratios := p.Ratios()
+	cats := sumByCategory(ratios)
+	if cats[LongTraversal] != 0 {
+		t.Error("long traversals present despite being disabled")
+	}
+	// Remaining shares renormalized over 0.95.
+	if !almost(cats[ShortTraversal], 0.40/0.95) {
+		t.Errorf("ST share = %v, want %v", cats[ShortTraversal], 0.40/0.95)
+	}
+	if !almost(cats[StructureModification], 0.10/0.95) {
+		t.Errorf("SM share = %v, want %v", cats[StructureModification], 0.10/0.95)
+	}
+}
+
+func TestRatiosNoSMs(t *testing.T) {
+	p := Profile{Workload: ReadWrite, LongTraversals: true, StructureMods: false}
+	ratios := p.Ratios()
+	cats := sumByCategory(ratios)
+	if cats[StructureModification] != 0 {
+		t.Error("SMs present despite being disabled")
+	}
+	if !almost(cats[LongTraversal], 0.05/0.90) {
+		t.Errorf("LT share = %v, want %v", cats[LongTraversal], 0.05/0.90)
+	}
+}
+
+func TestReducedProfile(t *testing.T) {
+	p := Profile{Workload: ReadDominated, LongTraversals: true, StructureMods: true, Reduced: true}
+	ratios := p.Ratios()
+	for name := range ratios {
+		op, _ := ByName(name)
+		if op.Category == LongTraversal {
+			t.Errorf("reduced profile includes long traversal %s", name)
+		}
+		if ReducedExclusions[name] {
+			t.Errorf("reduced profile includes excluded op %s", name)
+		}
+	}
+	total := 0.0
+	for _, v := range ratios {
+		total += v
+	}
+	if !almost(total, 1.0) {
+		t.Errorf("reduced ratios sum to %v", total)
+	}
+	// SM3..SM8 stay enabled.
+	for _, name := range []string{"SM3", "SM4", "SM5", "SM6", "SM7", "SM8"} {
+		if _, ok := ratios[name]; !ok {
+			t.Errorf("reduced profile lost %s", name)
+		}
+	}
+}
+
+func TestParseWorkload(t *testing.T) {
+	cases := map[string]Workload{
+		"r": ReadDominated, "rw": ReadWrite, "w": WriteDominated,
+		"read-dominated": ReadDominated, "read-write": ReadWrite, "write-dominated": WriteDominated,
+	}
+	for in, want := range cases {
+		got, err := ParseWorkload(in)
+		if err != nil || got != want {
+			t.Errorf("ParseWorkload(%q) = %v,%v", in, got, err)
+		}
+	}
+	if _, err := ParseWorkload("x"); err == nil {
+		t.Error("ParseWorkload(x) should fail")
+	}
+	if ReadDominated.String() != "read-dominated" || Workload(9).String() != "unknown" {
+		t.Error("Workload.String broken")
+	}
+}
+
+func TestPickerDistribution(t *testing.T) {
+	p := Profile{Workload: ReadDominated, LongTraversals: true, StructureMods: true}
+	ratios := p.Ratios()
+	pk := NewPicker(p)
+	r := rng.New(5)
+	const draws = 200000
+	counts := map[string]int{}
+	for i := 0; i < draws; i++ {
+		counts[pk.Pick(r).Name]++
+	}
+	for name, want := range ratios {
+		got := float64(counts[name]) / draws
+		if math.Abs(got-want) > 0.01+want*0.25 {
+			t.Errorf("%s: empirical %v vs expected %v", name, got, want)
+		}
+	}
+}
+
+func TestPickerDeterministicOrder(t *testing.T) {
+	p := DefaultProfile()
+	a, b := NewPicker(p), NewPicker(p)
+	oa, ob := a.Ops(), b.Ops()
+	if len(oa) != len(ob) {
+		t.Fatal("picker op sets differ")
+	}
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatalf("picker order differs at %d", i)
+		}
+	}
+	// Same seed, same sequence.
+	ra, rb := rng.New(1), rng.New(1)
+	for i := 0; i < 1000; i++ {
+		if a.Pick(ra) != b.Pick(rb) {
+			t.Fatalf("pick sequence diverged at %d", i)
+		}
+	}
+}

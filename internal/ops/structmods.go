@@ -1,0 +1,164 @@
+package ops
+
+import (
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/stm"
+)
+
+// Structure modification operations (Appendix B.2.4). All checks that can
+// fail an operation run before its first write, so the pass-through engine
+// (lock strategies) never sees partial modifications.
+
+func init() {
+	// SM1: create a composite part (document + atomic-part graph) and add
+	// it to the design library without linking it to any base assembly.
+	// Fails when the composite-part cap is reached.
+	register(&Op{
+		Name: "SM1", Category: StructureModification, ReadOnly: false,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			if s.AvailableCompIDs(tx) < 1 {
+				return 0, ErrFailed
+			}
+			id, ok := s.AllocCompID(tx)
+			if !ok {
+				return 0, ErrFailed
+			}
+			s.BuildCompositePart(tx, r, id)
+			return int(id), nil
+		},
+	})
+
+	// SM2: delete the composite part with a random id, its document and
+	// its atomic-part graph. Fails on an id miss.
+	register(&Op{
+		Name: "SM2", Category: StructureModification, ReadOnly: false,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			cp, ok := s.LookupComposite(tx, s.RandomCompID(r))
+			if !ok {
+				return 0, ErrFailed
+			}
+			s.DeleteCompositePart(tx, cp)
+			return 1, nil
+		},
+	})
+
+	// SM3: link a random base assembly to a random composite part. Fails
+	// when either id misses.
+	register(&Op{
+		Name: "SM3", Category: StructureModification, ReadOnly: false,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			ba, ok := s.LookupBase(tx, s.RandomBaseID(r))
+			if !ok {
+				return 0, ErrFailed
+			}
+			cp, ok := s.LookupComposite(tx, s.RandomCompID(r))
+			if !ok {
+				return 0, ErrFailed
+			}
+			core.LinkCompositeToBase(tx, ba, cp)
+			return 1, nil
+		},
+	})
+
+	// SM4: delete a randomly chosen link between a random base assembly
+	// and one of its composite parts. Fails on an id miss or when the base
+	// assembly has no components to unlink.
+	register(&Op{
+		Name: "SM4", Category: StructureModification, ReadOnly: false,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			ba, ok := s.LookupBase(tx, s.RandomBaseID(r))
+			if !ok {
+				return 0, ErrFailed
+			}
+			comps := ba.State(tx).Components
+			if len(comps) == 0 {
+				return 0, ErrFailed
+			}
+			core.UnlinkCompositeFromBase(tx, ba, comps[r.Intn(len(comps))])
+			return 1, nil
+		},
+	})
+
+	// SM5: create a base assembly as a sibling of a random existing one.
+	// Fails on an id miss or at the base-assembly cap.
+	register(&Op{
+		Name: "SM5", Category: StructureModification, ReadOnly: false,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			ba, ok := s.LookupBase(tx, s.RandomBaseID(r))
+			if !ok {
+				return 0, ErrFailed
+			}
+			if s.AvailableBaseIDs(tx) < 1 {
+				return 0, ErrFailed
+			}
+			id, ok := s.AllocBaseID(tx)
+			if !ok {
+				return 0, ErrFailed
+			}
+			s.BuildBaseAssembly(tx, r, id, ba.Super)
+			return int(id), nil
+		},
+	})
+
+	// SM6: delete the base assembly with a random id. Fails on an id miss
+	// or when it is the only child of its parent (the structure must not
+	// degenerate).
+	register(&Op{
+		Name: "SM6", Category: StructureModification, ReadOnly: false,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			ba, ok := s.LookupBase(tx, s.RandomBaseID(r))
+			if !ok {
+				return 0, ErrFailed
+			}
+			if len(ba.Super.State(tx).SubBase) <= 1 {
+				return 0, ErrFailed
+			}
+			s.DeleteBaseAssembly(tx, ba)
+			return 1, nil
+		},
+	})
+
+	// SM7: add a full assembly subtree of height k-1 under a random
+	// complex assembly at level k. Fails on an id miss or if either id
+	// pool cannot supply the whole subtree (checked up front).
+	register(&Op{
+		Name: "SM7", Category: StructureModification, ReadOnly: false,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			ca, ok := s.LookupComplex(tx, s.RandomComplexID(r))
+			if !ok {
+				return 0, ErrFailed
+			}
+			needC, needB := s.P.SubtreeIDNeeds(ca.Lvl - 1)
+			if s.AvailableComplexIDs(tx) < needC || s.AvailableBaseIDs(tx) < needB {
+				return 0, ErrFailed
+			}
+			if !s.BuildAssemblySubtree(tx, r, ca.Lvl-1, ca) {
+				// Unreachable given the pre-check; kept as defense.
+				return 0, ErrFailed
+			}
+			return needC + needB, nil
+		},
+	})
+
+	// SM8: delete the whole assembly subtree rooted at a random complex
+	// assembly. Fails on an id miss, on the root, or when the assembly is
+	// the only child of its parent.
+	register(&Op{
+		Name: "SM8", Category: StructureModification, ReadOnly: false,
+		Run: func(tx stm.Tx, s *core.Structure, r *rng.Rand) (int, error) {
+			ca, ok := s.LookupComplex(tx, s.RandomComplexID(r))
+			if !ok {
+				return 0, ErrFailed
+			}
+			if ca.Super == nil {
+				return 0, ErrFailed
+			}
+			if len(ca.Super.State(tx).SubComplex) <= 1 {
+				return 0, ErrFailed
+			}
+			s.DeleteAssemblySubtree(tx, ca)
+			return 1, nil
+		},
+	})
+}

@@ -1,0 +1,235 @@
+package ops
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/stm"
+)
+
+// liveCounts returns (composites, bases, complexes).
+func liveCounts(t testing.TB, eng stm.Engine, s *core.Structure) (int, int, int) {
+	t.Helper()
+	var c, b, x int
+	eng.Atomic(func(tx stm.Tx) error {
+		c = s.Idx.CompositeByID.Len(tx)
+		b = s.Idx.BaseByID.Len(tx)
+		x = s.Idx.ComplexByID.Len(tx)
+		return nil
+	})
+	return c, b, x
+}
+
+func TestSM1CreatesComposite(t *testing.T) {
+	s, eng := newTiny(t)
+	c0, _, _ := liveCounts(t, eng, s)
+	id := mustRun(t, eng, s, "SM1", 1)
+	c1, _, _ := liveCounts(t, eng, s)
+	if c1 != c0+1 {
+		t.Errorf("composites %d -> %d, want +1", c0, c1)
+	}
+	eng.Atomic(func(tx stm.Tx) error {
+		cp, ok := s.LookupComposite(tx, uint64(id))
+		if !ok {
+			t.Fatalf("new composite %d not indexed", id)
+		}
+		if len(cp.State(tx).UsedIn) != 0 {
+			t.Error("SM1 must not link the new part to any base assembly")
+		}
+		return nil
+	})
+	checkInvariants(t, eng, s)
+}
+
+func TestSM1FailsAtCap(t *testing.T) {
+	s, eng := newTiny(t)
+	// Fill the pool to the cap.
+	for {
+		op, _ := ByName("SM1")
+		if _, err := run(t, eng, s, op, 1); err != nil {
+			break
+		}
+	}
+	c, _, _ := liveCounts(t, eng, s)
+	if uint64(c) != s.P.MaxCompParts() {
+		t.Errorf("filled to %d, cap %d", c, s.P.MaxCompParts())
+	}
+	checkInvariants(t, eng, s)
+}
+
+func TestSM2DeletesComposite(t *testing.T) {
+	s, eng := newTiny(t)
+	c0, _, _ := liveCounts(t, eng, s)
+	_, _ = runUntil(t, eng, s, "SM2", false, 100)
+	c1, _, _ := liveCounts(t, eng, s)
+	if c1 != c0-1 {
+		t.Errorf("composites %d -> %d, want -1", c0, c1)
+	}
+	checkInvariants(t, eng, s)
+	// Failure on id miss.
+	runUntil(t, eng, s, "SM2", true, 400)
+}
+
+func TestSM3LinksAndSM4Unlinks(t *testing.T) {
+	s, eng := newTiny(t)
+	totalLinks := func() int {
+		n := 0
+		eng.Atomic(func(tx stm.Tx) error {
+			s.Idx.BaseByID.Ascend(tx, func(_ uint64, ba *core.BaseAssembly) bool {
+				n += len(ba.State(tx).Components)
+				return true
+			})
+			return nil
+		})
+		return n
+	}
+	l0 := totalLinks()
+	runUntil(t, eng, s, "SM3", false, 200)
+	if got := totalLinks(); got != l0+1 {
+		t.Errorf("links %d -> %d after SM3, want +1", l0, got)
+	}
+	checkInvariants(t, eng, s)
+	runUntil(t, eng, s, "SM4", false, 200)
+	if got := totalLinks(); got != l0 {
+		t.Errorf("links after SM4 = %d, want %d", got, l0)
+	}
+	checkInvariants(t, eng, s)
+}
+
+func TestSM5AddsSibling(t *testing.T) {
+	s, eng := newTiny(t)
+	_, b0, _ := liveCounts(t, eng, s)
+	id, _ := runUntil(t, eng, s, "SM5", false, 200)
+	_, b1, _ := liveCounts(t, eng, s)
+	if b1 != b0+1 {
+		t.Errorf("bases %d -> %d, want +1", b0, b1)
+	}
+	eng.Atomic(func(tx stm.Tx) error {
+		ba, ok := s.LookupBase(tx, uint64(id))
+		if !ok {
+			t.Fatalf("new base %d not indexed", id)
+		}
+		if ba.Super == nil || ba.Super.Lvl != 2 {
+			t.Error("new base not under a level-2 parent")
+		}
+		return nil
+	})
+	checkInvariants(t, eng, s)
+}
+
+func TestSM6DeletesBase(t *testing.T) {
+	s, eng := newTiny(t)
+	_, b0, _ := liveCounts(t, eng, s)
+	runUntil(t, eng, s, "SM6", false, 200)
+	_, b1, _ := liveCounts(t, eng, s)
+	if b1 != b0-1 {
+		t.Errorf("bases %d -> %d, want -1", b0, b1)
+	}
+	checkInvariants(t, eng, s)
+}
+
+func TestSM6OnlyChildConstraint(t *testing.T) {
+	s, eng := newTiny(t)
+	// Delete bases under one parent until one remains; then every SM6
+	// draw hitting that parent's last child must fail.
+	eng.Atomic(func(tx stm.Tx) error {
+		var parent *core.ComplexAssembly
+		s.Idx.ComplexByID.Ascend(tx, func(_ uint64, ca *core.ComplexAssembly) bool {
+			if ca.Lvl == 2 {
+				parent = ca
+				return false
+			}
+			return true
+		})
+		for len(parent.State(tx).SubBase) > 1 {
+			s.DeleteBaseAssembly(tx, parent.State(tx).SubBase[0])
+		}
+		last := parent.State(tx).SubBase[0]
+		// Directly exercise the op's guard by running its logic: the op
+		// draws randomly, so instead assert the structural precondition it
+		// protects.
+		if len(last.Super.State(tx).SubBase) != 1 {
+			t.Fatal("setup failed")
+		}
+		return s.CheckInvariants(tx)
+	})
+	checkInvariants(t, eng, s)
+}
+
+func TestSM7AddsSubtree(t *testing.T) {
+	s, eng := newTiny(t)
+	_, b0, x0 := liveCounts(t, eng, s)
+	res, _ := runUntil(t, eng, s, "SM7", false, 300)
+	_, b1, x1 := liveCounts(t, eng, s)
+	added := (b1 - b0) + (x1 - x0)
+	if added == 0 || res != added {
+		t.Errorf("SM7 reported %d new assemblies, counts grew by %d", res, added)
+	}
+	checkInvariants(t, eng, s)
+}
+
+func TestSM8DeletesSubtree(t *testing.T) {
+	s, eng := newTiny(t)
+	// Tiny tree: root level 3 with 3 level-2 children; SM8 on a level-2
+	// assembly removes it and its bases.
+	_, b0, x0 := liveCounts(t, eng, s)
+	runUntil(t, eng, s, "SM8", false, 300)
+	_, b1, x1 := liveCounts(t, eng, s)
+	if x1 >= x0 {
+		t.Errorf("complex count %d -> %d, want decrease", x0, x1)
+	}
+	if b1 >= b0 {
+		t.Errorf("base count %d -> %d, want decrease", b0, b1)
+	}
+	checkInvariants(t, eng, s)
+}
+
+// TestSMRandomSequencePreservesInvariants is the big property test: a long
+// random mix of all SM operations must keep every structural invariant.
+func TestSMRandomSequencePreservesInvariants(t *testing.T) {
+	iters := 400
+	if testing.Short() {
+		iters = 80
+	}
+	s, eng := newTiny(t)
+	smNames := []string{"SM1", "SM2", "SM3", "SM4", "SM5", "SM6", "SM7", "SM8"}
+	r := rng.New(2024)
+	succ, fail := 0, 0
+	for i := 0; i < iters; i++ {
+		name := smNames[r.Intn(len(smNames))]
+		op, _ := ByName(name)
+		if _, err := run(t, eng, s, op, r.Uint64()); err != nil {
+			fail++
+		} else {
+			succ++
+		}
+		if i%25 == 0 {
+			checkInvariants(t, eng, s)
+		}
+	}
+	checkInvariants(t, eng, s)
+	if succ == 0 {
+		t.Error("no SM operation ever succeeded")
+	}
+	t.Logf("SM sequence: %d succeeded, %d failed", succ, fail)
+}
+
+// TestMixedSequencePreservesInvariants mixes all 45 operations.
+func TestMixedSequencePreservesInvariants(t *testing.T) {
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+	s, eng := newTiny(t)
+	picker := NewPicker(Profile{Workload: ReadWrite, LongTraversals: true, StructureMods: true})
+	r := rng.New(77)
+	for i := 0; i < iters; i++ {
+		op := picker.Pick(r)
+		run(t, eng, s, op, r.Uint64())
+		if i%50 == 0 {
+			checkInvariants(t, eng, s)
+		}
+	}
+	checkInvariants(t, eng, s)
+}

@@ -1,0 +1,100 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used throughout the benchmark.
+//
+// Determinism matters twice in STMBench7: the structure builder must produce
+// identical object graphs for a given seed (so that different synchronization
+// strategies are compared on the same structure), and each worker thread
+// draws its operation sequence from its own generator (so runs are
+// reproducible and generators are never shared across goroutines).
+//
+// The generator is splitmix64 (Steele, Lea, Flood: "Fast splittable
+// pseudorandom number generators", OOPSLA 2014). It passes BigCrush, has a
+// 64-bit state, and is a few nanoseconds per draw.
+package rng
+
+// Rand is a deterministic pseudo-random number generator. It is NOT safe for
+// concurrent use; give each goroutine its own instance (see Split).
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Two generators with the same
+// seed produce identical streams.
+func New(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Split derives a new, statistically independent generator from r. The
+// derived stream does not overlap r's stream for any practical draw count.
+func (r *Rand) Split() *Rand {
+	// Advance r and use the output as the child's seed, xored with a golden
+	// ratio increment so that Split(Split(x)) differs from sequential draws.
+	return &Rand{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation would be faster, but a
+	// simple modulo over 64 bits has negligible bias for benchmark-sized n.
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniformly distributed uint64 in [0, n). It panics if
+// n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Range returns a uniformly distributed int in [lo, hi] inclusive. It panics
+// if hi < lo.
+func (r *Rand) Range(lo, hi int) int {
+	if hi < lo {
+		panic("rng: Range with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Bool returns true with probability 1/2.
+func (r *Rand) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the given swap
+// function, Fisher-Yates style.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

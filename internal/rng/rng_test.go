@@ -1,0 +1,183 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// Child stream must differ from the parent's continued stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("parent/child streams too correlated: %d matches", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestRangeInclusive(t *testing.T) {
+	r := New(5)
+	seenLo, seenHi := false, false
+	for i := 0; i < 5000; i++ {
+		v := r.Range(3, 6)
+		if v < 3 || v > 6 {
+			t.Fatalf("Range(3,6) = %d", v)
+		}
+		if v == 3 {
+			seenLo = true
+		}
+		if v == 6 {
+			seenHi = true
+		}
+	}
+	if !seenLo || !seenHi {
+		t.Error("Range never produced an endpoint")
+	}
+	if got := r.Range(4, 4); got != 4 {
+		t.Errorf("Range(4,4) = %d", got)
+	}
+}
+
+func TestRangePanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Range(5,4) did not panic")
+		}
+	}()
+	New(1).Range(5, 4)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestBoolRoughlyFair(t *testing.T) {
+	r := New(11)
+	trues := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	ratio := float64(trues) / n
+	if math.Abs(ratio-0.5) > 0.03 {
+		t.Errorf("Bool ratio = %v, want ~0.5", ratio)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	s := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r := New(13)
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	seen := make([]bool, 10)
+	for _, v := range s {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("element %d lost in shuffle", i)
+		}
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Chi-squared-ish sanity: 10 buckets over 100k draws should each hold
+	// close to 10k.
+	r := New(99)
+	var buckets [10]int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for i, c := range buckets {
+		if c < 9500 || c > 10500 {
+			t.Errorf("bucket %d = %d, want ~10000", i, c)
+		}
+	}
+}

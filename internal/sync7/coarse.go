@@ -1,0 +1,38 @@
+package sync7
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/rng"
+	"repro/stm"
+)
+
+// Coarse is the coarse-grained locking strategy (§4): a single read-write
+// lock protects the whole data structure. Read-only operations share the
+// lock; update operations are exclusive. Locking overhead is minimal;
+// scalability is limited to read-dominated workloads — which is exactly
+// the trade-off Figures 3 and 4 measure.
+type Coarse struct {
+	mu  sync.RWMutex
+	eng *stm.Direct
+}
+
+// Name implements Executor.
+func (c *Coarse) Name() string { return "coarse" }
+
+// Engine implements Executor.
+func (c *Coarse) Engine() stm.Engine { return c.eng }
+
+// Execute implements Executor.
+func (c *Coarse) Execute(op *ops.Op, s *core.Structure, r *rng.Rand) (int, error) {
+	if op.ReadOnly {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+	} else {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return runOp(c.eng, op, s, r)
+}

@@ -1,0 +1,206 @@
+package sync7
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/rng"
+	"repro/stm"
+)
+
+// Mode is a lock acquisition mode.
+type Mode uint8
+
+const (
+	None Mode = iota
+	Read
+	Write
+)
+
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "none"
+	case Read:
+		return "read"
+	default:
+		return "write"
+	}
+}
+
+// LockSet is an operation's static lock requirement under medium-grained
+// locking. Structure is implicit: Read for everything except structure
+// modification operations, which take it in Write mode and nothing else
+// (the SM isolation lock of §4 makes SMs fully exclusive, so they need no
+// further locks).
+type LockSet struct {
+	Manual Mode
+	Docs   Mode
+	Atomic Mode
+	Comp   Mode
+	// Level1 covers base-assembly states.
+	Level1 Mode
+	// ComplexLevels covers complex-assembly states at every level 2..L.
+	// Operations whose target level is not statically known (sibling
+	// scans, bottom-up walks) conservatively lock all complex levels —
+	// the paper's "pragmatic, not fully fine-grained" compromise.
+	ComplexLevels Mode
+}
+
+// lockSets maps every non-SM operation to its lock requirement. SM
+// operations deliberately have no entry (they take the structure lock in
+// write mode instead). The TestLockSetsCoverAccesses test verifies, per
+// operation, that every Var actually touched is covered by a held lock.
+var lockSets = map[string]LockSet{
+	// Long traversals.
+	"T1":  {Level1: Read, ComplexLevels: Read, Comp: Read, Atomic: Read},
+	"T2a": {Level1: Read, ComplexLevels: Read, Comp: Read, Atomic: Write},
+	"T2b": {Level1: Read, ComplexLevels: Read, Comp: Read, Atomic: Write},
+	"T2c": {Level1: Read, ComplexLevels: Read, Comp: Read, Atomic: Write},
+	"T3a": {Level1: Read, ComplexLevels: Read, Comp: Read, Atomic: Write},
+	"T3b": {Level1: Read, ComplexLevels: Read, Comp: Read, Atomic: Write},
+	"T3c": {Level1: Read, ComplexLevels: Read, Comp: Read, Atomic: Write},
+	"T4":  {Level1: Read, ComplexLevels: Read, Comp: Read, Docs: Read},
+	"T5":  {Level1: Read, ComplexLevels: Read, Comp: Read, Docs: Write},
+	"T6":  {Level1: Read, ComplexLevels: Read, Comp: Read, Atomic: Read},
+	"Q6":  {Level1: Read, ComplexLevels: Read, Comp: Read},
+	"Q7":  {Atomic: Read},
+
+	// Short traversals.
+	"ST1":  {Level1: Read, ComplexLevels: Read, Comp: Read, Atomic: Read},
+	"ST2":  {Level1: Read, ComplexLevels: Read, Comp: Read, Docs: Read},
+	"ST3":  {Atomic: Read, Comp: Read, ComplexLevels: Read},
+	"ST4":  {Docs: Read, Comp: Read, Level1: Read},
+	"ST5":  {Level1: Read, Comp: Read},
+	"ST6":  {Level1: Read, ComplexLevels: Read, Comp: Read, Atomic: Write},
+	"ST7":  {Level1: Read, ComplexLevels: Read, Comp: Read, Docs: Write},
+	"ST8":  {Atomic: Read, Comp: Read, ComplexLevels: Write},
+	"ST9":  {Level1: Read, ComplexLevels: Read, Comp: Read, Atomic: Read},
+	"ST10": {Level1: Read, ComplexLevels: Read, Comp: Read, Atomic: Write},
+
+	// Short operations.
+	"OP1":  {Atomic: Read},
+	"OP2":  {Atomic: Read},
+	"OP3":  {Atomic: Read},
+	"OP4":  {Manual: Read},
+	"OP5":  {Manual: Read},
+	"OP6":  {ComplexLevels: Read},
+	"OP7":  {Level1: Read, ComplexLevels: Read},
+	"OP8":  {Level1: Read, Comp: Read},
+	"OP9":  {Atomic: Write},
+	"OP10": {Atomic: Write},
+	"OP11": {Manual: Write},
+	"OP12": {ComplexLevels: Write},
+	"OP13": {Level1: Write, ComplexLevels: Read},
+	"OP14": {Level1: Read, Comp: Write},
+	"OP15": {Atomic: Write},
+}
+
+// LockSetFor returns the lock requirement of the named non-SM operation.
+func LockSetFor(name string) (LockSet, bool) {
+	ls, ok := lockSets[name]
+	return ls, ok
+}
+
+// Medium is the medium-grained locking strategy of §4 / Figure 5.
+type Medium struct {
+	eng *stm.Direct
+
+	// structure is the SM isolation lock: Write for SM operations, Read
+	// for everything else.
+	structure sync.RWMutex
+	manual    sync.RWMutex
+	docs      sync.RWMutex
+	atomic    sync.RWMutex
+	comp      sync.RWMutex
+	// levels[0] is level 1 (base assemblies); levels[i] is level i+1.
+	levels []sync.RWMutex
+}
+
+func newMedium(numLevels int) *Medium {
+	return &Medium{
+		eng:    stm.NewDirect(),
+		levels: make([]sync.RWMutex, numLevels),
+	}
+}
+
+// Name implements Executor.
+func (m *Medium) Name() string { return "medium" }
+
+// Engine implements Executor.
+func (m *Medium) Engine() stm.Engine { return m.eng }
+
+func lockRW(mu *sync.RWMutex, mode Mode) {
+	switch mode {
+	case Read:
+		mu.RLock()
+	case Write:
+		mu.Lock()
+	}
+}
+
+func unlockRW(mu *sync.RWMutex, mode Mode) {
+	switch mode {
+	case Read:
+		mu.RUnlock()
+	case Write:
+		mu.Unlock()
+	}
+}
+
+// Execute implements Executor. Locks are taken in a fixed global order —
+// structure, manual, docs, atomic, comp, level L .. level 1 — so deadlock
+// is impossible, and released in reverse.
+func (m *Medium) Execute(op *ops.Op, s *core.Structure, r *rng.Rand) (int, error) {
+	if op.Category == ops.StructureModification {
+		m.structure.Lock()
+		defer m.structure.Unlock()
+		return runOp(m.eng, op, s, r)
+	}
+	ls, ok := lockSets[op.Name]
+	if !ok {
+		return 0, fmt.Errorf("sync7: no lock set for operation %s", op.Name)
+	}
+	m.structure.RLock()
+	defer m.structure.RUnlock()
+	lockRW(&m.manual, ls.Manual)
+	defer unlockRW(&m.manual, ls.Manual)
+	lockRW(&m.docs, ls.Docs)
+	defer unlockRW(&m.docs, ls.Docs)
+	lockRW(&m.atomic, ls.Atomic)
+	defer unlockRW(&m.atomic, ls.Atomic)
+	lockRW(&m.comp, ls.Comp)
+	defer unlockRW(&m.comp, ls.Comp)
+	for i := len(m.levels) - 1; i >= 1; i-- {
+		lockRW(&m.levels[i], ls.ComplexLevels)
+		defer unlockRW(&m.levels[i], ls.ComplexLevels)
+	}
+	lockRW(&m.levels[0], ls.Level1)
+	defer unlockRW(&m.levels[0], ls.Level1)
+	return runOp(m.eng, op, s, r)
+}
+
+// NumLocksHeld reports how many individual locks the op acquires under
+// medium locking (used by tests and by the latency commentary of Figure 3:
+// long traversals hold 9+ locks here versus 1 under coarse locking).
+func (m *Medium) NumLocksHeld(op *ops.Op) int {
+	if op.Category == ops.StructureModification {
+		return 1
+	}
+	ls := lockSets[op.Name]
+	n := 1 // structure lock
+	for _, mode := range []Mode{ls.Manual, ls.Docs, ls.Atomic, ls.Comp} {
+		if mode != None {
+			n++
+		}
+	}
+	if ls.ComplexLevels != None {
+		n += len(m.levels) - 1
+	}
+	if ls.Level1 != None {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,137 @@
+// Package sync7 implements STMBench7's synchronization strategies (§4):
+//
+//   - Coarse-grained locking: one read-write lock around the whole data
+//     structure.
+//   - Medium-grained locking (Figure 5): one read-write lock per assembly
+//     level, plus locks for all composite parts, all atomic parts, all
+//     documents and the manual, plus a structure-modification isolation
+//     lock taken in write mode by SM operations and in read mode by
+//     everything else.
+//   - STM execution: each operation runs as one transaction on an stm
+//     engine (OSTM — the paper's ASTM variant — or TL2).
+//   - Direct execution: no synchronization at all, for single-threaded
+//     baselines and tests.
+//
+// All strategies execute the same operation code: the lock strategies wrap
+// a pass-through engine, the STM strategies a transactional one — exactly
+// the paper's design where the core benchmark carries no concurrency
+// control and a strategy is merged in at build time.
+package sync7
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/rng"
+	"repro/stm"
+)
+
+// Executor runs operations under one synchronization strategy. Executors
+// are safe for concurrent use by many worker threads.
+type Executor interface {
+	// Name identifies the strategy ("coarse", "medium", "ostm", "tl2",
+	// "direct").
+	Name() string
+	// Engine returns the stm engine operations run on. The benchmark
+	// structure must be built from this engine's VarSpace.
+	Engine() stm.Engine
+	// Execute runs op once (to completion or logical failure). STM
+	// executors retry conflicting transactions internally.
+	Execute(op *ops.Op, s *core.Structure, r *rng.Rand) (int, error)
+}
+
+// Config selects and tunes a strategy.
+type Config struct {
+	// Strategy: "coarse", "medium", "ostm", "tl2" or "direct".
+	Strategy string
+	// NumAssmLevels must match the structure's parameter (medium locking
+	// needs one lock per level). Ignored by other strategies.
+	NumAssmLevels int
+	// CM overrides OSTM's contention manager (default Polka).
+	CM stm.ContentionManager
+	// CommitTimeValidationOnly disables OSTM's incremental validation.
+	CommitTimeValidationOnly bool
+	// VisibleReads switches OSTM to visible-reads mode (no validation;
+	// readers register on Vars and writers arbitrate with them).
+	VisibleReads bool
+}
+
+// New builds the executor for cfg.
+func New(cfg Config) (Executor, error) {
+	switch cfg.Strategy {
+	case "direct":
+		return &DirectExec{eng: stm.NewDirect()}, nil
+	case "coarse":
+		return &Coarse{eng: stm.NewDirect()}, nil
+	case "medium":
+		if cfg.NumAssmLevels < 2 {
+			return nil, fmt.Errorf("sync7: medium locking needs NumAssmLevels >= 2, got %d", cfg.NumAssmLevels)
+		}
+		return newMedium(cfg.NumAssmLevels), nil
+	case "ostm":
+		return &STMExec{eng: stm.NewOSTMWith(stm.OSTMConfig{
+			CM:                       cfg.CM,
+			CommitTimeValidationOnly: cfg.CommitTimeValidationOnly,
+			VisibleReads:             cfg.VisibleReads,
+		}), name: "ostm"}, nil
+	case "tl2":
+		return &STMExec{eng: stm.NewTL2(), name: "tl2"}, nil
+	default:
+		return nil, fmt.Errorf("sync7: unknown strategy %q (want coarse, medium, ostm, tl2 or direct)", cfg.Strategy)
+	}
+}
+
+// Strategies lists the valid Config.Strategy values.
+func Strategies() []string { return []string{"coarse", "medium", "ostm", "tl2", "direct"} }
+
+// runOp executes the operation body through an engine, translating the
+// op's logical failure into a user abort.
+func runOp(eng stm.Engine, op *ops.Op, s *core.Structure, r *rng.Rand) (int, error) {
+	var res int
+	err := eng.Atomic(func(tx stm.Tx) error {
+		var opErr error
+		res, opErr = op.Run(tx, s, r)
+		return opErr
+	})
+	return res, err
+}
+
+// DirectExec runs operations with no synchronization whatsoever. Only safe
+// single-threaded; used for baselines and tests.
+type DirectExec struct {
+	eng *stm.Direct
+}
+
+// Name implements Executor.
+func (d *DirectExec) Name() string { return "direct" }
+
+// Engine implements Executor.
+func (d *DirectExec) Engine() stm.Engine { return d.eng }
+
+// Execute implements Executor.
+func (d *DirectExec) Execute(op *ops.Op, s *core.Structure, r *rng.Rand) (int, error) {
+	return runOp(d.eng, op, s, r)
+}
+
+// STMExec runs each operation as a single transaction.
+type STMExec struct {
+	eng  stm.Engine
+	name string
+}
+
+// Name implements Executor.
+func (e *STMExec) Name() string { return e.name }
+
+// Engine implements Executor.
+func (e *STMExec) Engine() stm.Engine { return e.eng }
+
+// Execute implements Executor.
+func (e *STMExec) Execute(op *ops.Op, s *core.Structure, r *rng.Rand) (int, error) {
+	res, err := runOp(e.eng, op, s, r)
+	if err != nil && !errors.Is(err, ops.ErrFailed) && !errors.Is(err, stm.ErrAborted) {
+		return res, fmt.Errorf("sync7: %s: %w", op.Name, err)
+	}
+	return res, err
+}

@@ -1,0 +1,467 @@
+package txbtree
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/stm"
+)
+
+// direct runs fn in a pass-through transaction.
+func direct(t testing.TB, eng stm.Engine, fn func(tx stm.Tx)) {
+	t.Helper()
+	if err := eng.Atomic(func(tx stm.Tx) error { fn(tx); return nil }); err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+}
+
+// checkTree validates B-tree structural invariants through tx.
+func checkTree[K interface{ ~int | ~uint64 | ~string }, V any](tx stm.Tx, tr *Tree[K, V]) error {
+	root := tr.root.Get(tx)
+	count := 0
+	var walk func(c *stm.Cell[node[K, V]], isRoot bool, lo, hi *K) (int, error)
+	walk = func(c *stm.Cell[node[K, V]], isRoot bool, lo, hi *K) (int, error) {
+		n := c.Get(tx)
+		if !isRoot && len(n.keys) < minKeys {
+			return 0, fmt.Errorf("underfull node: %d keys", len(n.keys))
+		}
+		if len(n.keys) > maxKeys {
+			return 0, fmt.Errorf("overfull node: %d keys", len(n.keys))
+		}
+		if len(n.keys) != len(n.vals) {
+			return 0, fmt.Errorf("keys/vals mismatch")
+		}
+		for i := range n.keys {
+			if i > 0 && n.keys[i-1] >= n.keys[i] {
+				return 0, fmt.Errorf("keys out of order")
+			}
+			if lo != nil && n.keys[i] <= *lo {
+				return 0, fmt.Errorf("key below bound")
+			}
+			if hi != nil && n.keys[i] >= *hi {
+				return 0, fmt.Errorf("key above bound")
+			}
+		}
+		count += len(n.keys)
+		if n.leaf() {
+			return 1, nil
+		}
+		if len(n.kids) != len(n.keys)+1 {
+			return 0, fmt.Errorf("internal node with %d keys, %d kids", len(n.keys), len(n.kids))
+		}
+		depth := -1
+		for i, kid := range n.kids {
+			var cLo, cHi *K
+			if i > 0 {
+				cLo = &n.keys[i-1]
+			} else {
+				cLo = lo
+			}
+			if i < len(n.keys) {
+				cHi = &n.keys[i]
+			} else {
+				cHi = hi
+			}
+			d, err := walk(kid, false, cLo, cHi)
+			if err != nil {
+				return 0, err
+			}
+			if depth == -1 {
+				depth = d
+			} else if d != depth {
+				return 0, fmt.Errorf("non-uniform depth")
+			}
+		}
+		return depth + 1, nil
+	}
+	if _, err := walk(root, true, nil, nil); err != nil {
+		return err
+	}
+	if got := tr.Len(tx); got != count {
+		return fmt.Errorf("Len %d but %d entries reachable", got, count)
+	}
+	return nil
+}
+
+func TestEmpty(t *testing.T) {
+	eng := stm.NewDirect()
+	tr := New[int, string](eng.VarSpace(), "test")
+	direct(t, eng, func(tx stm.Tx) {
+		if tr.Len(tx) != 0 {
+			t.Errorf("Len = %d", tr.Len(tx))
+		}
+		if _, ok := tr.Get(tx, 5); ok {
+			t.Error("Get on empty returned ok")
+		}
+		if _, ok := tr.Delete(tx, 5); ok {
+			t.Error("Delete on empty returned ok")
+		}
+		if err := checkTree(tx, tr); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestPutGetDelete(t *testing.T) {
+	eng := stm.NewDirect()
+	tr := New[int, int](eng.VarSpace(), "test")
+	direct(t, eng, func(tx stm.Tx) {
+		for i := 0; i < 500; i++ {
+			if _, replaced := tr.Put(tx, i, i*2); replaced {
+				t.Fatalf("Put(%d) replaced", i)
+			}
+		}
+		if tr.Len(tx) != 500 {
+			t.Fatalf("Len = %d", tr.Len(tx))
+		}
+		for i := 0; i < 500; i++ {
+			v, ok := tr.Get(tx, i)
+			if !ok || v != i*2 {
+				t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+			}
+		}
+		prev, replaced := tr.Put(tx, 100, -1)
+		if !replaced || prev != 200 {
+			t.Errorf("replace = %d,%v", prev, replaced)
+		}
+		if err := checkTree(tx, tr); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i += 2 {
+			if _, ok := tr.Delete(tx, i); !ok {
+				t.Fatalf("Delete(%d) missing", i)
+			}
+		}
+		if tr.Len(tx) != 250 {
+			t.Fatalf("Len after deletes = %d", tr.Len(tx))
+		}
+		if err := checkTree(tx, tr); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestRandomizedVsOracle(t *testing.T) {
+	eng := stm.NewDirect()
+	tr := New[uint64, int](eng.VarSpace(), "test")
+	oracle := map[uint64]int{}
+	r := rng.New(99)
+	direct(t, eng, func(tx stm.Tx) {
+		for i := 0; i < 20000; i++ {
+			k := r.Uint64n(2000)
+			switch r.Intn(3) {
+			case 0, 1:
+				tr.Put(tx, k, i)
+				oracle[k] = i
+			case 2:
+				_, gotOK := tr.Delete(tx, k)
+				_, wantOK := oracle[k]
+				if gotOK != wantOK {
+					t.Fatalf("Delete(%d): got %v want %v", k, gotOK, wantOK)
+				}
+				delete(oracle, k)
+			}
+			if i%2500 == 0 {
+				if err := checkTree(tx, tr); err != nil {
+					t.Fatalf("iter %d: %v", i, err)
+				}
+			}
+		}
+		if tr.Len(tx) != len(oracle) {
+			t.Fatalf("Len = %d, oracle = %d", tr.Len(tx), len(oracle))
+		}
+		for k, want := range oracle {
+			if got, ok := tr.Get(tx, k); !ok || got != want {
+				t.Fatalf("Get(%d) = %d,%v want %d", k, got, ok, want)
+			}
+		}
+		if err := checkTree(tx, tr); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAscendAndRange(t *testing.T) {
+	eng := stm.NewDirect()
+	tr := New[int, int](eng.VarSpace(), "test")
+	direct(t, eng, func(tx stm.Tx) {
+		for i := 0; i < 300; i += 3 {
+			tr.Put(tx, i, i)
+		}
+		keys := tr.Keys(tx)
+		if !sort.IntsAreSorted(keys) || len(keys) != 100 {
+			t.Errorf("Keys: %d entries, sorted=%v", len(keys), sort.IntsAreSorted(keys))
+		}
+		var got []int
+		tr.Range(tx, 10, 30, func(k, v int) bool { got = append(got, k); return true })
+		want := []int{12, 15, 18, 21, 24, 27, 30}
+		if len(got) != len(want) {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Range = %v, want %v", got, want)
+			}
+		}
+		// Early stop.
+		n := 0
+		tr.Ascend(tx, func(k, v int) bool { n++; return n < 7 })
+		if n != 7 {
+			t.Errorf("Ascend early stop visited %d", n)
+		}
+	})
+}
+
+func TestStringKeys(t *testing.T) {
+	eng := stm.NewDirect()
+	tr := New[string, int](eng.VarSpace(), "test")
+	direct(t, eng, func(tx stm.Tx) {
+		words := []string{"mu", "alpha", "zeta", "beta"}
+		for i, w := range words {
+			tr.Put(tx, w, i)
+		}
+		if v, ok := tr.Get(tx, "zeta"); !ok || v != 2 {
+			t.Errorf("Get(zeta) = %d,%v", v, ok)
+		}
+		keys := tr.Keys(tx)
+		if !sort.StringsAreSorted(keys) {
+			t.Errorf("keys unsorted: %v", keys)
+		}
+	})
+}
+
+// TestSnapshotIsolationOfNodeValues: node values must be immutable — a
+// reader holding an old node snapshot must not observe later insertions.
+func TestSnapshotIsolationOfNodeValues(t *testing.T) {
+	eng := stm.NewDirect()
+	tr := New[int, int](eng.VarSpace(), "test")
+	direct(t, eng, func(tx stm.Tx) {
+		for i := 0; i < 100; i++ {
+			tr.Put(tx, i, i)
+		}
+	})
+	// Capture the root node value (a snapshot).
+	var snap node[int, int]
+	direct(t, eng, func(tx stm.Tx) { snap = tr.root.Get(tx).Get(tx) })
+	keysBefore := append([]int(nil), snap.keys...)
+	// Heavy mutation afterwards.
+	direct(t, eng, func(tx stm.Tx) {
+		for i := 100; i < 2000; i++ {
+			tr.Put(tx, i, i)
+		}
+		for i := 0; i < 100; i += 2 {
+			tr.Delete(tx, i)
+		}
+	})
+	for i := range keysBefore {
+		if snap.keys[i] != keysBefore[i] {
+			t.Fatal("node snapshot mutated in place — immutability violated")
+		}
+	}
+}
+
+// TestTransactionalAbortRollsBack: a failed transaction's tree mutations
+// must vanish entirely (including size stripes and splits).
+func TestTransactionalAbortRollsBack(t *testing.T) {
+	for _, mk := range []func() stm.Engine{
+		func() stm.Engine { return stm.NewOSTM() },
+		func() stm.Engine { return stm.NewTL2() },
+	} {
+		eng := mk()
+		tr := New[int, int](eng.VarSpace(), "test")
+		eng.Atomic(func(tx stm.Tx) error {
+			for i := 0; i < 50; i++ {
+				tr.Put(tx, i, i)
+			}
+			return nil
+		})
+		err := eng.Atomic(func(tx stm.Tx) error {
+			for i := 50; i < 500; i++ { // force splits
+				tr.Put(tx, i, i)
+			}
+			return stm.ErrAborted
+		})
+		if err == nil {
+			t.Fatal("expected error")
+		}
+		eng.Atomic(func(tx stm.Tx) error {
+			if got := tr.Len(tx); got != 50 {
+				t.Errorf("%s: Len after abort = %d, want 50", eng.Name(), got)
+			}
+			if _, ok := tr.Get(tx, 200); ok {
+				t.Errorf("%s: aborted insert visible", eng.Name())
+			}
+			return checkTree(tx, tr)
+		})
+	}
+}
+
+// TestConcurrentDisjointWriters: writers on disjoint key ranges mostly
+// avoid conflicting (node-level granularity), and the final tree is exactly
+// the union.
+func TestConcurrentDisjointWriters(t *testing.T) {
+	eng := stm.NewTL2()
+	tr := New[int, int](eng.VarSpace(), "test")
+	// Pre-populate so subtrees exist and the root stops splitting.
+	eng.Atomic(func(tx stm.Tx) error {
+		for i := 0; i < 4000; i += 4 {
+			tr.Put(tx, i, -1)
+		}
+		return nil
+	})
+	const writers = 4
+	const perWriter = 250
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := w*1000 + 1 // odd keys, disjoint blocks
+			for i := 0; i < perWriter; i++ {
+				k := base + i*2
+				err := eng.Atomic(func(tx stm.Tx) error {
+					tr.Put(tx, k, w)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	eng.Atomic(func(tx stm.Tx) error {
+		for w := 0; w < writers; w++ {
+			for i := 0; i < perWriter; i++ {
+				k := w*1000 + 1 + i*2
+				if v, ok := tr.Get(tx, k); !ok || v != w {
+					t.Fatalf("key %d = %d,%v want %d", k, v, ok, w)
+				}
+			}
+		}
+		return checkTree(tx, tr)
+	})
+	t.Logf("tl2 stats: %+v", eng.Stats())
+}
+
+// TestConcurrentReadersWriters: readers always see consistent trees while
+// writers insert and delete.
+func TestConcurrentReadersWriters(t *testing.T) {
+	eng := stm.NewTL2()
+	tr := New[int, int](eng.VarSpace(), "test")
+	eng.Atomic(func(tx stm.Tx) error {
+		for i := 0; i < 1000; i++ {
+			tr.Put(tx, i, i)
+		}
+		return nil
+	})
+	var wg sync.WaitGroup
+	stopW := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(w + 1))
+			for i := 0; i < 400; i++ {
+				k := r.Intn(1000)
+				eng.Atomic(func(tx stm.Tx) error {
+					if r.Bool() {
+						tr.Put(tx, k, i)
+					} else {
+						tr.Delete(tx, k)
+					}
+					return nil
+				})
+			}
+		}(w)
+	}
+	var readerWG sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stopW:
+					return
+				default:
+				}
+				err := eng.Atomic(func(tx stm.Tx) error {
+					// Ascend sees a consistent snapshot: keys sorted.
+					prev := -1
+					ok := true
+					tr.Ascend(tx, func(k, v int) bool {
+						if k <= prev {
+							ok = false
+							return false
+						}
+						prev = k
+						return true
+					})
+					if !ok {
+						t.Error("reader saw unsorted tree")
+					}
+					return nil
+				})
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopW)
+	readerWG.Wait()
+	eng.Atomic(func(tx stm.Tx) error { return checkTree(tx, tr) })
+}
+
+// TestPropertySequences drives random operation scripts via testing/quick.
+func TestPropertySequences(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	type op struct {
+		Key  uint16
+		Kind uint8
+	}
+	f := func(script []op) bool {
+		eng := stm.NewDirect()
+		tr := New[uint64, uint16](eng.VarSpace(), "test")
+		oracle := map[uint64]uint16{}
+		ok := true
+		direct(t, eng, func(tx stm.Tx) {
+			for i, o := range script {
+				k := uint64(o.Key % 512)
+				if o.Kind%3 == 2 {
+					tr.Delete(tx, k)
+					delete(oracle, k)
+				} else {
+					tr.Put(tx, k, uint16(i))
+					oracle[k] = uint16(i)
+				}
+			}
+			if tr.Len(tx) != len(oracle) {
+				ok = false
+				return
+			}
+			for k, want := range oracle {
+				if got, present := tr.Get(tx, k); !present || got != want {
+					ok = false
+					return
+				}
+			}
+			ok = ok && checkTree(tx, tr) == nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

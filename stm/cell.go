@@ -1,0 +1,73 @@
+package stm
+
+// Cell is a typed wrapper around a Var. It is the recommended way to declare
+// shared state: the type parameter documents what the cell holds and removes
+// type assertions from call sites.
+//
+// For T with value semantics (numbers, strings, structs without reference
+// fields) use NewCell. For T with reference semantics that will be mutated
+// through Update (slices, maps), use NewCellClone and provide a clone.
+type Cell[T any] struct {
+	v *Var
+}
+
+// NewCell allocates a cell holding init. Update under a transactional engine
+// will pass f the boxed value; for value-semantics T the type assertion
+// already copies, so no clone function is needed.
+func NewCell[T any](s *VarSpace, init T) *Cell[T] {
+	return &Cell[T]{v: s.NewVar(init, nil)}
+}
+
+// NewCellClone allocates a cell whose values are cloned by clone before an
+// Update callback may mutate them under a transactional engine.
+func NewCellClone[T any](s *VarSpace, init T, clone func(T) T) *Cell[T] {
+	cf := func(v any) any { return clone(v.(T)) }
+	return &Cell[T]{v: s.NewVar(init, cf)}
+}
+
+// Var exposes the underlying Var (for debug naming or advanced use).
+func (c *Cell[T]) Var() *Var { return c.v }
+
+// Get returns the cell's value in tx. The result must not be mutated.
+func (c *Cell[T]) Get(tx Tx) T {
+	return tx.Read(c.v).(T)
+}
+
+// Set replaces the cell's value in tx.
+func (c *Cell[T]) Set(tx Tx, val T) {
+	tx.Write(c.v, val)
+}
+
+// Update applies f to the cell's value and stores the result. Under a
+// transactional engine f receives a private clone (per the cell's clone
+// function) and may mutate it; under the direct engine f receives the live
+// value and the mutation is in place.
+func (c *Cell[T]) Update(tx Tx, f func(T) T) {
+	tx.Update(c.v, func(v any) any { return f(v.(T)) })
+}
+
+// CloneSlice is a convenience clone function for slice-valued cells: it
+// copies the slice header and backing array (shallowly — elements are
+// shared, which is correct when elements are pointers to objects that carry
+// their own cells).
+func CloneSlice[E any](s []E) []E {
+	if s == nil {
+		return nil
+	}
+	out := make([]E, len(s))
+	copy(out, s)
+	return out
+}
+
+// CloneMap is a convenience clone function for map-valued cells (shallow in
+// the values, like CloneSlice).
+func CloneMap[K comparable, V any](m map[K]V) map[K]V {
+	if m == nil {
+		return nil
+	}
+	out := make(map[K]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

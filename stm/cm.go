@@ -1,0 +1,194 @@
+package stm
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Decision is a contention manager's verdict when transaction "me" finds a
+// Var owned by a live enemy transaction.
+type Decision int
+
+const (
+	// Wait backs off briefly and re-examines the conflict.
+	Wait Decision = iota
+	// AbortEnemy kills the enemy transaction and takes the Var.
+	AbortEnemy
+	// AbortSelf discards the current attempt and retries from scratch.
+	AbortSelf
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Wait:
+		return "wait"
+	case AbortEnemy:
+		return "abort-enemy"
+	case AbortSelf:
+		return "abort-self"
+	default:
+		return "unknown"
+	}
+}
+
+// TxInfo is the view of a transaction a contention manager may consult.
+type TxInfo interface {
+	// Opens returns the number of objects the transaction has opened so
+	// far — DSTM-family managers use it as an investment/priority proxy.
+	Opens() uint64
+	// Retries returns how many times this transaction has already been
+	// re-executed.
+	Retries() uint64
+}
+
+// ContentionManager arbitrates write/write (and validate-time) conflicts in
+// the OSTM engine. Implementations must be safe for concurrent use; they are
+// consulted by many transactions at once.
+//
+// OnConflict is called with attempt == 0,1,2,... for successive encounters
+// of the same conflict episode; managers typically Wait with growing backoff
+// for a while and then pick a victim.
+type ContentionManager interface {
+	Name() string
+	OnConflict(me, enemy TxInfo, attempt int) Decision
+	// WaitDuration returns how long to back off for a Wait decision on
+	// the given attempt.
+	WaitDuration(me TxInfo, attempt int) time.Duration
+}
+
+// backoffDur computes a capped exponential backoff with a deterministic
+// per-call jitter derived from a cheap hash of the inputs (no global rand,
+// no per-tx RNG plumbing needed here).
+func backoffDur(attempt int, salt uint64) time.Duration {
+	if attempt > 16 {
+		attempt = 16
+	}
+	base := time.Duration(1) << uint(attempt) // 1ns, 2ns, ... 64µs
+	base *= 100                               // 100ns .. 6.5ms
+	// xor-fold a salt for jitter in [0, base).
+	h := salt * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	jitter := time.Duration(h % uint64(base+1))
+	return base/2 + jitter/2
+}
+
+// Polka is the manager STMBench7's evaluation used: it combines Karma's
+// investment-based priorities with randomized exponential backoff
+// (Scherer & Scott, PODC 2005). "me" waits up to (enemy.Opens - me.Opens)
+// intervals of increasing length, then aborts the enemy.
+type Polka struct{}
+
+func (Polka) Name() string { return "polka" }
+
+func (Polka) OnConflict(me, enemy TxInfo, attempt int) Decision {
+	diff := int64(enemy.Opens()) - int64(me.Opens())
+	if diff < 0 {
+		diff = 0
+	}
+	if int64(attempt) > diff {
+		return AbortEnemy
+	}
+	return Wait
+}
+
+func (Polka) WaitDuration(me TxInfo, attempt int) time.Duration {
+	return backoffDur(attempt, me.Opens()+uint64(attempt)<<32)
+}
+
+// Karma is Polka without the randomized backoff: fixed short waits, victim
+// chosen by accumulated investment.
+type Karma struct{}
+
+func (Karma) Name() string { return "karma" }
+
+func (Karma) OnConflict(me, enemy TxInfo, attempt int) Decision {
+	diff := int64(enemy.Opens()) - int64(me.Opens())
+	if diff < 0 {
+		diff = 0
+	}
+	if int64(attempt) > diff {
+		return AbortEnemy
+	}
+	return Wait
+}
+
+func (Karma) WaitDuration(TxInfo, int) time.Duration { return time.Microsecond }
+
+// Aggressive always aborts the enemy immediately. Simple, livelock-prone.
+type Aggressive struct{}
+
+func (Aggressive) Name() string { return "aggressive" }
+
+func (Aggressive) OnConflict(me, enemy TxInfo, attempt int) Decision { return AbortEnemy }
+
+func (Aggressive) WaitDuration(TxInfo, int) time.Duration { return 0 }
+
+// Timid always aborts itself. Guarantees the enemy progresses; the retrying
+// transaction relies on the engine's inter-attempt backoff to get through.
+type Timid struct{}
+
+func (Timid) Name() string { return "timid" }
+
+func (Timid) OnConflict(me, enemy TxInfo, attempt int) Decision { return AbortSelf }
+
+func (Timid) WaitDuration(TxInfo, int) time.Duration { return 0 }
+
+// Backoff waits with exponential backoff a bounded number of times, then
+// aborts itself (the classic "polite" manager).
+type Backoff struct {
+	// MaxWaits bounds the number of Wait decisions per conflict episode
+	// (default 8 when zero).
+	MaxWaits int
+}
+
+func (Backoff) Name() string { return "backoff" }
+
+func (b Backoff) OnConflict(me, enemy TxInfo, attempt int) Decision {
+	maxW := b.MaxWaits
+	if maxW <= 0 {
+		maxW = 8
+	}
+	if attempt >= maxW {
+		return AbortSelf
+	}
+	return Wait
+}
+
+func (b Backoff) WaitDuration(me TxInfo, attempt int) time.Duration {
+	return backoffDur(attempt, me.Retries()+uint64(attempt)<<32)
+}
+
+// spinWait burns roughly d without yielding for very short waits, and
+// sleeps otherwise. Contention-manager waits are usually sub-microsecond.
+func spinWait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d < 20*time.Microsecond {
+		deadline := nanotime() + int64(d)
+		for nanotime() < deadline {
+			spinHint()
+		}
+		return
+	}
+	time.Sleep(d)
+}
+
+// nanotime is a monotonic clock read; time.Now is fine here (it uses the
+// monotonic clock internally and costs ~20ns).
+var nanobase = time.Now()
+
+func nanotime() int64 { return int64(time.Since(nanobase)) }
+
+// spinHint is a CPU-relax hint. Pure Go: a tiny amount of useless work that
+// the compiler is unlikely to elide, plus a scheduler touch every so often.
+var spinCounter atomic.Uint64
+
+func spinHint() {
+	c := spinCounter.Add(1)
+	if bits.OnesCount64(c)&0x3f == 0x3f { // extremely rarely
+		// Avoid starving the scheduler on GOMAXPROCS=1.
+		yield()
+	}
+}

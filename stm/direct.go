@@ -1,0 +1,72 @@
+package stm
+
+// Direct is the pass-through engine: no logging, no conflict detection, no
+// retries. It implements Tx/Engine so that code written against the stm seam
+// can run under external synchronization (the benchmark's lock strategies)
+// or single-threaded, at the cost of one interface call and one atomic
+// pointer load/store per access.
+//
+// Direct provides no isolation by itself. Callers are responsible for
+// mutual exclusion (e.g. STMBench7's coarse- and medium-grained locking
+// acquires read-write locks around Atomic).
+type Direct struct {
+	space VarSpace
+	stats statCounters
+}
+
+// NewDirect returns a pass-through engine.
+func NewDirect() *Direct { return &Direct{} }
+
+// Name implements Engine.
+func (d *Direct) Name() string { return "direct" }
+
+// VarSpace implements Engine.
+func (d *Direct) VarSpace() *VarSpace { return &d.space }
+
+// Stats implements Engine.
+func (d *Direct) Stats() Stats { return d.stats.snapshot() }
+
+// Atomic implements Engine. fn runs exactly once; an error from fn is
+// returned as-is. Note that under Direct an erroring fn does NOT roll back
+// writes it already performed — benchmark operations are written to fail
+// before their first write, mirroring the paper's lock-based build, and the
+// test suite checks that property.
+func (d *Direct) Atomic(fn func(tx Tx) error) error {
+	tx := directTx{eng: d}
+	err := fn(tx)
+	if err != nil {
+		d.stats.userAborts.Add(1)
+		return err
+	}
+	d.stats.commits.Add(1)
+	return nil
+}
+
+// directTx is stateless; all state lives in the Vars themselves.
+type directTx struct {
+	eng *Direct
+}
+
+// Read implements Tx.
+func (t directTx) Read(v *Var) any {
+	t.eng.stats.reads.Add(1)
+	return v.cur.Load().val
+}
+
+// Write implements Tx.
+func (t directTx) Write(v *Var, val any) {
+	t.eng.stats.writes.Add(1)
+	v.cur.Store(&box{val: val})
+}
+
+// Update implements Tx. The callback receives the live value and may mutate
+// it in place; whatever it returns is stored.
+func (t directTx) Update(v *Var, f func(val any) any) {
+	t.eng.stats.writes.Add(1)
+	v.cur.Store(&box{val: f(v.cur.Load().val)})
+}
+
+var (
+	_ Engine = (*Direct)(nil)
+	_ Tx     = directTx{}
+)

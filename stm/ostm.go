@@ -1,0 +1,564 @@
+package stm
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+func yield() { runtime.Gosched() }
+
+// Transaction status values. A transaction moves Active → Validating →
+// Committed on success; enemies may CAS it to Aborted from Active or
+// Validating (never from Committed).
+const (
+	statusActive uint32 = iota
+	statusValidating
+	statusCommitted
+	statusAborted
+)
+
+// txState is the shared, lock-free handle through which other transactions
+// observe and (with contention-manager blessing) abort a transaction. A
+// fresh txState is allocated per attempt, so locators installed by dead
+// attempts keep pointing at the status of the attempt that installed them.
+type txState struct {
+	status  atomic.Uint32
+	opens   atomic.Uint64 // objects opened so far (contention-manager priority)
+	retries uint64        // attempt number; written only by the owner before publication
+}
+
+// Opens implements TxInfo.
+func (s *txState) Opens() uint64 { return s.opens.Load() }
+
+// Retries implements TxInfo.
+func (s *txState) Retries() uint64 { return s.retries }
+
+// locator is OSTM's ownership record, after DSTM's TMObject locator: the
+// Var's current logical value is old or new depending on owner's status.
+// Each locator snapshots its predecessor's resolved value into old, so
+// resolution never chases more than one link.
+type locator struct {
+	owner *txState
+	old   *box
+	new   *box
+	// cloned records whether new.val has been detached from old.val (by a
+	// Write replacing it outright or by an Update-triggered clone). Only
+	// the owning transaction touches it, before commit.
+	cloned bool
+}
+
+// AcquireMode selects when OSTM takes ownership of written Vars.
+type AcquireMode int
+
+const (
+	// EagerAcquire installs the ownership locator at the first write —
+	// DSTM's (and eager ASTM's) behaviour, and the default.
+	EagerAcquire AcquireMode = iota
+	// LazyAcquire buffers writes privately and acquires ownership only at
+	// commit, so write-write conflicts are detected late but ownership is
+	// held briefly (ASTM's lazy mode).
+	LazyAcquire
+	// AdaptiveAcquire starts eager and switches a transaction to lazy
+	// after its first conflict abort — a simplified form of ASTM's
+	// adaptivity (per-transaction rather than history-based).
+	AdaptiveAcquire
+)
+
+func (m AcquireMode) String() string {
+	switch m {
+	case EagerAcquire:
+		return "eager"
+	case LazyAcquire:
+		return "lazy"
+	case AdaptiveAcquire:
+		return "adaptive"
+	default:
+		return "unknown"
+	}
+}
+
+// OSTMConfig tunes the OSTM engine.
+type OSTMConfig struct {
+	// CM arbitrates conflicts. Nil means Polka (what the paper's ASTM
+	// evaluation used).
+	CM ContentionManager
+
+	// IncrementalValidation re-validates the whole read set every time a
+	// new object is opened — ASTM's (and DSTM's) invisible-read safety
+	// mechanism, with O(k²) total cost for k reads. This is the default
+	// and the faithful setting; disabling it validates only at commit,
+	// which is cheaper but lets doomed "zombie" transactions run on
+	// inconsistent snapshots until commit (user code must tolerate
+	// re-execution from garbage reads; the benchmark operations do).
+	CommitTimeValidationOnly bool
+
+	// CommitCounterHeuristic skips an incremental validation pass when no
+	// transaction in the engine has committed a write since this
+	// transaction's previous validation — the "global commit counter"
+	// strategy of Spear et al. (DISC 2006), one of the paper's cited
+	// fixes. Sound: a read-set entry can only be invalidated by a commit.
+	// The commit-time validation is never skipped (it arbitrates the
+	// Validating-vs-Validating race, which the counter cannot see).
+	CommitCounterHeuristic bool
+
+	// Acquire selects eager (default), lazy or adaptive write
+	// acquisition.
+	Acquire AcquireMode
+
+	// VisibleReads replaces invisible reads + validation with reader
+	// registration on every Var: writers arbitrate with registered
+	// readers through the contention manager, and no validation is ever
+	// needed (see visible.go). This is the classic alternative the paper
+	// implicitly ablates when it blames invisible reads for the O(k²)
+	// cost.
+	VisibleReads bool
+
+	// MaxRetries bounds re-executions; 0 means retry forever. When the
+	// budget is exhausted Atomic returns ErrAborted.
+	MaxRetries int
+}
+
+// OSTM is an object-based STM in the DSTM/ASTM tradition: eager write
+// acquisition via locator CAS, invisible reads with incremental read-set
+// validation, copy-on-write object logging, contention management.
+//
+// It deliberately reproduces the cost model §5 of the STMBench7 paper
+// ascribes to ASTM: validation work quadratic in the read-set size, and
+// whole-object copies for every first write to an object.
+type OSTM struct {
+	space VarSpace
+	cfg   OSTMConfig
+	stats statCounters
+	// commitSerial counts committed WRITE transactions; the commit-counter
+	// validation heuristic compares it against a transaction-local
+	// snapshot to skip provably redundant validation passes.
+	commitSerial atomic.Uint64
+}
+
+// NewOSTM returns an OSTM engine with the paper's configuration: Polka
+// contention management and incremental validation.
+func NewOSTM() *OSTM { return NewOSTMWith(OSTMConfig{}) }
+
+// NewOSTMWith returns an OSTM engine with explicit configuration.
+func NewOSTMWith(cfg OSTMConfig) *OSTM {
+	if cfg.CM == nil {
+		cfg.CM = Polka{}
+	}
+	return &OSTM{cfg: cfg}
+}
+
+// Name implements Engine.
+func (e *OSTM) Name() string { return "ostm" }
+
+// VarSpace implements Engine.
+func (e *OSTM) VarSpace() *VarSpace { return &e.space }
+
+// Stats implements Engine.
+func (e *OSTM) Stats() Stats { return e.stats.snapshot() }
+
+// Atomic implements Engine.
+func (e *OSTM) Atomic(fn func(tx Tx) error) error {
+	tx := &ostmTx{eng: e}
+	for attempt := 0; ; attempt++ {
+		if e.cfg.MaxRetries > 0 && attempt > e.cfg.MaxRetries {
+			return ErrAborted
+		}
+		tx.reset(uint64(attempt))
+		committed, err := e.runAttempt(tx, fn)
+		if committed {
+			e.stats.commits.Add(1)
+			return nil
+		}
+		if err != nil {
+			// Logical failure: the transaction aborted on purpose and
+			// must not be retried. Its writes are invisible because the
+			// locators' owner is now Aborted.
+			e.stats.userAborts.Add(1)
+			return err
+		}
+		e.stats.conflictAborts.Add(1)
+		spinWait(backoffDur(attempt, tx.state.opens.Load()))
+	}
+}
+
+// runAttempt executes fn once and tries to commit. It returns
+// (true, nil) on commit, (false, err) on a user abort, and (false, nil)
+// on a conflict (caller retries).
+func (e *OSTM) runAttempt(tx *ostmTx, fn func(tx Tx) error) (committed bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rethrowIfNotConflict(r)
+			tx.abortSelf()
+			committed, err = false, nil
+		}
+	}()
+	if err := fn(tx); err != nil {
+		tx.abortSelf()
+		return false, err
+	}
+	return tx.commit(), nil
+}
+
+// readEntry records one invisible read: the Var and the exact box observed.
+type readEntry struct {
+	v    *Var
+	seen *box
+}
+
+// pendingWrite is a lazily buffered write (LazyAcquire mode).
+type pendingWrite struct {
+	v      *Var
+	val    any
+	cloned bool
+}
+
+// ostmTx is the per-goroutine transaction descriptor. It is reused across
+// attempts (slices/maps are reallocated per attempt — read-set maps for
+// 10⁵-object traversals are themselves part of ASTM's cost profile).
+type ostmTx struct {
+	eng     *OSTM
+	state   *txState
+	reads   []readEntry
+	readIdx map[*Var]int
+	writes  map[*Var]*locator
+
+	// Lazy-acquire state.
+	lazy       bool
+	pending    []pendingWrite
+	pendingIdx map[*Var]int
+
+	// lastSerial is the engine commit serial as of the last validation
+	// (commit-counter heuristic).
+	lastSerial uint64
+}
+
+func (tx *ostmTx) reset(attempt uint64) {
+	tx.state = &txState{retries: attempt}
+	tx.reads = tx.reads[:0]
+	tx.readIdx = make(map[*Var]int)
+	tx.writes = make(map[*Var]*locator)
+	switch tx.eng.cfg.Acquire {
+	case LazyAcquire:
+		tx.lazy = true
+	case AdaptiveAcquire:
+		tx.lazy = attempt > 0 // switch to lazy after the first conflict
+	default:
+		tx.lazy = false
+	}
+	tx.pending = tx.pending[:0]
+	if tx.lazy {
+		tx.pendingIdx = make(map[*Var]int)
+	} else {
+		tx.pendingIdx = nil
+	}
+	// Nothing read yet, so the current serial is a sound baseline.
+	tx.lastSerial = tx.eng.commitSerial.Load()
+}
+
+// abortSelf moves the transaction to Aborted (it may already have been
+// killed by an enemy, which is fine).
+func (tx *ostmTx) abortSelf() {
+	tx.state.status.CompareAndSwap(statusActive, statusAborted)
+	tx.state.status.CompareAndSwap(statusValidating, statusAborted)
+}
+
+// abortEnemy tries to kill enemy; it returns true if enemy is (now) aborted
+// and false if enemy already committed.
+func (tx *ostmTx) abortEnemy(enemy *txState) bool {
+	for {
+		s := enemy.status.Load()
+		switch s {
+		case statusCommitted:
+			return false
+		case statusAborted:
+			return true
+		default:
+			if enemy.status.CompareAndSwap(s, statusAborted) {
+				tx.eng.stats.enemyAborts.Add(1)
+				return true
+			}
+		}
+	}
+}
+
+// checkAlive aborts the current attempt promptly if an enemy killed us.
+func (tx *ostmTx) checkAlive() {
+	if tx.state.status.Load() == statusAborted {
+		throwConflict("killed by enemy")
+	}
+}
+
+// resolveRead returns the box visible to an active reader. A Validating
+// owner is treated like an Active one (its new value is not yet committed);
+// the sound gate against the cross-validation race is in validate(final).
+func (tx *ostmTx) resolveRead(v *Var) *box {
+	loc := v.loc.Load()
+	if loc == nil {
+		return v.cur.Load()
+	}
+	switch loc.owner.status.Load() {
+	case statusCommitted:
+		return loc.new
+	default: // active, validating, aborted
+		return loc.old
+	}
+}
+
+// Read implements Tx.
+func (tx *ostmTx) Read(v *Var) any {
+	tx.eng.stats.reads.Add(1)
+	tx.checkAlive()
+	if tx.eng.cfg.VisibleReads {
+		return tx.visibleRead(v)
+	}
+	if tx.lazy {
+		if i, ok := tx.pendingIdx[v]; ok {
+			return tx.pending[i].val
+		}
+	}
+	if l, ok := tx.writes[v]; ok {
+		return l.new.val
+	}
+	b := tx.resolveRead(v)
+	if i, ok := tx.readIdx[v]; ok {
+		if tx.reads[i].seen != b {
+			throwConflict("reread changed")
+		}
+		return b.val
+	}
+	tx.readIdx[v] = len(tx.reads)
+	tx.reads = append(tx.reads, readEntry{v: v, seen: b})
+	tx.state.opens.Add(1)
+	if !tx.eng.cfg.CommitTimeValidationOnly {
+		tx.validate(false)
+	}
+	return b.val
+}
+
+// acquire opens v for writing: it installs a locator owned by this
+// transaction, arbitrating with any live current owner through the
+// contention manager.
+func (tx *ostmTx) acquire(v *Var) *locator {
+	if l, ok := tx.writes[v]; ok {
+		return l
+	}
+	cm := tx.eng.cfg.CM
+	attempt := 0
+	for {
+		tx.checkAlive()
+		cur := v.loc.Load()
+		var oldBox *box
+		if cur == nil {
+			oldBox = v.cur.Load()
+		} else {
+			switch cur.owner.status.Load() {
+			case statusCommitted:
+				oldBox = cur.new
+			case statusAborted:
+				oldBox = cur.old
+			default: // live enemy (active or validating)
+				switch cm.OnConflict(tx.state, cur.owner, attempt) {
+				case Wait:
+					spinWait(cm.WaitDuration(tx.state, attempt))
+					attempt++
+				case AbortEnemy:
+					tx.abortEnemy(cur.owner)
+				case AbortSelf:
+					throwConflict("write-write conflict")
+				}
+				continue
+			}
+		}
+		newLoc := &locator{owner: tx.state, old: oldBox, new: &box{val: oldBox.val}}
+		if v.loc.CompareAndSwap(cur, newLoc) {
+			tx.state.opens.Add(1)
+			tx.writes[v] = newLoc
+			// If we previously read v, the value we took ownership of must
+			// be the one we read.
+			if i, ok := tx.readIdx[v]; ok && tx.reads[i].seen != oldBox {
+				throwConflict("acquired var changed since read")
+			}
+			if tx.eng.cfg.VisibleReads {
+				// Symmetric eager conflict detection: every live
+				// registered reader must lose or we must.
+				tx.arbitrateReaders(v)
+			} else if !tx.eng.cfg.CommitTimeValidationOnly {
+				tx.validate(false)
+			}
+			return newLoc
+		}
+		attempt = 0 // ownership changed under us; fresh conflict episode
+	}
+}
+
+// Write implements Tx.
+func (tx *ostmTx) Write(v *Var, val any) {
+	tx.eng.stats.writes.Add(1)
+	if tx.lazy {
+		if i, ok := tx.pendingIdx[v]; ok {
+			tx.pending[i].val = val
+			tx.pending[i].cloned = true
+			return
+		}
+		tx.pendingIdx[v] = len(tx.pending)
+		tx.pending = append(tx.pending, pendingWrite{v: v, val: val, cloned: true})
+		return
+	}
+	l := tx.acquire(v)
+	l.new.val = val
+	l.cloned = true
+}
+
+// Update implements Tx. The first Update on a freshly acquired Var clones
+// the value (object-level copy-on-write, ASTM style) before applying f.
+func (tx *ostmTx) Update(v *Var, f func(val any) any) {
+	tx.eng.stats.writes.Add(1)
+	if tx.lazy {
+		if i, ok := tx.pendingIdx[v]; ok {
+			p := &tx.pending[i]
+			if !p.cloned {
+				if v.clone != nil {
+					p.val = v.clone(p.val)
+					tx.eng.stats.clones.Add(1)
+				}
+				p.cloned = true
+			}
+			p.val = f(p.val)
+			return
+		}
+		// Read the current value through the read set so commit-time
+		// validation guards against lost updates, then buffer the result.
+		cur := tx.Read(v)
+		if v.clone != nil {
+			cur = v.clone(cur)
+			tx.eng.stats.clones.Add(1)
+		}
+		tx.pendingIdx[v] = len(tx.pending)
+		tx.pending = append(tx.pending, pendingWrite{v: v, val: f(cur), cloned: true})
+		return
+	}
+	l := tx.acquire(v)
+	if !l.cloned {
+		if v.clone != nil {
+			l.new.val = v.clone(l.new.val)
+			tx.eng.stats.clones.Add(1)
+		}
+		l.cloned = true
+	}
+	l.new.val = f(l.new.val)
+}
+
+// resolveValidate recomputes the box this transaction should be seeing for
+// a read entry. In the final (commit-time) validation, encountering a
+// Validating owner is a genuine race that must be arbitrated, not ignored —
+// otherwise two transactions that each read what the other wrote could both
+// commit (the classic invisible-read validation race).
+func (tx *ostmTx) resolveValidate(v *Var, final bool) *box {
+	for {
+		loc := v.loc.Load()
+		if loc == nil {
+			return v.cur.Load()
+		}
+		if loc.owner == tx.state {
+			// We own it; our read (if any) saw the pre-acquisition value.
+			return loc.old
+		}
+		switch loc.owner.status.Load() {
+		case statusCommitted:
+			return loc.new
+		case statusAborted:
+			return loc.old
+		case statusActive:
+			return loc.old
+		case statusValidating:
+			if !final {
+				return loc.old
+			}
+			// Arbitrate: either the enemy dies (its value stays old) or we
+			// do. Waiting for the enemy to finish is also acceptable.
+			switch tx.eng.cfg.CM.OnConflict(tx.state, loc.owner, 0) {
+			case AbortSelf:
+				throwConflict("validating enemy")
+			default:
+				if tx.abortEnemy(loc.owner) {
+					return loc.old
+				}
+				// Enemy committed while we argued.
+				return loc.new
+			}
+		}
+	}
+}
+
+// validate re-checks every read entry; any change dooms this attempt.
+// Its cost is O(len(reads)); called per open it yields the O(k²) total the
+// paper measures. With the commit-counter heuristic, incremental passes are
+// skipped when no write transaction committed since the previous pass
+// (only a commit can invalidate a read entry); the final pass always runs —
+// it also arbitrates the Validating-vs-Validating race, which the counter
+// cannot witness.
+func (tx *ostmTx) validate(final bool) {
+	tx.checkAlive()
+	if !final && tx.eng.cfg.CommitCounterHeuristic {
+		serial := tx.eng.commitSerial.Load()
+		if serial == tx.lastSerial {
+			return
+		}
+		tx.lastSerial = serial
+	}
+	n := len(tx.reads)
+	tx.eng.stats.validations.Add(uint64(n))
+	for i := 0; i < n; i++ {
+		ent := &tx.reads[i]
+		if tx.resolveValidate(ent.v, final) != ent.seen {
+			throwConflict("read invalidated")
+		}
+	}
+}
+
+// commit drives Active → Validating → Committed. It returns false when the
+// transaction lost a race (killed, or final validation failed via panic —
+// which unwinds to runAttempt, not here).
+func (tx *ostmTx) commit() bool {
+	// Lazy mode: take ownership of the buffered writes now.
+	for i := range tx.pending {
+		p := &tx.pending[i]
+		l := tx.acquire(p.v)
+		l.new.val = p.val
+		l.cloned = true
+	}
+	if tx.eng.cfg.VisibleReads {
+		// Visible mode needs no validation: a writer that invalidated any
+		// of our reads had to abort us first, and read-write conflicts are
+		// arbitrated eagerly on both sides, which also rules out the
+		// cross-validation race.
+		if !tx.state.status.CompareAndSwap(statusActive, statusCommitted) {
+			return false
+		}
+		if len(tx.writes) > 0 {
+			tx.eng.commitSerial.Add(1)
+		}
+		return true
+	}
+	if len(tx.writes) == 0 {
+		// Invisible read-only transaction: nobody can see or kill it; it
+		// commits iff its final validation passes.
+		tx.validate(true)
+		return true
+	}
+	if !tx.state.status.CompareAndSwap(statusActive, statusValidating) {
+		return false // enemy killed us
+	}
+	tx.validate(true)
+	if !tx.state.status.CompareAndSwap(statusValidating, statusCommitted) {
+		return false
+	}
+	tx.eng.commitSerial.Add(1)
+	return true
+}
+
+var (
+	_ Engine = (*OSTM)(nil)
+	_ Tx     = (*ostmTx)(nil)
+	_ TxInfo = (*txState)(nil)
+)

@@ -1,0 +1,71 @@
+package stm
+
+import "sync/atomic"
+
+// Stats are cumulative engine counters. They are approximate under
+// concurrency (relaxed atomic adds) but race-free.
+type Stats struct {
+	// Commits is the number of transactions that committed.
+	Commits uint64
+	// UserAborts is the number of transactions whose function returned an
+	// error (logical failure; writes discarded, no retry).
+	UserAborts uint64
+	// ConflictAborts is the number of attempts discarded due to conflicts
+	// (each such attempt is followed by a retry unless the budget ran out).
+	ConflictAborts uint64
+	// Reads and Writes count Var accesses across all attempts.
+	Reads  uint64
+	Writes uint64
+	// Validations counts individual read-set entry re-checks (the O(k²)
+	// cost center of invisible-read STMs on long traversals).
+	Validations uint64
+	// Clones counts copy-on-write clones performed for Update calls.
+	Clones uint64
+	// EnemyAborts counts transactions killed by a contention manager
+	// decision in some other transaction.
+	EnemyAborts uint64
+	// LockFailures counts TL2 commit-time lock acquisition failures.
+	LockFailures uint64
+}
+
+// statCounters is the internal, atomically updated representation.
+type statCounters struct {
+	commits        atomic.Uint64
+	userAborts     atomic.Uint64
+	conflictAborts atomic.Uint64
+	reads          atomic.Uint64
+	writes         atomic.Uint64
+	validations    atomic.Uint64
+	clones         atomic.Uint64
+	enemyAborts    atomic.Uint64
+	lockFailures   atomic.Uint64
+}
+
+func (c *statCounters) snapshot() Stats {
+	return Stats{
+		Commits:        c.commits.Load(),
+		UserAborts:     c.userAborts.Load(),
+		ConflictAborts: c.conflictAborts.Load(),
+		Reads:          c.reads.Load(),
+		Writes:         c.writes.Load(),
+		Validations:    c.validations.Load(),
+		Clones:         c.clones.Load(),
+		EnemyAborts:    c.enemyAborts.Load(),
+		LockFailures:   c.lockFailures.Load(),
+	}
+}
+
+// Attempts returns the total number of transaction attempts recorded.
+func (s Stats) Attempts() uint64 {
+	return s.Commits + s.UserAborts + s.ConflictAborts
+}
+
+// AbortRate returns the fraction of attempts that were discarded due to
+// conflicts (0 when there were no attempts).
+func (s Stats) AbortRate() float64 {
+	a := s.Attempts()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.ConflictAborts) / float64(a)
+}

@@ -1,0 +1,218 @@
+// Package stm is a software transactional memory library for Go.
+//
+// It was built as the substrate for a reproduction of the STMBench7 paper
+// (Guerraoui, Kapałka, Vitek; EuroSys 2007) and therefore provides the two
+// STM designs that paper discusses, behind one API:
+//
+//   - OSTM (NewOSTM): an object-based STM in the DSTM/ASTM tradition —
+//     eager ownership acquisition through locator objects, invisible reads,
+//     incremental read-set validation (O(k²) over a transaction's lifetime),
+//     object-level logging by copying, and pluggable contention management
+//     (Polka by default). This is the "variant of ASTM" the paper evaluates,
+//     including its pathologies.
+//
+//   - TL2 (NewTL2): a word/ownership-record STM with a global version clock,
+//     lazy write buffering and commit-time locking (Dice, Shalev, Shavit;
+//     DISC 2006). This is the family of "solutions already proposed" that
+//     the paper cites as the fix for OSTM's validation cost.
+//
+//   - Direct (NewDirect): a pass-through engine with no logging and no
+//     conflict detection. It exists so that code written against the stm.Tx
+//     seam can also run under external synchronization (e.g. the benchmark's
+//     coarse- and medium-grained lock strategies) or single-threaded, paying
+//     only an interface call per access.
+//
+// # Programming model
+//
+// Shared mutable state lives in Vars (untyped) or Cells (typed wrappers).
+// All access happens inside a transaction:
+//
+//	eng := stm.NewTL2()
+//	balance := stm.NewCell[int](eng.NewVarSpace(), 100)
+//	err := eng.Atomic(func(tx stm.Tx) error {
+//	    b := balance.Get(tx)
+//	    balance.Set(tx, b+1)
+//	    return nil
+//	})
+//
+// A transaction function may be executed several times; it must be free of
+// side effects other than Var/Cell access. Returning a non-nil error aborts
+// the transaction (its writes are discarded) and Atomic returns that error.
+// Conflicts are handled internally: the engine rolls back and re-executes.
+//
+// Values stored in Vars are treated as immutable snapshots. Reading a Var
+// must never be followed by in-place mutation of the returned value; use
+// Update, which gives the engine a chance to clone the value first (the
+// transactional engines clone, the direct engine lets you mutate in place —
+// which is exactly the lock-based/STM-based split STMBench7 needs).
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// box holds one immutable snapshot of a Var's value. Box identity (pointer
+// equality) is what read-set validation compares, so equal values written at
+// different times are still distinguishable.
+type box struct {
+	val any
+}
+
+// CloneFunc produces a deep-enough copy of a value such that mutating the
+// copy does not affect the original. It is required for values with
+// reference semantics (slices, maps, pointers to mutable structs) that are
+// modified through Update under a transactional engine.
+type CloneFunc func(any) any
+
+// Var is one STM-managed memory location. A Var holds a single value of any
+// type; object-based designs (like the STMBench7 data structure) store a
+// whole object's mutable state in one Var, making the Var the unit of
+// conflict detection and of copy-on-write logging.
+//
+// Create Vars with VarSpace.NewVar so they receive unique ids; ids order
+// commit-time lock acquisition in TL2.
+type Var struct {
+	id    uint64
+	name  string
+	clone CloneFunc
+
+	// meta is TL2's versioned lock word: bit 0 is the lock bit, the
+	// remaining bits hold the version of the last committed write. The
+	// direct and OSTM engines ignore it.
+	meta atomic.Uint64
+
+	// cur is the committed value used by the direct and TL2 engines, and
+	// the pre-first-write value for OSTM.
+	cur atomic.Pointer[box]
+
+	// loc is OSTM's ownership record. nil means "no OSTM writer has ever
+	// acquired this Var; the committed value is in cur". Once an OSTM
+	// writer acquires the Var, the current value is always resolved
+	// through the locator chain (each locator snapshots its predecessor's
+	// resolved value, so the chain never grows beyond one link).
+	loc atomic.Pointer[locator]
+
+	// readers is OSTM's visible-reads registry (nil unless the engine
+	// runs in visible-reads mode): an immutable snapshot of the
+	// transactions currently reading this Var, replaced by CAS. Writers
+	// must arbitrate with every live registered reader before their
+	// commit can invalidate it.
+	readers atomic.Pointer[readerSet]
+}
+
+// readerSet is an immutable set of reader transactions.
+type readerSet struct {
+	list []*txState
+}
+
+// VarSpace allocates Vars with unique ids. All Vars that may participate in
+// the same transaction must come from the same space (or at least have
+// globally unique ids); engines embed a space, so Engine.NewVarSpace is the
+// usual source.
+type VarSpace struct {
+	nextID atomic.Uint64
+}
+
+// NewVarSpace returns a standalone id space. Most callers use
+// Engine.VarSpace instead.
+func NewVarSpace() *VarSpace { return &VarSpace{} }
+
+// NewVar returns a Var initialized to val. clone may be nil when val (and
+// all future values) have value semantics or are never mutated through
+// Update.
+func (s *VarSpace) NewVar(val any, clone CloneFunc) *Var {
+	v := &Var{id: s.nextID.Add(1), clone: clone}
+	v.cur.Store(&box{val: val})
+	return v
+}
+
+// SetName attaches a debug name to the Var (visible in String). The
+// STMBench7 core tags every Var with its synchronization domain, which the
+// lock-strategy tests use to verify lock coverage.
+func (v *Var) SetName(name string) *Var { v.name = name; return v }
+
+// Name returns the debug name set by SetName ("" if none).
+func (v *Var) Name() string { return v.name }
+
+// ID returns the Var's unique id within its VarSpace.
+func (v *Var) ID() uint64 { return v.id }
+
+func (v *Var) String() string {
+	if v.name != "" {
+		return fmt.Sprintf("Var(%d:%s)", v.id, v.name)
+	}
+	return fmt.Sprintf("Var(%d)", v.id)
+}
+
+// Tx is the handle a transaction function uses to access shared state. The
+// same interface is implemented by all engines, which is what lets the
+// STMBench7 operations run unchanged under locks or under either STM.
+//
+// A Tx is only valid during the call to Atomic that supplied it and must not
+// be used from other goroutines.
+type Tx interface {
+	// Read returns the Var's current value as seen by this transaction.
+	// The returned value must not be mutated.
+	Read(v *Var) any
+
+	// Write replaces the Var's value in this transaction. The new value
+	// must not be mutated after the call.
+	Write(v *Var, val any)
+
+	// Update applies f to the Var's value and stores the result.
+	// Transactional engines pass f a private clone (per the Var's
+	// CloneFunc), so f may mutate its argument freely; the direct engine
+	// passes the live value, so the mutation happens in place. f must
+	// return the value to store (which may be its argument).
+	Update(v *Var, f func(val any) any)
+}
+
+// Engine executes transactions. Engines are safe for concurrent use; any
+// number of goroutines may call Atomic simultaneously.
+type Engine interface {
+	// Name identifies the engine ("direct", "ostm", "tl2") in reports.
+	Name() string
+
+	// Atomic runs fn as one transaction, retrying on conflicts until the
+	// transaction either commits (fn returned nil) or fn returns an
+	// error, in which case the transaction's writes are discarded and the
+	// error is returned.
+	Atomic(fn func(tx Tx) error) error
+
+	// VarSpace returns the engine's id space for allocating Vars.
+	VarSpace() *VarSpace
+
+	// Stats returns a snapshot of cumulative execution counters.
+	Stats() Stats
+}
+
+// ErrAborted is returned by Atomic when the transaction gave up without
+// committing — only possible when the engine is configured with a bounded
+// retry budget (see OSTMConfig.MaxRetries / TL2Config.MaxRetries).
+var ErrAborted = errors.New("stm: transaction aborted (retry budget exhausted)")
+
+// conflict is the panic payload used internally to unwind a doomed
+// transaction attempt. It never escapes Atomic.
+type conflict struct {
+	reason string
+}
+
+func (c conflict) String() string { return "stm conflict: " + c.reason }
+
+// throwConflict aborts the current attempt by panicking; Atomic recovers it
+// and retries.
+func throwConflict(reason string) {
+	panic(conflict{reason: reason})
+}
+
+// rethrowIfNotConflict re-panics recovered values that are not internal
+// conflict signals (i.e. genuine bugs in user code).
+func rethrowIfNotConflict(r any) conflict {
+	c, ok := r.(conflict)
+	if !ok {
+		panic(r)
+	}
+	return c
+}

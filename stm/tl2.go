@@ -1,0 +1,308 @@
+package stm
+
+import "sync/atomic"
+
+// TL2Config tunes the TL2 engine.
+type TL2Config struct {
+	// ReadLockSpins bounds how many times a read re-examines a locked Var
+	// before giving up on the attempt (default 64 when zero).
+	ReadLockSpins int
+	// CommitLockSpins bounds commit-time lock acquisition spinning per Var
+	// (default 64 when zero).
+	CommitLockSpins int
+	// TimestampExtension lets a read that finds a too-new version try to
+	// slide the transaction's snapshot forward instead of aborting: take a
+	// fresh clock sample, re-validate the read set against it, and adopt
+	// it on success — the lazy-snapshot-algorithm idea of Riegel, Felber
+	// and Fetzer (DISC 2006), another of the paper's cited fixes.
+	TimestampExtension bool
+	// MaxRetries bounds re-executions; 0 means retry forever. When the
+	// budget is exhausted Atomic returns ErrAborted.
+	MaxRetries int
+}
+
+// TL2 implements Transactional Locking II (Dice, Shalev, Shavit; DISC
+// 2006): a global version clock, a versioned lock word per Var, invisible
+// reads validated against the clock at read time, lazy write buffering, and
+// commit-time locking in Var-id order.
+//
+// TL2 is the representative of the "solutions already proposed" the
+// STMBench7 paper cites for ASTM's O(k²) validation cost: a TL2 read
+// validates in O(1) against the snapshot clock, so a k-read traversal costs
+// O(k), not O(k²).
+type TL2 struct {
+	space VarSpace
+	cfg   TL2Config
+	stats statCounters
+	// clock is the global version clock. It advances by 2 so that version
+	// numbers are always even; bit 0 of a Var's meta word is its lock bit.
+	clock atomic.Uint64
+}
+
+// NewTL2 returns a TL2 engine with default configuration.
+func NewTL2() *TL2 { return NewTL2With(TL2Config{}) }
+
+// NewTL2With returns a TL2 engine with explicit configuration.
+func NewTL2With(cfg TL2Config) *TL2 {
+	if cfg.ReadLockSpins <= 0 {
+		cfg.ReadLockSpins = 64
+	}
+	if cfg.CommitLockSpins <= 0 {
+		cfg.CommitLockSpins = 64
+	}
+	return &TL2{cfg: cfg}
+}
+
+// Name implements Engine.
+func (e *TL2) Name() string { return "tl2" }
+
+// VarSpace implements Engine.
+func (e *TL2) VarSpace() *VarSpace { return &e.space }
+
+// Stats implements Engine.
+func (e *TL2) Stats() Stats { return e.stats.snapshot() }
+
+// Atomic implements Engine.
+func (e *TL2) Atomic(fn func(tx Tx) error) error {
+	tx := &tl2Tx{eng: e}
+	for attempt := 0; ; attempt++ {
+		if e.cfg.MaxRetries > 0 && attempt > e.cfg.MaxRetries {
+			return ErrAborted
+		}
+		tx.reset()
+		committed, err := e.runAttempt(tx, fn)
+		if committed {
+			e.stats.commits.Add(1)
+			return nil
+		}
+		if err != nil {
+			e.stats.userAborts.Add(1)
+			return err
+		}
+		e.stats.conflictAborts.Add(1)
+		spinWait(backoffDur(attempt, uint64(len(tx.reads))+uint64(attempt)<<32))
+	}
+}
+
+func (e *TL2) runAttempt(tx *tl2Tx, fn func(tx Tx) error) (committed bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rethrowIfNotConflict(r)
+			committed, err = false, nil
+		}
+	}()
+	if err := fn(tx); err != nil {
+		return false, err // buffered writes are simply dropped
+	}
+	return tx.commit(), nil
+}
+
+// tl2Write is one buffered write.
+type tl2Write struct {
+	v   *Var
+	val any
+}
+
+type tl2Tx struct {
+	eng *TL2
+	rv  uint64 // read version: clock snapshot at attempt start
+
+	reads   []*Var
+	readIdx map[*Var]struct{}
+
+	writes   []tl2Write
+	writeIdx map[*Var]int
+}
+
+func (tx *tl2Tx) reset() {
+	tx.rv = tx.eng.clock.Load()
+	tx.reads = tx.reads[:0]
+	tx.readIdx = make(map[*Var]struct{})
+	tx.writes = tx.writes[:0]
+	tx.writeIdx = make(map[*Var]int)
+}
+
+// readVar performs TL2's sampled-meta read: meta, value, meta again; the
+// read is consistent iff meta was stable, unlocked, and not newer than rv.
+func (tx *tl2Tx) readVar(v *Var) any {
+	spins := 0
+	for {
+		m1 := v.meta.Load()
+		if m1&1 == 1 {
+			spins++
+			if spins > tx.eng.cfg.ReadLockSpins {
+				throwConflict("read of locked var")
+			}
+			spinHint()
+			continue
+		}
+		b := v.cur.Load()
+		m2 := v.meta.Load()
+		if m1 != m2 {
+			continue
+		}
+		if m1 > tx.rv {
+			if tx.eng.cfg.TimestampExtension && tx.extendSnapshot() {
+				continue // snapshot slid forward; re-read the var
+			}
+			throwConflict("read version too new")
+		}
+		if _, ok := tx.readIdx[v]; !ok {
+			tx.readIdx[v] = struct{}{}
+			tx.reads = append(tx.reads, v)
+		}
+		return b.val
+	}
+}
+
+// extendSnapshot tries to move rv up to the current clock: it succeeds iff
+// every read so far is still valid at the new timestamp (unlocked and not
+// overwritten since). On success later reads may observe newer versions
+// without breaking snapshot consistency.
+func (tx *tl2Tx) extendSnapshot() bool {
+	newRv := tx.eng.clock.Load()
+	if newRv == tx.rv {
+		return false
+	}
+	tx.eng.stats.validations.Add(uint64(len(tx.reads)))
+	for _, v := range tx.reads {
+		m := v.meta.Load()
+		if m&1 == 1 || m > tx.rv {
+			return false
+		}
+	}
+	tx.rv = newRv
+	return true
+}
+
+// Read implements Tx.
+func (tx *tl2Tx) Read(v *Var) any {
+	tx.eng.stats.reads.Add(1)
+	if i, ok := tx.writeIdx[v]; ok {
+		return tx.writes[i].val
+	}
+	return tx.readVar(v)
+}
+
+// Write implements Tx (lazy: buffered until commit).
+func (tx *tl2Tx) Write(v *Var, val any) {
+	tx.eng.stats.writes.Add(1)
+	if i, ok := tx.writeIdx[v]; ok {
+		tx.writes[i].val = val
+		return
+	}
+	tx.writeIdx[v] = len(tx.writes)
+	tx.writes = append(tx.writes, tl2Write{v: v, val: val})
+}
+
+// Update implements Tx. A first Update reads the current value (which joins
+// the read set, guarding against lost updates), clones it if the Var has a
+// clone function, applies f, and buffers the result.
+func (tx *tl2Tx) Update(v *Var, f func(val any) any) {
+	tx.eng.stats.writes.Add(1)
+	if i, ok := tx.writeIdx[v]; ok {
+		tx.writes[i].val = f(tx.writes[i].val)
+		return
+	}
+	cur := tx.readVar(v)
+	if v.clone != nil {
+		cur = v.clone(cur)
+		tx.eng.stats.clones.Add(1)
+	}
+	tx.writeIdx[v] = len(tx.writes)
+	tx.writes = append(tx.writes, tl2Write{v: v, val: f(cur)})
+}
+
+// commit implements TL2's commit protocol: lock the write set in id order,
+// advance the clock, validate the read set, write back, unlock.
+func (tx *tl2Tx) commit() bool {
+	if len(tx.writes) == 0 {
+		// Read-only transactions validated every read against rv at read
+		// time; they commit with no further synchronization.
+		return true
+	}
+
+	// Lock the write set in Var-id order so concurrent committers cannot
+	// deadlock (we spin-bound anyway, but ordering avoids wasted work).
+	sortWritesByID(tx.writes)
+	for i := range tx.writes {
+		tx.writeIdx[tx.writes[i].v] = i // reindex after sorting
+	}
+	locked := 0
+	lockedMeta := make([]uint64, len(tx.writes))
+	release := func() {
+		for i := 0; i < locked; i++ {
+			tx.writes[i].v.meta.Store(lockedMeta[i])
+		}
+	}
+	for i := range tx.writes {
+		v := tx.writes[i].v
+		spins := 0
+		for {
+			m := v.meta.Load()
+			if m&1 == 0 && v.meta.CompareAndSwap(m, m|1) {
+				lockedMeta[i] = m
+				locked++
+				break
+			}
+			spins++
+			if spins > tx.eng.cfg.CommitLockSpins {
+				release()
+				tx.eng.stats.lockFailures.Add(1)
+				return false
+			}
+			spinHint()
+		}
+	}
+
+	wv := tx.eng.clock.Add(2)
+
+	// Validate the read set unless nobody else committed since we started
+	// (wv == rv+2 means the clock moved only by our own increment).
+	if wv != tx.rv+2 {
+		tx.eng.stats.validations.Add(uint64(len(tx.reads)))
+		for _, v := range tx.reads {
+			m := v.meta.Load()
+			if m&1 == 1 {
+				// Locked: only fine if we hold the lock, in which case the
+				// pre-lock version must not exceed rv.
+				if i, ok := tx.writeIdx[v]; ok {
+					if lockedMeta[i] > tx.rv {
+						release()
+						return false
+					}
+					continue
+				}
+				release()
+				return false
+			}
+			if m > tx.rv {
+				release()
+				return false
+			}
+		}
+	}
+
+	// Write back and unlock by publishing the new version.
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		w.v.cur.Store(&box{val: w.val})
+		w.v.meta.Store(wv)
+	}
+	return true
+}
+
+// sortWritesByID sorts in place by Var id (insertion sort: write sets are
+// small in almost all workloads; avoids sort.Slice's closure allocations).
+func sortWritesByID(ws []tl2Write) {
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j].v.id < ws[j-1].v.id; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+}
+
+var (
+	_ Engine = (*TL2)(nil)
+	_ Tx     = (*tl2Tx)(nil)
+)

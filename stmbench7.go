@@ -1,0 +1,97 @@
+// Package stmbench7 is a Go implementation of STMBench7 — the software
+// transactional memory benchmark of Guerraoui, Kapałka and Vitek (EuroSys
+// 2007) — together with everything it runs on: the OO7-derived data
+// structure, the 45 benchmark operations, the coarse- and medium-grained
+// locking strategies the paper uses as baselines, and two STM runtimes
+// (an ASTM/DSTM-style object STM and TL2) available in the sibling stm
+// package.
+//
+// # Quick start
+//
+//	res, err := stmbench7.Run(stmbench7.Options{
+//	    Params:         stmbench7.SmallParams(),
+//	    Threads:        4,
+//	    Duration:       5 * time.Second,
+//	    Workload:       stmbench7.ReadDominated,
+//	    LongTraversals: true,
+//	    StructureMods:  true,
+//	    Strategy:       "medium", // or "coarse", "ostm", "tl2"
+//	})
+//	if err != nil { ... }
+//	stmbench7.WriteReport(os.Stdout, res)
+//
+// The package is a thin facade over the internal implementation packages;
+// everything needed to configure, run and analyze a benchmark is reachable
+// from here.
+package stmbench7
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/ops"
+	"repro/internal/sync7"
+)
+
+// Options configures a benchmark run. See harness.Options for field
+// documentation.
+type Options = harness.Options
+
+// Result is a completed benchmark run.
+type Result = harness.Result
+
+// OpResult is the per-operation measurement record.
+type OpResult = harness.OpResult
+
+// SampleError is the Appendix-A expected-vs-measured ratio record.
+type SampleError = harness.SampleError
+
+// Params sizes the benchmark data structure.
+type Params = core.Params
+
+// Workload selects the Table 2 read/update split.
+type Workload = ops.Workload
+
+// Workload types (§2.3).
+const (
+	ReadDominated  = ops.ReadDominated
+	ReadWrite      = ops.ReadWrite
+	WriteDominated = ops.WriteDominated
+)
+
+// ParseWorkload accepts the paper's CLI notation: "r", "rw", "w".
+func ParseWorkload(s string) (Workload, error) { return ops.ParseWorkload(s) }
+
+// TinyParams returns the unit-test-scale structure preset.
+func TinyParams() Params { return core.Tiny() }
+
+// SmallParams returns the laptop-benchmark preset (≈1/20 of the paper's).
+func SmallParams() Params { return core.Small() }
+
+// MediumParams returns the paper's configuration: the OO7 "medium"
+// database (100 000 atomic parts, 1 MB manual).
+func MediumParams() Params { return core.Medium() }
+
+// NamedParams resolves "tiny", "small" or "medium".
+func NamedParams(name string) (Params, bool) { return core.Named(name) }
+
+// Strategies lists the synchronization strategies: coarse, medium, ostm,
+// tl2, direct.
+func Strategies() []string { return sync7.Strategies() }
+
+// Run executes one benchmark run.
+func Run(o Options) (*Result, error) { return harness.Run(o) }
+
+// WriteReport prints the Appendix-A report for a run.
+func WriteReport(w io.Writer, r *Result) { harness.WriteReport(w, r) }
+
+// OperationNames returns the 45 operation names in the paper's order.
+func OperationNames() []string {
+	all := ops.All()
+	names := make([]string, len(all))
+	for i, op := range all {
+		names[i] = op.Name
+	}
+	return names
+}
