@@ -213,6 +213,7 @@ func BenchmarkHeadlineT1(b *testing.B) {
 		{"coarse", sync7.Config{Strategy: "coarse"}},
 		{"medium", sync7.Config{Strategy: "medium"}},
 		{"tl2", sync7.Config{Strategy: "tl2"}},
+		{"norec", sync7.Config{Strategy: "norec"}},
 		{"ostm", sync7.Config{Strategy: "ostm"}},
 		{"ostm-committime", sync7.Config{Strategy: "ostm", CommitTimeValidationOnly: true}},
 	} {
@@ -272,10 +273,12 @@ func BenchmarkAblationCM(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationEngines: OSTM vs TL2 on the standard read-write mix —
-// the cited "solutions already proposed" gap.
+// BenchmarkAblationEngines compares every registered STM engine (ostm,
+// tl2, norec, ...) on the standard read-write mix — the cited "solutions
+// already proposed" gap. New engines join via the sync7 registry; no
+// edit here required.
 func BenchmarkAblationEngines(b *testing.B) {
-	for _, strat := range []string{"ostm", "tl2"} {
+	for _, strat := range sync7.STMStrategies() {
 		for _, threads := range []int{1, 8} {
 			b.Run(fmt.Sprintf("%s/threads=%d", strat, threads), func(b *testing.B) {
 				ex, s := benchSetup(b, sync7.Config{Strategy: strat}, core.Tiny())
@@ -595,15 +598,17 @@ func BenchmarkAblationTxIndex(b *testing.B) {
 
 // --- STM micro-benchmarks ---------------------------------------------------
 
-// BenchmarkSTMReadWrite measures raw per-access costs of the three engines
-// (the constant factors under all of the above).
+// BenchmarkSTMReadWrite measures raw per-access costs of every
+// registered engine (the constant factors under all of the above).
 func BenchmarkSTMReadWrite(b *testing.B) {
-	mk := map[string]func() stm.Engine{
-		"direct": func() stm.Engine { return stm.NewDirect() },
-		"ostm":   func() stm.Engine { return stm.NewOSTM() },
-		"tl2":    func() stm.Engine { return stm.NewTL2() },
-	}
-	for name, newEngine := range mk {
+	for _, name := range stm.Registered() {
+		newEngine := func() stm.Engine {
+			eng, err := stm.New(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return eng
+		}
 		b.Run(name+"/read100", func(b *testing.B) {
 			eng := newEngine()
 			cells := make([]*stm.Cell[int], 100)

@@ -4,7 +4,8 @@
 //	Figure 3  — max latency of long traversals, coarse vs medium locking
 //	Figure 4  — throughput by workload, coarse vs medium, no long traversals
 //	Table 3   — throughput, coarse locking vs the ASTM-style STM (ostm)
-//	Figure 6  — throughput on the reduced op set, coarse/medium/ostm
+//	Figure 6  — throughput on the reduced op set, coarse/medium plus
+//	            every registered STM engine (ostm, tl2, norec, ...)
 //	headline  — §5's "T1 under ASTM is orders of magnitude slower than locks"
 //
 // Numbers are ops/s and milliseconds on this host; the paper's shape (who
@@ -242,17 +243,23 @@ func table3(cfg config) {
 
 // figure6: the reduced operation set (no long operations, no manual or
 // large-index writers): the STM becomes competitive, like the synthetic
-// benchmarks STMs were usually evaluated on.
+// benchmarks STMs were usually evaluated on. Every registered STM engine
+// is a column, so a new engine joins the comparison automatically.
 func figure6(cfg config) {
+	strategies := append([]string{"medium", "coarse"}, sync7.STMStrategies()...)
 	fmt.Println("=== Figure 6: total throughput [ops/s], reduced operation set (all long operations disabled) ===")
 	fmt.Println("    (paper: on this op set ASTM scales like medium locking for read-dominated")
 	fmt.Println("     workloads and beats coarse locking given enough threads)")
 	for _, w := range []ops.Workload{ops.ReadDominated, ops.ReadWrite, ops.WriteDominated} {
 		fmt.Printf("  workload %v\n", w)
-		fmt.Printf("%8s | %10s %10s %10s %10s\n", "threads", "medium", "coarse", "ostm", "tl2")
+		fmt.Printf("%8s |", "threads")
+		for _, strat := range strategies {
+			fmt.Printf(" %10s", strat)
+		}
+		fmt.Println()
 		for _, th := range cfg.threads {
-			var row []float64
-			for _, strat := range []string{"medium", "coarse", "ostm", "tl2"} {
+			fmt.Printf("%8d |", th)
+			for _, strat := range strategies {
 				res := measure(cfg, stmbench7.Options{
 					Threads:        th,
 					Workload:       w,
@@ -261,9 +268,9 @@ func figure6(cfg config) {
 					Reduced:        true,
 					Strategy:       strat,
 				})
-				row = append(row, res.Throughput())
+				fmt.Printf(" %10.0f", res.Throughput())
 			}
-			fmt.Printf("%8d | %10.0f %10.0f %10.0f %10.0f\n", th, row[0], row[1], row[2], row[3])
+			fmt.Println()
 		}
 	}
 	fmt.Println()
@@ -303,6 +310,8 @@ func ablations(cfg config) {
 		{"contention manager", "backoff", func() stm.Engine { return stm.NewOSTMWith(stm.OSTMConfig{CM: stm.Backoff{}}) }, nil},
 		{"tl2", "plain", func() stm.Engine { return stm.NewTL2() }, nil},
 		{"tl2", "timestamp extension", func() stm.Engine { return stm.NewTL2With(stm.TL2Config{TimestampExtension: true}) }, nil},
+		{"norec", "value validation (faithful)", func() stm.Engine { return stm.NewNOrec() }, nil},
+		{"norec", "reference validation", func() stm.Engine { return stm.NewNOrecWith(stm.NOrecConfig{ReferenceValidation: true}) }, nil},
 		{"layout (tl2)", "faithful", func() stm.Engine { return stm.NewTL2() }, nil},
 		{"layout (tl2)", "chunked manual", func() stm.Engine { return stm.NewTL2() }, func(p *core.Params) { p.ManualChunks = 8 }},
 		{"layout (tl2)", "grouped parts", func() stm.Engine { return stm.NewTL2() }, func(p *core.Params) { p.GroupAtomicParts = true }},
@@ -371,6 +380,7 @@ func headline(cfg config) {
 		{"coarse lock", sync7.Config{Strategy: "coarse", NumAssmLevels: cfg.params.NumAssmLevels}},
 		{"medium lock", sync7.Config{Strategy: "medium", NumAssmLevels: cfg.params.NumAssmLevels}},
 		{"tl2", sync7.Config{Strategy: "tl2"}},
+		{"norec", sync7.Config{Strategy: "norec"}},
 		{"ostm (ASTM variant)", sync7.Config{Strategy: "ostm"}},
 		{"ostm, commit-time validation", sync7.Config{Strategy: "ostm", CommitTimeValidationOnly: true}},
 		{"ostm, visible reads", sync7.Config{Strategy: "ostm", VisibleReads: true}},

@@ -8,7 +8,7 @@
 //	-t N               number of threads (default 1)
 //	-l SECONDS         benchmark length in seconds (default 10)
 //	-w r|rw|w          workload type (default r, read-dominated)
-//	-g STRATEGY        synchronization: coarse, medium, ostm, tl2 (default coarse)
+//	-g STRATEGY        synchronization: coarse, medium, ostm, tl2, norec (default coarse)
 //	--no-traversals    disable long traversals
 //	--no-sms           disable structure modification operations
 //	--ttc-histograms   print TTC (latency) histograms
@@ -33,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	stmbench7 "repro"
@@ -68,7 +69,7 @@ func run(args []string) error {
 	threads := fs.Int("t", 1, "number of threads")
 	length := fs.Float64("l", 10, "benchmark length in seconds")
 	workload := fs.String("w", "r", "workload type: r, rw or w")
-	strategy := fs.String("g", "coarse", "synchronization strategy: coarse, medium, ostm, tl2")
+	strategy := fs.String("g", "coarse", "synchronization strategy: "+strings.Join(stmbench7.Strategies(), ", "))
 	noTraversals := fs.Bool("no-traversals", false, "disable long traversals")
 	noSMs := fs.Bool("no-sms", false, "disable structure modification operations")
 	histograms := fs.Bool("ttc-histograms", false, "print TTC histograms")

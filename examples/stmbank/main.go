@@ -1,7 +1,8 @@
 // stmbank demonstrates the stm package — the STM runtime built for this
 // STMBench7 reproduction — as a standalone library on the classic bank
 // example: concurrent transfers between accounts with an invariant auditor
-// running alongside, under both engines (TL2 and the ASTM-style OSTM).
+// running alongside, under every registered transactional engine (TL2,
+// the ASTM-style OSTM, NOrec, ...).
 //
 //	go run ./examples/stmbank
 package main
@@ -103,8 +104,15 @@ func demo(eng stm.Engine) {
 }
 
 func main() {
-	fmt.Println("bank demo under TL2:")
-	demo(stm.NewTL2())
-	fmt.Println("bank demo under OSTM (ASTM-style, Polka contention management):")
-	demo(stm.NewOSTM())
+	for _, name := range stm.Registered() {
+		if name == "direct" {
+			continue // no isolation; the auditor would race the workers
+		}
+		eng, err := stm.New(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("bank demo under %s:\n", name)
+		demo(eng)
+	}
 }

@@ -42,8 +42,9 @@ type Options struct {
 	StructureMods  bool
 	// Reduced applies the §5 reduced operation set (Figure 6, Table 3).
 	Reduced bool
-	// Strategy is the synchronization strategy (-g): coarse, medium,
-	// ostm, tl2 or direct.
+	// Strategy is the synchronization strategy (-g): any registered
+	// strategy name (see sync7.Strategies) — coarse, medium, ostm,
+	// tl2, norec or direct.
 	Strategy string
 	// CM optionally overrides OSTM's contention manager.
 	CM stm.ContentionManager

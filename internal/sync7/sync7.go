@@ -8,7 +8,7 @@
 //     lock taken in write mode by SM operations and in read mode by
 //     everything else.
 //   - STM execution: each operation runs as one transaction on an stm
-//     engine (OSTM — the paper's ASTM variant — or TL2).
+//     engine (OSTM — the paper's ASTM variant — TL2, or NOrec).
 //   - Direct execution: no synchronization at all, for single-threaded
 //     baselines and tests.
 //
@@ -16,11 +16,18 @@
 // a pass-through engine, the STM strategies a transactional one — exactly
 // the paper's design where the core benchmark carries no concurrency
 // control and a strategy is merged in at build time.
+//
+// Strategies live in a registry (see Register): New resolves
+// Config.Strategy against it, and Strategies/STMStrategies enumerate it.
+// Engines registered with the stm package are wrapped as STM strategies
+// automatically, so adding an engine there is enough to make it
+// selectable here (and in both CLIs) by name.
 package sync7
 
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/ops"
@@ -32,7 +39,7 @@ import (
 // are safe for concurrent use by many worker threads.
 type Executor interface {
 	// Name identifies the strategy ("coarse", "medium", "ostm", "tl2",
-	// "direct").
+	// "norec", "direct").
 	Name() string
 	// Engine returns the stm engine operations run on. The benchmark
 	// structure must be built from this engine's VarSpace.
@@ -44,7 +51,8 @@ type Executor interface {
 
 // Config selects and tunes a strategy.
 type Config struct {
-	// Strategy: "coarse", "medium", "ostm", "tl2" or "direct".
+	// Strategy is any registered strategy name (see Strategies):
+	// "coarse", "medium", "ostm", "tl2", "norec" or "direct".
 	Strategy string
 	// NumAssmLevels must match the structure's parameter (medium locking
 	// needs one lock per level). Ignored by other strategies.
@@ -58,33 +66,15 @@ type Config struct {
 	VisibleReads bool
 }
 
-// New builds the executor for cfg.
+// New builds the executor for cfg by looking Config.Strategy up in the
+// strategy registry.
 func New(cfg Config) (Executor, error) {
-	switch cfg.Strategy {
-	case "direct":
-		return &DirectExec{eng: stm.NewDirect()}, nil
-	case "coarse":
-		return &Coarse{eng: stm.NewDirect()}, nil
-	case "medium":
-		if cfg.NumAssmLevels < 2 {
-			return nil, fmt.Errorf("sync7: medium locking needs NumAssmLevels >= 2, got %d", cfg.NumAssmLevels)
-		}
-		return newMedium(cfg.NumAssmLevels), nil
-	case "ostm":
-		return &STMExec{eng: stm.NewOSTMWith(stm.OSTMConfig{
-			CM:                       cfg.CM,
-			CommitTimeValidationOnly: cfg.CommitTimeValidationOnly,
-			VisibleReads:             cfg.VisibleReads,
-		}), name: "ostm"}, nil
-	case "tl2":
-		return &STMExec{eng: stm.NewTL2(), name: "tl2"}, nil
-	default:
-		return nil, fmt.Errorf("sync7: unknown strategy %q (want coarse, medium, ostm, tl2 or direct)", cfg.Strategy)
+	reg, ok := lookup(cfg.Strategy)
+	if !ok {
+		return nil, fmt.Errorf("sync7: unknown strategy %q (want %s)", cfg.Strategy, strings.Join(Strategies(), ", "))
 	}
+	return reg.factory(cfg)
 }
-
-// Strategies lists the valid Config.Strategy values.
-func Strategies() []string { return []string{"coarse", "medium", "ostm", "tl2", "direct"} }
 
 // runOp executes the operation body through an engine, translating the
 // op's logical failure into a user abort.

@@ -34,6 +34,34 @@ func TestNewStrategies(t *testing.T) {
 	}
 }
 
+func TestRegistryKinds(t *testing.T) {
+	want := map[string]Kind{
+		"direct": KindDirect,
+		"coarse": KindLock,
+		"medium": KindLock,
+		"ostm":   KindSTM,
+		"tl2":    KindSTM,
+		"norec":  KindSTM,
+	}
+	for name, kind := range want {
+		found := false
+		for _, n := range StrategiesOfKind(kind) {
+			if n == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s missing from StrategiesOfKind(%v) = %v", name, kind, StrategiesOfKind(kind))
+		}
+	}
+	// Every stm-registered engine must be selectable as a strategy.
+	for _, name := range stm.Registered() {
+		if _, ok := lookup(name); !ok {
+			t.Errorf("stm engine %q has no sync7 strategy", name)
+		}
+	}
+}
+
 func TestLockSetsCompleteForNonSMOps(t *testing.T) {
 	for _, op := range ops.All() {
 		_, ok := LockSetFor(op.Name)
@@ -254,7 +282,7 @@ func TestConcurrentInvariantPreservation(t *testing.T) {
 	if testing.Short() {
 		iters = 30
 	}
-	for _, strat := range []string{"coarse", "medium", "ostm", "tl2"} {
+	for _, strat := range append(StrategiesOfKind(KindLock), STMStrategies()...) {
 		t.Run(strat, func(t *testing.T) {
 			p := core.Tiny()
 			ex, err := New(Config{Strategy: strat, NumAssmLevels: p.NumAssmLevels})
@@ -307,7 +335,7 @@ func TestExecutorEquivalenceSingleThread(t *testing.T) {
 		return out
 	}
 	ref := runSeq("direct")
-	for _, strat := range []string{"coarse", "medium", "ostm", "tl2"} {
+	for _, strat := range append(StrategiesOfKind(KindLock), STMStrategies()...) {
 		got := runSeq(strat)
 		for i := range ref.vals {
 			if got.vals[i] != ref.vals[i] || got.fails[i] != ref.fails[i] {
@@ -361,7 +389,7 @@ func TestMediumLongTraversalWithConcurrentSMs(t *testing.T) {
 // TestSTMExecutorCountsAborts sanity-checks that contention shows up in
 // engine stats under STM execution.
 func TestSTMExecutorCountsAborts(t *testing.T) {
-	for _, strat := range []string{"ostm", "tl2"} {
+	for _, strat := range STMStrategies() {
 		p := core.Tiny()
 		ex, err := New(Config{Strategy: strat, NumAssmLevels: p.NumAssmLevels})
 		if err != nil {

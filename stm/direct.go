@@ -17,6 +17,8 @@ type Direct struct {
 // NewDirect returns a pass-through engine.
 func NewDirect() *Direct { return &Direct{} }
 
+func init() { Register("direct", func() Engine { return NewDirect() }) }
+
 // Name implements Engine.
 func (d *Direct) Name() string { return "direct" }
 

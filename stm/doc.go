@@ -1,0 +1,120 @@
+// Package stm is a software transactional memory library for Go.
+//
+// It was built as the substrate for a reproduction of the STMBench7 paper
+// (Guerraoui, Kapałka, Vitek; EuroSys 2007) and provides the STM designs
+// that comparison needs, behind one API:
+//
+//   - OSTM (NewOSTM): an object-based STM in the DSTM/ASTM tradition —
+//     eager ownership acquisition through locator objects, invisible reads,
+//     incremental read-set validation (O(k²) over a transaction's lifetime),
+//     object-level logging by copying, and pluggable contention management
+//     (Polka by default). This is the "variant of ASTM" the paper evaluates,
+//     including its pathologies.
+//
+//   - TL2 (NewTL2): a word/ownership-record STM with a global version clock,
+//     lazy write buffering and commit-time locking (Dice, Shalev, Shavit;
+//     DISC 2006). This is the family of "solutions already proposed" that
+//     the paper cites as the fix for OSTM's validation cost.
+//
+//   - NOrec (NewNOrec): an STM with no per-location metadata at all — one
+//     global sequence lock, value-based read-set validation with snapshot
+//     extension, and lazy write buffering (Dalessandro, Spear, Scott;
+//     PPoPP 2010). Reads are cheapest of the three designs; validation is
+//     O(read set) per global commit and write commits serialize, which the
+//     benchmark's long traversals and write-heavy workloads expose.
+//
+//   - Direct (NewDirect): a pass-through engine with no logging and no
+//     conflict detection. It exists so that code written against the stm.Tx
+//     seam can also run under external synchronization (e.g. the benchmark's
+//     coarse- and medium-grained lock strategies) or single-threaded, paying
+//     only an interface call per access.
+//
+// Engines self-register in an engine registry: New("norec") returns a fresh
+// default-configuration engine by name and Registered lists the names. The
+// benchmark's strategy layer and the engine test suites enumerate the
+// registry, so a new engine in this package is automatically picked up by
+// the conformance/stress/property tests, the comparison benchmarks, and
+// both command-line tools.
+//
+// # Programming model
+//
+// Shared mutable state lives in Vars (untyped) or Cells (typed wrappers).
+// All access happens inside a transaction:
+//
+//	eng := stm.NewTL2()
+//	balance := stm.NewCell[int](eng.VarSpace(), 100)
+//	err := eng.Atomic(func(tx stm.Tx) error {
+//	    b := balance.Get(tx)
+//	    balance.Set(tx, b+1)
+//	    return nil
+//	})
+//
+// A transaction function may be executed several times; it must be free of
+// side effects other than Var/Cell access. Returning a non-nil error aborts
+// the transaction (its writes are discarded) and Atomic returns that error.
+// Conflicts are handled internally: the engine rolls back and re-executes.
+//
+// Values stored in Vars are treated as immutable snapshots. Reading a Var
+// must never be followed by in-place mutation of the returned value; use
+// Update, which gives the engine a chance to clone the value first (the
+// transactional engines clone, the direct engine lets you mutate in place —
+// which is exactly the lock-based/STM-based split STMBench7 needs).
+//
+// # The engine contract
+//
+// An Engine ties together three interfaces: Engine itself (Atomic, Name,
+// VarSpace, Stats), Tx (Read, Write, Update — the handle transaction
+// functions receive), and, for engines with arbitration decisions to make,
+// ContentionManager. A new engine must guarantee, and the shared test
+// suites check:
+//
+//   - Atomicity and isolation. Transactions are serializable (not merely
+//     snapshot-isolated: the write-skew shape must abort one of the two
+//     racing transactions), and a committed transaction's writes become
+//     visible all at once.
+//
+//   - Opacity. Even a doomed transaction attempt never observes an
+//     inconsistent snapshot mid-execution: a read that can no longer be
+//     part of any consistent view must abort the attempt (by panicking
+//     with the internal conflict value via throwConflict) rather than
+//     return stale data. Zombie transactions computing on garbage — even
+//     transiently — are a contract violation.
+//
+//   - Rollback on user error. When the transaction function returns a
+//     non-nil error, Atomic returns that error, no writes reach the Vars,
+//     and the attempt counts as a user abort in Stats — not a retry.
+//
+//   - Panic transparency. A panic in the transaction function that is not
+//     the engine's own conflict signal propagates to the Atomic caller
+//     (see rethrowIfNotConflict).
+//
+//   - Read-your-writes. A Read after a Write/Update of the same Var in the
+//     same transaction observes the transaction's own pending value.
+//
+//   - Clone-on-first-Update. Under a transactional engine, the callback
+//     passed to Update receives a private copy (per the Var's CloneFunc)
+//     it may mutate freely; repeated Updates of one Var in one transaction
+//     clone exactly once. Aborted attempts must discard the clone without
+//     it ever becoming visible.
+//
+//   - Retry semantics. Conflict aborts are retried internally (with
+//     backoff — see spinWait/backoffDur) until commit, user error, or an
+//     exhausted MaxRetries budget, in which case Atomic returns ErrAborted.
+//
+//   - Stats. Engines maintain the statCounters fields honestly: commits,
+//     user and conflict aborts, reads/writes, validation passes, clones.
+//     The harness reports them and the benchmarks derive abort rates from
+//     them.
+//
+//   - Registration. The engine registers a fresh-instance factory under
+//     its Name() in an init function of its own file: Register("foo",
+//     func() Engine { return NewFoo() }). Everything downstream — the
+//     sync7 strategy layer, the CLIs' -g flag, the comparison benchmarks,
+//     the engine test suites — discovers it from there.
+//
+// Vars are allocated from a VarSpace (one per engine; see
+// Engine.VarSpace). All Vars that participate in one transaction must come
+// from the same space: their ids order commit-time lock acquisition in
+// TL2, and the data structure under test must be built from the space of
+// the engine that will run it.
+package stm

@@ -1,0 +1,296 @@
+package stm
+
+import (
+	"reflect"
+	"sync/atomic"
+)
+
+// NOrecConfig tunes the NOrec engine.
+type NOrecConfig struct {
+	// ReferenceValidation restricts read-set validation to snapshot
+	// (box) identity: a re-write of an equal value still invalidates
+	// readers, as it would under an ownership-record STM. The default
+	// (false) is NOrec's value-based validation, where a concurrent
+	// commit that writes back the same value a reader saw does not
+	// abort it. The knob exists for ablations of exactly that
+	// difference.
+	ReferenceValidation bool
+	// MaxRetries bounds re-executions; 0 means retry forever. When the
+	// budget is exhausted Atomic returns ErrAborted.
+	MaxRetries int
+}
+
+// NOrec implements the "no ownership records" STM of Dalessandro, Spear
+// and Scott (PPoPP 2010): the only global metadata is a single sequence
+// lock. Reads are invisible and buffered with the value they observed;
+// writes are buffered lazily; a committing writer acquires the sequence
+// lock (making it odd), writes back, and releases it (advancing it by
+// two). A transaction that observes the sequence lock move re-validates
+// its read set by value and, on success, extends its snapshot to the
+// new time instead of aborting.
+//
+// The design occupies a distinct point in the space STMBench7 compares:
+//
+//   - Per-access cost is the lowest of the engines here — a read is one
+//     atomic load of the sequence lock plus the value load, with no
+//     per-Var version bookkeeping (contrast TL2's versioned lock word)
+//     and no locator chains (contrast OSTM).
+//   - Validation is O(read set) per *global* commit rather than TL2's
+//     O(1) per read, so long traversals run concurrently with frequent
+//     writers pay for every commit anywhere in the heap — even to Vars
+//     the traversal never touches. STMBench7's long traversals against
+//     short-operation background load exhibit exactly this trade-off.
+//   - Write commits are serialized by the single lock: disjoint-access
+//     writers do not scale. The benchmark's write-dominated workloads
+//     make the cost visible.
+type NOrec struct {
+	space VarSpace
+	cfg   NOrecConfig
+	stats statCounters
+	// seq is the global sequence lock: odd while a writer is in its
+	// write-back phase, even otherwise. An even value doubles as the
+	// snapshot time of every committed state.
+	seq atomic.Uint64
+}
+
+// NewNOrec returns a NOrec engine with default configuration.
+func NewNOrec() *NOrec { return NewNOrecWith(NOrecConfig{}) }
+
+func init() { Register("norec", func() Engine { return NewNOrec() }) }
+
+// NewNOrecWith returns a NOrec engine with explicit configuration.
+func NewNOrecWith(cfg NOrecConfig) *NOrec { return &NOrec{cfg: cfg} }
+
+// Name implements Engine.
+func (e *NOrec) Name() string { return "norec" }
+
+// VarSpace implements Engine.
+func (e *NOrec) VarSpace() *VarSpace { return &e.space }
+
+// Stats implements Engine.
+func (e *NOrec) Stats() Stats { return e.stats.snapshot() }
+
+// Atomic implements Engine.
+func (e *NOrec) Atomic(fn func(tx Tx) error) error {
+	tx := &norecTx{eng: e}
+	for attempt := 0; ; attempt++ {
+		if e.cfg.MaxRetries > 0 && attempt > e.cfg.MaxRetries {
+			return ErrAborted
+		}
+		tx.reset()
+		committed, err := e.runAttempt(tx, fn)
+		if committed {
+			e.stats.commits.Add(1)
+			return nil
+		}
+		if err != nil {
+			e.stats.userAborts.Add(1)
+			return err
+		}
+		e.stats.conflictAborts.Add(1)
+		spinWait(backoffDur(attempt, uint64(len(tx.reads))+uint64(attempt)<<32))
+	}
+}
+
+func (e *NOrec) runAttempt(tx *norecTx, fn func(tx Tx) error) (committed bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rethrowIfNotConflict(r)
+			committed, err = false, nil
+		}
+	}()
+	if err := fn(tx); err != nil {
+		return false, err // buffered writes are simply dropped
+	}
+	return tx.commit(), nil
+}
+
+// sampleSeq spins until the sequence lock is even (no writer in its
+// write-back phase) and returns the observed snapshot time.
+func (e *NOrec) sampleSeq() uint64 {
+	for {
+		s := e.seq.Load()
+		if s&1 == 0 {
+			return s
+		}
+		spinHint()
+	}
+}
+
+// norecRead is one read-set entry: the Var and the snapshot it yielded.
+type norecRead struct {
+	v    *Var
+	seen *box
+}
+
+// norecWrite is one buffered write.
+type norecWrite struct {
+	v   *Var
+	val any
+}
+
+type norecTx struct {
+	eng      *NOrec
+	snapshot uint64 // even sequence value all reads so far are consistent with
+
+	reads   []norecRead
+	readIdx map[*Var]int
+
+	writes   []norecWrite
+	writeIdx map[*Var]int
+}
+
+func (tx *norecTx) reset() {
+	tx.snapshot = tx.eng.sampleSeq()
+	tx.reads = tx.reads[:0]
+	tx.readIdx = make(map[*Var]int)
+	tx.writes = tx.writes[:0]
+	tx.writeIdx = make(map[*Var]int)
+}
+
+// readVar performs NOrec's post-validated read: load the value, and if
+// the sequence lock moved since the snapshot, re-validate the read set
+// and slide the snapshot forward before trusting it.
+//
+// Each Var appears in the read set once — long traversals re-read hot
+// index Vars constantly, and validation cost is per entry per global
+// commit. A re-read refreshes the recorded snapshot: validation between
+// the two reads guarantees the old and new boxes are equal-valued, and
+// the newer box keeps the identity fast path in stillValid alive.
+func (tx *norecTx) readVar(v *Var) any {
+	b := v.cur.Load()
+	for tx.eng.seq.Load() != tx.snapshot {
+		tx.snapshot = tx.validate()
+		b = v.cur.Load()
+	}
+	if i, ok := tx.readIdx[v]; ok {
+		tx.reads[i].seen = b
+	} else {
+		tx.readIdx[v] = len(tx.reads)
+		tx.reads = append(tx.reads, norecRead{v: v, seen: b})
+	}
+	return b.val
+}
+
+// validate re-checks every read against the current committed state
+// during a stable (even) sequence window and returns that window's time;
+// any changed value dooms the attempt. This is both NOrec's conflict
+// detection and its snapshot extension — there is no per-Var version to
+// compare, so "unchanged value" is the consistency criterion itself.
+func (tx *norecTx) validate() uint64 {
+	for {
+		t := tx.eng.sampleSeq()
+		tx.eng.stats.validations.Add(uint64(len(tx.reads)))
+		for _, r := range tx.reads {
+			if !tx.stillValid(r) {
+				throwConflict("norec: read value changed")
+			}
+		}
+		if tx.eng.seq.Load() == t {
+			return t
+		}
+		// A writer slipped in mid-validation; the pass proves nothing.
+		// Take a fresh window and try again.
+	}
+}
+
+// stillValid reports whether one read-set entry matches the committed
+// state. The snapshot-identity fast path needs no value comparison; a
+// replaced box is still valid under value-based validation when it
+// holds an equal value of a comparable type.
+func (tx *norecTx) stillValid(r norecRead) bool {
+	cur := r.v.cur.Load()
+	if cur == r.seen {
+		return true
+	}
+	if tx.eng.cfg.ReferenceValidation {
+		return false
+	}
+	return boxValuesEqual(cur, r.seen)
+}
+
+// boxValuesEqual compares two snapshots by value without panicking on
+// non-comparable values (slices, maps — including ones buried inside
+// interface fields of otherwise comparable types): those conservatively
+// compare unequal, falling back to reference semantics. Comparability
+// must be checked on the reflect.Value, not the type: a type like
+// [2]any is statically comparable but == panics when an element's
+// dynamic contents are not.
+func boxValuesEqual(a, b *box) bool {
+	av, bv := a.val, b.val
+	if av == nil || bv == nil {
+		return av == nil && bv == nil
+	}
+	ra, rb := reflect.ValueOf(av), reflect.ValueOf(bv)
+	if ra.Type() != rb.Type() || !ra.Comparable() {
+		return false
+	}
+	return ra.Equal(rb)
+}
+
+// Read implements Tx.
+func (tx *norecTx) Read(v *Var) any {
+	tx.eng.stats.reads.Add(1)
+	if i, ok := tx.writeIdx[v]; ok {
+		return tx.writes[i].val
+	}
+	return tx.readVar(v)
+}
+
+// Write implements Tx (lazy: buffered until commit).
+func (tx *norecTx) Write(v *Var, val any) {
+	tx.eng.stats.writes.Add(1)
+	if i, ok := tx.writeIdx[v]; ok {
+		tx.writes[i].val = val
+		return
+	}
+	tx.writeIdx[v] = len(tx.writes)
+	tx.writes = append(tx.writes, norecWrite{v: v, val: val})
+}
+
+// Update implements Tx. A first Update reads the current value (which
+// joins the read set, guarding against lost updates), clones it if the
+// Var has a clone function, applies f, and buffers the result.
+func (tx *norecTx) Update(v *Var, f func(val any) any) {
+	tx.eng.stats.writes.Add(1)
+	if i, ok := tx.writeIdx[v]; ok {
+		tx.writes[i].val = f(tx.writes[i].val)
+		return
+	}
+	cur := tx.readVar(v)
+	if v.clone != nil {
+		cur = v.clone(cur)
+		tx.eng.stats.clones.Add(1)
+	}
+	tx.writeIdx[v] = len(tx.writes)
+	tx.writes = append(tx.writes, norecWrite{v: v, val: f(cur)})
+}
+
+// commit implements NOrec's commit protocol: acquire the sequence lock
+// at the snapshot time (re-validating and extending on every failure),
+// write back, and release by advancing the lock.
+func (tx *norecTx) commit() bool {
+	if len(tx.writes) == 0 {
+		// Read-only: every read was validated against some committed
+		// state and the snapshot only ever slid forward, so the last
+		// validation point is the serialization point.
+		return true
+	}
+	for !tx.eng.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
+		// Either a writer holds the lock or time moved on: validate
+		// against the newest state (throws on conflict) and retry the
+		// acquisition at the extended snapshot.
+		tx.snapshot = tx.validate()
+	}
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		w.v.cur.Store(&box{val: w.val})
+	}
+	tx.eng.seq.Store(tx.snapshot + 2)
+	return true
+}
+
+var (
+	_ Engine = (*NOrec)(nil)
+	_ Tx     = (*norecTx)(nil)
+)

@@ -139,6 +139,8 @@ type OSTM struct {
 // contention management and incremental validation.
 func NewOSTM() *OSTM { return NewOSTMWith(OSTMConfig{}) }
 
+func init() { Register("ostm", func() Engine { return NewOSTM() }) }
+
 // NewOSTMWith returns an OSTM engine with explicit configuration.
 func NewOSTMWith(cfg OSTMConfig) *OSTM {
 	if cfg.CM == nil {

@@ -1,50 +1,3 @@
-// Package stm is a software transactional memory library for Go.
-//
-// It was built as the substrate for a reproduction of the STMBench7 paper
-// (Guerraoui, Kapałka, Vitek; EuroSys 2007) and therefore provides the two
-// STM designs that paper discusses, behind one API:
-//
-//   - OSTM (NewOSTM): an object-based STM in the DSTM/ASTM tradition —
-//     eager ownership acquisition through locator objects, invisible reads,
-//     incremental read-set validation (O(k²) over a transaction's lifetime),
-//     object-level logging by copying, and pluggable contention management
-//     (Polka by default). This is the "variant of ASTM" the paper evaluates,
-//     including its pathologies.
-//
-//   - TL2 (NewTL2): a word/ownership-record STM with a global version clock,
-//     lazy write buffering and commit-time locking (Dice, Shalev, Shavit;
-//     DISC 2006). This is the family of "solutions already proposed" that
-//     the paper cites as the fix for OSTM's validation cost.
-//
-//   - Direct (NewDirect): a pass-through engine with no logging and no
-//     conflict detection. It exists so that code written against the stm.Tx
-//     seam can also run under external synchronization (e.g. the benchmark's
-//     coarse- and medium-grained lock strategies) or single-threaded, paying
-//     only an interface call per access.
-//
-// # Programming model
-//
-// Shared mutable state lives in Vars (untyped) or Cells (typed wrappers).
-// All access happens inside a transaction:
-//
-//	eng := stm.NewTL2()
-//	balance := stm.NewCell[int](eng.NewVarSpace(), 100)
-//	err := eng.Atomic(func(tx stm.Tx) error {
-//	    b := balance.Get(tx)
-//	    balance.Set(tx, b+1)
-//	    return nil
-//	})
-//
-// A transaction function may be executed several times; it must be free of
-// side effects other than Var/Cell access. Returning a non-nil error aborts
-// the transaction (its writes are discarded) and Atomic returns that error.
-// Conflicts are handled internally: the engine rolls back and re-executes.
-//
-// Values stored in Vars are treated as immutable snapshots. Reading a Var
-// must never be followed by in-place mutation of the returned value; use
-// Update, which gives the engine a chance to clone the value first (the
-// transactional engines clone, the direct engine lets you mutate in place —
-// which is exactly the lock-based/STM-based split STMBench7 needs).
 package stm
 
 import (
@@ -172,7 +125,8 @@ type Tx interface {
 // Engine executes transactions. Engines are safe for concurrent use; any
 // number of goroutines may call Atomic simultaneously.
 type Engine interface {
-	// Name identifies the engine ("direct", "ostm", "tl2") in reports.
+	// Name identifies the engine ("direct", "ostm", "tl2", "norec") in
+	// reports; registered engines use it as their registry name.
 	Name() string
 
 	// Atomic runs fn as one transaction, retrying on conflicts until the
@@ -190,7 +144,8 @@ type Engine interface {
 
 // ErrAborted is returned by Atomic when the transaction gave up without
 // committing — only possible when the engine is configured with a bounded
-// retry budget (see OSTMConfig.MaxRetries / TL2Config.MaxRetries).
+// retry budget (see the MaxRetries field of OSTMConfig, TL2Config and
+// NOrecConfig).
 var ErrAborted = errors.New("stm: transaction aborted (retry budget exhausted)")
 
 // conflict is the panic payload used internally to unwind a doomed

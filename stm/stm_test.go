@@ -18,9 +18,11 @@ func engines() map[string]Engine {
 }
 
 // txEngineMakers builds fresh transactional engines by configuration name;
-// the semantics, stress and property suites iterate all of them.
+// the semantics, stress and property suites iterate all of them. The base
+// set is every registered engine except the non-transactional direct one —
+// a newly registered engine is pulled into every suite automatically —
+// plus named non-default configurations worth exercising.
 var txEngineMakers = map[string]func() Engine{
-	"ostm":              func() Engine { return NewOSTM() },
 	"ostm-committime":   func() Engine { return NewOSTMWith(OSTMConfig{CommitTimeValidationOnly: true}) },
 	"ostm-aggressive":   func() Engine { return NewOSTMWith(OSTMConfig{CM: Aggressive{}}) },
 	"ostm-timid":        func() Engine { return NewOSTMWith(OSTMConfig{CM: Timid{}}) },
@@ -31,8 +33,28 @@ var txEngineMakers = map[string]func() Engine{
 	"ostm-visible-lazy": func() Engine { return NewOSTMWith(OSTMConfig{VisibleReads: true, Acquire: LazyAcquire}) },
 	"ostm-adaptive":     func() Engine { return NewOSTMWith(OSTMConfig{Acquire: AdaptiveAcquire}) },
 	"ostm-commitserial": func() Engine { return NewOSTMWith(OSTMConfig{CommitCounterHeuristic: true}) },
-	"tl2":               func() Engine { return NewTL2() },
 	"tl2-extend":        func() Engine { return NewTL2With(TL2Config{TimestampExtension: true}) },
+	"norec-refvalidate": func() Engine { return NewNOrecWith(NOrecConfig{ReferenceValidation: true}) },
+}
+
+// init adds every registered engine (except the non-transactional direct
+// one) under its registry name. It must run as an init function — not a
+// variable initializer — because the engines register themselves from
+// their own files' init functions, which run after all package-level
+// variables are initialized.
+func init() {
+	for _, name := range Registered() {
+		if name == "direct" {
+			continue
+		}
+		txEngineMakers[name] = func() Engine {
+			e, err := New(name)
+			if err != nil {
+				panic(err)
+			}
+			return e
+		}
+	}
 }
 
 // txEngines is engines() minus direct (for tests that need rollback or

@@ -239,7 +239,10 @@ func TestWriteSkewPrevented(t *testing.T) {
 // zero in committed states; readers assert the sum inside the transaction
 // body (where a zombie would see garbage), not just at commit.
 func TestOpacityUnderIncrementalValidation(t *testing.T) {
-	for _, name := range []string{"ostm", "tl2"} {
+	for _, name := range Registered() {
+		if name == "direct" {
+			continue // documented: no isolation at all
+		}
 		t.Run(name, func(t *testing.T) {
 			eng := engines()[name]
 			iters := stressIters(t, 3000)

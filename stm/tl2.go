@@ -42,6 +42,8 @@ type TL2 struct {
 // NewTL2 returns a TL2 engine with default configuration.
 func NewTL2() *TL2 { return NewTL2With(TL2Config{}) }
 
+func init() { Register("tl2", func() Engine { return NewTL2() }) }
+
 // NewTL2With returns a TL2 engine with explicit configuration.
 func NewTL2With(cfg TL2Config) *TL2 {
 	if cfg.ReadLockSpins <= 0 {

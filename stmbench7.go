@@ -2,9 +2,9 @@
 // transactional memory benchmark of Guerraoui, Kapałka and Vitek (EuroSys
 // 2007) — together with everything it runs on: the OO7-derived data
 // structure, the 45 benchmark operations, the coarse- and medium-grained
-// locking strategies the paper uses as baselines, and two STM runtimes
-// (an ASTM/DSTM-style object STM and TL2) available in the sibling stm
-// package.
+// locking strategies the paper uses as baselines, and three STM runtimes
+// (an ASTM/DSTM-style object STM, TL2 and NOrec) available in the sibling
+// stm package.
 //
 // # Quick start
 //
@@ -15,7 +15,7 @@
 //	    Workload:       stmbench7.ReadDominated,
 //	    LongTraversals: true,
 //	    StructureMods:  true,
-//	    Strategy:       "medium", // or "coarse", "ostm", "tl2"
+//	    Strategy:       "medium", // or "coarse", "ostm", "tl2", "norec"
 //	})
 //	if err != nil { ... }
 //	stmbench7.WriteReport(os.Stdout, res)
@@ -76,9 +76,15 @@ func MediumParams() Params { return core.Medium() }
 // NamedParams resolves "tiny", "small" or "medium".
 func NamedParams(name string) (Params, bool) { return core.Named(name) }
 
-// Strategies lists the synchronization strategies: coarse, medium, ostm,
-// tl2, direct.
+// Strategies lists the registered synchronization strategies (sorted):
+// coarse, direct, medium, norec, ostm, tl2, plus any engine registered
+// with the stm package.
 func Strategies() []string { return sync7.Strategies() }
+
+// STMStrategies lists just the STM-backed strategies (sorted): norec,
+// ostm, tl2, plus future registered engines — the set engine-comparison
+// sweeps iterate.
+func STMStrategies() []string { return sync7.STMStrategies() }
 
 // Run executes one benchmark run.
 func Run(o Options) (*Result, error) { return harness.Run(o) }

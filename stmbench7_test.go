@@ -51,8 +51,28 @@ func TestFacadeWorkloads(t *testing.T) {
 }
 
 func TestFacadeStrategiesAndOps(t *testing.T) {
-	if len(stmbench7.Strategies()) != 5 {
-		t.Errorf("Strategies() = %v", stmbench7.Strategies())
+	// Superset checks, not exact counts: the registries are designed so
+	// a new engine joins Strategies()/STMStrategies() with no edit here.
+	have := map[string]bool{}
+	for _, s := range stmbench7.Strategies() {
+		have[s] = true
+	}
+	for _, s := range []string{"coarse", "medium", "ostm", "tl2", "norec", "direct"} {
+		if !have[s] {
+			t.Errorf("Strategies() = %v, missing %q", stmbench7.Strategies(), s)
+		}
+	}
+	haveSTM := map[string]bool{}
+	for _, s := range stmbench7.STMStrategies() {
+		haveSTM[s] = true
+		if s == "coarse" || s == "medium" || s == "direct" {
+			t.Errorf("STMStrategies() contains non-STM strategy %q", s)
+		}
+	}
+	for _, s := range []string{"norec", "ostm", "tl2"} {
+		if !haveSTM[s] {
+			t.Errorf("STMStrategies() = %v, missing %q", stmbench7.STMStrategies(), s)
+		}
 	}
 	names := stmbench7.OperationNames()
 	if len(names) != 45 || names[0] != "T1" {
