@@ -46,6 +46,7 @@ func benchThroughput(b *testing.B, ex sync7.Executor, s *core.Structure, profile
 	b.Helper()
 	picker := ops.NewPicker(profile)
 	var idx atomic.Int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -107,6 +108,7 @@ func BenchmarkFigure3(b *testing.B) {
 					}
 					r := rng.New(7)
 					var maxTTC time.Duration
+					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
 						t0 := time.Now()
@@ -222,6 +224,7 @@ func BenchmarkHeadlineT1(b *testing.B) {
 			t1, _ := ops.ByName("T1")
 			r := rng.New(7)
 			before := ex.Engine().Stats().Validations
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := ex.Execute(t1, s, r); err != nil {
@@ -251,6 +254,7 @@ func BenchmarkAblationValidation(b *testing.B) {
 			ex, s := benchSetup(b, sync7.Config{Strategy: "ostm", CommitTimeValidationOnly: pt.ctv}, core.Tiny())
 			st9, _ := ops.ByName("ST9") // whole-graph read traversal
 			r := rng.New(3)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				ex.Execute(st9, s, r)
@@ -315,6 +319,7 @@ func BenchmarkAblationChunkedManual(b *testing.B) {
 					}
 				}(t)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := ex.Execute(op11, s, r); err != nil {
@@ -345,6 +350,7 @@ func BenchmarkAblationGrouping(b *testing.B) {
 			ex, s := benchSetup(b, sync7.Config{Strategy: "ostm"}, p)
 			t1, _ := ops.ByName("T1")
 			r := rng.New(11)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := ex.Execute(t1, s, r); err != nil {
@@ -378,6 +384,7 @@ func BenchmarkAblationAcquire(b *testing.B) {
 			profile := ops.Profile{Workload: ops.WriteDominated, LongTraversals: false, StructureMods: false, Reduced: true}
 			picker := ops.NewPicker(profile)
 			var idx atomic.Int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			start := time.Now()
 			var wg sync.WaitGroup
@@ -386,12 +393,16 @@ func BenchmarkAblationAcquire(b *testing.B) {
 				go func(t int) {
 					defer wg.Done()
 					r := rng.New(uint64(900 + t))
+					// One closure per worker, not per iteration: the
+					// measured loop must show engine allocations only.
+					var op *ops.Op
+					fn := func(tx stm.Tx) error {
+						_, err := op.Run(tx, s, r)
+						return err
+					}
 					for idx.Add(1) <= int64(b.N) {
-						op := picker.Pick(r)
-						eng.Atomic(func(tx stm.Tx) error {
-							_, err := op.Run(tx, s, r)
-							return err
-						})
+						op = picker.Pick(r)
+						eng.Atomic(fn)
 					}
 				}(t)
 			}
@@ -424,12 +435,14 @@ func BenchmarkAblationVisibleReads(b *testing.B) {
 			}
 			t1, _ := ops.ByName("T1")
 			r := rng.New(7)
+			fn := func(tx stm.Tx) error {
+				_, err := t1.Run(tx, s, r)
+				return err
+			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				eng.Atomic(func(tx stm.Tx) error {
-					_, err := t1.Run(tx, s, r)
-					return err
-				})
+				eng.Atomic(fn)
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(eng.Stats().Validations)/float64(b.N), "validations/op")
@@ -443,6 +456,7 @@ func BenchmarkAblationVisibleReads(b *testing.B) {
 			profile := ops.Profile{Workload: ops.ReadWrite, LongTraversals: false, StructureMods: false, Reduced: true}
 			picker := ops.NewPicker(profile)
 			var idx atomic.Int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			start := time.Now()
 			var wg sync.WaitGroup
@@ -451,12 +465,14 @@ func BenchmarkAblationVisibleReads(b *testing.B) {
 				go func(t int) {
 					defer wg.Done()
 					r := rng.New(uint64(800 + t))
+					var op *ops.Op
+					fn := func(tx stm.Tx) error {
+						_, err := op.Run(tx, s, r)
+						return err
+					}
 					for idx.Add(1) <= int64(b.N) {
-						op := picker.Pick(r)
-						eng.Atomic(func(tx stm.Tx) error {
-							_, err := op.Run(tx, s, r)
-							return err
-						})
+						op = picker.Pick(r)
+						eng.Atomic(fn)
 					}
 				}(t)
 			}
@@ -487,12 +503,14 @@ func BenchmarkAblationCommitCounter(b *testing.B) {
 			}
 			t1, _ := ops.ByName("T1")
 			r := rng.New(7)
+			fn := func(tx stm.Tx) error {
+				_, err := t1.Run(tx, s, r)
+				return err
+			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				eng.Atomic(func(tx stm.Tx) error {
-					_, err := t1.Run(tx, s, r)
-					return err
-				})
+				eng.Atomic(fn)
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(eng.Stats().Validations)/float64(b.N), "validations/op")
@@ -520,6 +538,7 @@ func BenchmarkAblationTL2Extension(b *testing.B) {
 			profile := ops.Profile{Workload: ops.ReadWrite, LongTraversals: false, StructureMods: false, Reduced: true}
 			picker := ops.NewPicker(profile)
 			var idx atomic.Int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			start := time.Now()
 			var wg sync.WaitGroup
@@ -528,12 +547,14 @@ func BenchmarkAblationTL2Extension(b *testing.B) {
 				go func(t int) {
 					defer wg.Done()
 					r := rng.New(uint64(700 + t))
+					var op *ops.Op
+					fn := func(tx stm.Tx) error {
+						_, err := op.Run(tx, s, r)
+						return err
+					}
 					for idx.Add(1) <= int64(b.N) {
-						op := picker.Pick(r)
-						eng.Atomic(func(tx stm.Tx) error {
-							_, err := op.Run(tx, s, r)
-							return err
-						})
+						op = picker.Pick(r)
+						eng.Atomic(fn)
 					}
 				}(t)
 			}
@@ -566,6 +587,7 @@ func BenchmarkAblationTxIndex(b *testing.B) {
 				ex, s := benchSetup(b, sync7.Config{Strategy: "tl2"}, p)
 				mix := []string{"OP15", "OP1", "OP2", "OP1"}
 				var idx atomic.Int64
+				b.ReportAllocs()
 				b.ResetTimer()
 				start := time.Now()
 				var wg sync.WaitGroup
@@ -615,14 +637,18 @@ func BenchmarkSTMReadWrite(b *testing.B) {
 			for i := range cells {
 				cells[i] = stm.NewCell(eng.VarSpace(), i)
 			}
+			// Hoisted: the closure must not be rebuilt per iteration, or
+			// its allocation drowns the engine's in the allocs/op column.
+			fn := func(tx stm.Tx) error {
+				for _, c := range cells {
+					c.Get(tx)
+				}
+				return nil
+			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				eng.Atomic(func(tx stm.Tx) error {
-					for _, c := range cells {
-						c.Get(tx)
-					}
-					return nil
-				})
+				eng.Atomic(fn)
 			}
 		})
 		b.Run(name+"/write10", func(b *testing.B) {
@@ -631,14 +657,17 @@ func BenchmarkSTMReadWrite(b *testing.B) {
 			for i := range cells {
 				cells[i] = stm.NewCell(eng.VarSpace(), i)
 			}
+			inc := func(v int) int { return v + 1 }
+			fn := func(tx stm.Tx) error {
+				for _, c := range cells {
+					c.Update(tx, inc)
+				}
+				return nil
+			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				eng.Atomic(func(tx stm.Tx) error {
-					for _, c := range cells {
-						c.Update(tx, func(v int) int { return v + 1 })
-					}
-					return nil
-				})
+				eng.Atomic(fn)
 			}
 		})
 	}

@@ -12,22 +12,37 @@
 // wins, rough factors, crossovers), not its absolute values, is the
 // reproduction target. Run with -exp all (default) or a specific id.
 //
+// The overhead experiment measures the fixed per-transaction cost of every
+// registered engine (ns/op and allocs/op on read-only, small-write,
+// conflict-storm and long-traversal shapes) via testing.Benchmark — the
+// same shapes the stm package's BenchmarkTxOverhead* report under go test.
+//
+// With -json FILE, every measured data point is also written as
+// machine-readable JSON suitable for checking in as BENCH_<pr>.json, so
+// performance PRs leave a trajectory future PRs can diff against:
+//
+//	experiments -exp overhead -json BENCH_pr2.json
+//
 // Example:
 //
 //	experiments -exp fig4 -size small -seconds 2 -threads 1,2,4,8
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"testing"
 	"time"
 
 	stmbench7 "repro"
+	"repro/internal/benchshapes"
 	"repro/internal/core"
 	"repro/internal/ops"
 	"repro/internal/rng"
@@ -43,12 +58,68 @@ type config struct {
 	seed    uint64
 }
 
+// jsonPoint is one measured data point in -json output. Fields that do not
+// apply to a point's kind are omitted; alloc fields use pointers so a
+// genuine 0 allocs/op (the whole point of the overhead rows) survives
+// omitempty.
+type jsonPoint struct {
+	Experiment   string   `json:"experiment"`
+	Variant      string   `json:"variant"`
+	Workload     string   `json:"workload,omitempty"`
+	Threads      int      `json:"threads,omitempty"`
+	OpsPerSec    float64  `json:"ops_per_sec,omitempty"`
+	MaxLatencyMs float64  `json:"max_latency_ms,omitempty"`
+	NsPerOp      float64  `json:"ns_per_op,omitempty"`
+	AllocsPerOp  *int64   `json:"allocs_per_op,omitempty"`
+	BytesPerOp   *int64   `json:"bytes_per_op,omitempty"`
+	AbortPct     *float64 `json:"abort_pct,omitempty"`
+	Validations  uint64   `json:"validations,omitempty"`
+	Commits      uint64   `json:"commits,omitempty"`
+	Aborts       uint64   `json:"aborts,omitempty"`
+}
+
+// jsonReport is the -json document. Size/Seconds/Threads echo the driver
+// flags and describe the throughput/latency experiments; overhead points
+// ignore them (testing.Benchmark budgets its own ~1s) and carry the thread
+// count they actually ran with in their own threads field.
+type jsonReport struct {
+	Size      string      `json:"size"`
+	Seconds   float64     `json:"seconds"`
+	Threads   []int       `json:"threads"`
+	Seed      uint64      `json:"seed"`
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	NumCPU    int         `json:"num_cpu"`
+	Points    []jsonPoint `json:"points"`
+}
+
+var (
+	jsonOut *jsonReport // nil unless -json was given
+	curExp  string      // experiment id being run, for recorded points
+)
+
+// record appends a data point to the -json report (no-op without -json).
+func record(p jsonPoint) {
+	if jsonOut == nil {
+		return
+	}
+	if p.Experiment == "" {
+		p.Experiment = curExp
+	}
+	jsonOut.Points = append(jsonOut.Points, p)
+}
+
+func i64ptr(v int64) *int64     { return &v }
+func f64ptr(v float64) *float64 { return &v }
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, table3, fig6, headline, ablations or all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, table3, fig6, headline, ablations, overhead or all")
 	size := flag.String("size", "small", "structure size: tiny, small or medium (paper scale)")
 	seconds := flag.Float64("seconds", 1.0, "measurement duration per data point, in seconds")
 	threadsFlag := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
 	seed := flag.Uint64("seed", 42, "benchmark seed")
+	jsonPath := flag.String("json", "", "also write machine-readable results to this file (\"-\" for stdout)")
 	flag.Parse()
 
 	params, ok := core.Named(*size)
@@ -66,6 +137,13 @@ func main() {
 		threads = append(threads, n)
 	}
 	cfg := config{size: *size, params: params, seconds: *seconds, threads: threads, seed: *seed}
+	if *jsonPath != "" {
+		jsonOut = &jsonReport{
+			Size: cfg.size, Seconds: cfg.seconds, Threads: cfg.threads, Seed: cfg.seed,
+			GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+			NumCPU: runtime.NumCPU(),
+		}
+	}
 
 	fmt.Printf("STMBench7 experiment driver — structure %q (%d composite x %d atomic parts), %gs per point\n\n",
 		cfg.size, params.NumCompParts, params.NumAtomicPerComp, cfg.seconds)
@@ -77,22 +155,49 @@ func main() {
 		"fig6":      figure6,
 		"headline":  headline,
 		"ablations": ablations,
+		"overhead":  overhead,
 	}
+	order := []string{"fig3", "fig4", "table3", "fig6", "headline", "ablations", "overhead"}
 	if *exp == "all" {
-		for _, name := range []string{"fig3", "fig4", "table3", "fig6", "headline", "ablations"} {
+		for _, name := range order {
+			curExp = name
 			run[name](cfg)
 		}
-		return
+	} else {
+		fn, ok := run[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
+			os.Exit(1)
+		}
+		curExp = *exp
+		fn(cfg)
 	}
-	fn, ok := run[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
-		os.Exit(1)
+	if jsonOut != nil {
+		writeJSON(*jsonPath)
 	}
-	fn(cfg)
 }
 
-// measure runs one data point and returns the result.
+// writeJSON emits the collected report.
+func writeJSON(path string) {
+	data, err := json.MarshalIndent(jsonOut, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: marshal -json: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: write -json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d data points to %s\n", len(jsonOut.Points), path)
+}
+
+// measure runs one data point, records it for -json, and returns the
+// result.
 func measure(cfg config, o stmbench7.Options) *stmbench7.Result {
 	o.Params = cfg.params
 	o.Seed = cfg.seed
@@ -102,6 +207,17 @@ func measure(cfg config, o stmbench7.Options) *stmbench7.Result {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
+	es := res.EngineStats
+	record(jsonPoint{
+		Variant:     o.Strategy,
+		Workload:    o.Workload.String(),
+		Threads:     o.Threads,
+		OpsPerSec:   res.Throughput(),
+		AbortPct:    f64ptr(100 * es.AbortRate()),
+		Validations: es.Validations,
+		Commits:     es.Commits,
+		Aborts:      es.ConflictAborts,
+	})
 	return res
 }
 
@@ -184,7 +300,14 @@ func maxTraversalLatency(cfg config, strategy string, w ops.Workload, opName str
 	}
 	stop.Store(true)
 	wg.Wait()
-	return float64(maxTTC.Microseconds()) / 1000.0
+	ms := float64(maxTTC.Microseconds()) / 1000.0
+	record(jsonPoint{
+		Variant:      strategy + "/" + opName,
+		Workload:     w.String(),
+		Threads:      threads,
+		MaxLatencyMs: ms,
+	})
+	return ms
 }
 
 // figure4: total throughput with long traversals disabled, three workloads,
@@ -362,6 +485,16 @@ func ablations(cfg config) {
 		st := eng.Stats()
 		fmt.Printf("%-20s %-26s %12.0f %10.1f %14d\n",
 			row.group, row.name, float64(done.Load())/dur.Seconds(), 100*st.AbortRate(), st.Validations)
+		record(jsonPoint{
+			Variant:     row.group + "/" + row.name,
+			Workload:    profile.Workload.String(),
+			Threads:     threads,
+			OpsPerSec:   float64(done.Load()) / dur.Seconds(),
+			AbortPct:    f64ptr(100 * st.AbortRate()),
+			Validations: st.Validations,
+			Commits:     st.Commits,
+			Aborts:      st.ConflictAborts,
+		})
 	}
 	fmt.Println()
 }
@@ -410,8 +543,89 @@ func headline(cfg config) {
 		stats := ex.Engine().Stats()
 		fmt.Printf("  %-32s %12v   (%6.1fx coarse)   reads %10d  validations %12d\n",
 			pt.name, el.Round(time.Microsecond), float64(el)/float64(baseline), stats.Reads, stats.Validations)
+		record(jsonPoint{
+			Variant:     pt.name,
+			Threads:     1,
+			NsPerOp:     float64(el.Nanoseconds()),
+			Validations: stats.Validations,
+		})
 	}
 	fmt.Println("    (paper at full scale: ~half an hour under ASTM vs ~1.5 s under locking;")
 	fmt.Println("     the O(k^2) validation count above is the mechanism)")
+	fmt.Println()
+}
+
+// overhead measures the fixed per-transaction cost of every registered
+// engine on the shapes that bracket STMBench7's operation mix (defined
+// once in internal/benchshapes, shared with the stm package's
+// BenchmarkTxOverhead* suite so these numbers — recorded in BENCH_*.json —
+// always correspond to the go test benchmarks): a read-only short
+// transaction, a small read-write transaction, a conflict storm on one
+// Var, and a long read-only traversal over 1024 Vars.
+func overhead(cfg config) {
+	fmt.Println("=== Transaction overhead: per-engine fixed costs (testing.Benchmark) ===")
+	fmt.Printf("    (~1s per point via testing.Benchmark; -seconds/-threads do not apply here —\n")
+	fmt.Printf("     serial shapes run 1 goroutine, the storm runs GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
+	fmt.Printf("%-8s %-14s %12s %12s %12s %12s\n", "engine", "shape", "ns/op", "allocs/op", "B/op", "ops/s")
+	for _, name := range stm.Registered() {
+		for _, sh := range benchshapes.All() {
+			if sh.Skip != nil && sh.Skip(name) {
+				continue
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				// Fresh engine per invocation: testing.Benchmark re-runs
+				// this function with growing b.N, and the storm shape's
+				// lost-update check counts commits from zero each time.
+				eng, err := stm.New(name)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+				fn, check := sh.Setup(eng)
+				b.ReportAllocs()
+				b.ResetTimer()
+				if sh.Parallel {
+					b.RunParallel(func(pb *testing.PB) {
+						for pb.Next() {
+							eng.Atomic(fn)
+						}
+					})
+				} else {
+					for i := 0; i < b.N; i++ {
+						eng.Atomic(fn)
+					}
+				}
+				b.StopTimer()
+				if check != nil {
+					if err := check(b.N); err != nil {
+						fmt.Fprintf(os.Stderr, "experiments: overhead %s/%s: %v\n", name, sh.Name, err)
+						os.Exit(1)
+					}
+				}
+			})
+			opsPerSec := 0.0
+			if ns := r.NsPerOp(); ns > 0 {
+				opsPerSec = 1e9 / float64(ns)
+			}
+			fmt.Printf("%-8s %-14s %12d %12d %12d %12.0f\n",
+				name, sh.Name, r.NsPerOp(), r.AllocsPerOp(), r.AllocedBytesPerOp(), opsPerSec)
+			// Overhead points ignore -seconds/-threads (testing.Benchmark
+			// budgets ~1s itself); Threads records what actually ran so
+			// the checked-in JSON describes the measurement faithfully.
+			pointThreads := 1
+			if sh.Parallel {
+				pointThreads = runtime.GOMAXPROCS(0)
+			}
+			record(jsonPoint{
+				Experiment:  "overhead",
+				Variant:     name + "/" + sh.Name,
+				Threads:     pointThreads,
+				NsPerOp:     float64(r.NsPerOp()),
+				AllocsPerOp: i64ptr(r.AllocsPerOp()),
+				BytesPerOp:  i64ptr(r.AllocedBytesPerOp()),
+				OpsPerSec:   opsPerSec,
+			})
+		}
+	}
 	fmt.Println()
 }

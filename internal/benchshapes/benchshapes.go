@@ -1,0 +1,119 @@
+// Package benchshapes defines the microbenchmark transaction shapes that
+// bracket STMBench7's operation mix. It is the single source of truth for
+// both the stm package's BenchmarkTxOverhead* suite and the experiment
+// driver's `-exp overhead` table, so the ns/op and allocs/op recorded in
+// checked-in BENCH_*.json files always correspond to what `go test -bench
+// TxOverhead ./stm/` measures — the two consumers cannot drift apart.
+package benchshapes
+
+import (
+	"fmt"
+
+	"repro/stm"
+)
+
+// Shape is one transaction shape to measure against an engine.
+type Shape struct {
+	// Name labels the sub-benchmark and the JSON variant.
+	Name string
+	// Parallel marks shapes meant to run on concurrent workers (the
+	// conflict storm); sequential shapes run a plain b.N loop.
+	Parallel bool
+	// Skip reports whether the shape is meaningless for an engine (the
+	// storm on the conflict-free direct engine).
+	Skip func(engine string) bool
+	// Setup allocates the shape's Vars on eng and returns the transaction
+	// function to measure, plus an optional check to run after `iters`
+	// transactions committed (nil when the shape has nothing to verify).
+	Setup func(eng stm.Engine) (fn func(stm.Tx) error, check func(iters int) error)
+}
+
+func cells(eng stm.Engine, n int) []*stm.Cell[int] {
+	cs := make([]*stm.Cell[int], n)
+	for i := range cs {
+		cs[i] = stm.NewCell(eng.VarSpace(), i)
+	}
+	return cs
+}
+
+func readShape(n int) func(eng stm.Engine) (func(stm.Tx) error, func(int) error) {
+	return func(eng stm.Engine) (func(stm.Tx) error, func(int) error) {
+		cs := cells(eng, n)
+		return func(tx stm.Tx) error {
+			for _, c := range cs {
+				c.Get(tx)
+			}
+			return nil
+		}, nil
+	}
+}
+
+// All returns the canonical shape list: a read-only short transaction
+// (OP1/OP2/OP3-sized), a small read-write transaction (OP7/OP9-style
+// attribute write; the written value stays under 256 so interface boxing
+// hits the runtime's small-int cache and engine overhead is what's
+// measured), a conflict storm on a single Var, and a long read-only
+// traversal far past the inline access-set fast path.
+func All() []Shape {
+	return []Shape{
+		{
+			Name:  "read8",
+			Setup: readShape(8),
+		},
+		{
+			Name: "read4write1",
+			Setup: func(eng stm.Engine) (func(stm.Tx) error, func(int) error) {
+				cs := cells(eng, 8)
+				return func(tx stm.Tx) error {
+					for _, c := range cs[:4] {
+						c.Get(tx)
+					}
+					cs[1].Set(tx, 7)
+					return nil
+				}, nil
+			},
+		},
+		{
+			Name:     "storm",
+			Parallel: true,
+			Skip:     func(engine string) bool { return engine == "direct" },
+			Setup: func(eng stm.Engine) (func(stm.Tx) error, func(int) error) {
+				counter := stm.NewCell(eng.VarSpace(), 0)
+				inc := func(v int) int { return v + 1 }
+				fn := func(tx stm.Tx) error {
+					counter.Update(tx, inc)
+					return nil
+				}
+				check := func(iters int) error {
+					var total int
+					err := eng.Atomic(func(tx stm.Tx) error {
+						total = counter.Get(tx)
+						return nil
+					})
+					if err != nil {
+						return err
+					}
+					if total != iters {
+						return fmt.Errorf("lost updates: counter = %d, want %d", total, iters)
+					}
+					return nil
+				}
+				return fn, check
+			},
+		},
+		{
+			Name:  "traverse1024",
+			Setup: readShape(1024),
+		},
+	}
+}
+
+// ByName returns the named shape.
+func ByName(name string) (Shape, bool) {
+	for _, sh := range All() {
+		if sh.Name == name {
+			return sh, true
+		}
+	}
+	return Shape{}, false
+}

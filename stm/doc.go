@@ -112,6 +112,43 @@
 //     sync7 strategy layer, the CLIs' -g flag, the comparison benchmarks,
 //     the engine test suites — discovers it from there.
 //
+// # The descriptor pooling contract
+//
+// Engines recycle their transaction descriptors through a per-engine
+// sync.Pool (see pool.go) so that steady-state read-only transactions are
+// allocation free and small writes pay only for what they publish. An
+// engine that pools descriptors must uphold three rules, which
+// stm/alloc_test.go enforces for every registered engine:
+//
+//   - reset() reuses storage. The per-attempt reset must restore every
+//     field to fresh-attempt state without reallocating: truncate read and
+//     write-set slices with s[:0], clear Var-to-index lookups with
+//     varIndex.reset (an O(1) generation bump — never re-make a map), and
+//     keep scratch buffers (like TL2's lockedMeta) at capacity.
+//
+//   - Published memory never returns to the pool. Anything another
+//     transaction may still hold a pointer to — published value boxes,
+//     OSTM locators, any txState that was installed in a locator or a
+//     reader set — belongs to the attempt that published it, forever.
+//     Recycling it would let a dead transaction's identity come back to
+//     life under an observer. This is why a committed write costs one box
+//     allocation per Var: published snapshots are immutable, and immutable
+//     means not pooled.
+//
+//   - Retained references are scrubbed on put. Before a descriptor goes
+//     back to the pool the engine clears buffered user values and observed
+//     boxes from its slices (one memclr per transaction), so an idle pool
+//     cannot pin a committed transaction's object graph. Descriptors are
+//     deliberately NOT returned to the pool when a user panic unwinds
+//     through Atomic — mid-attempt state is garbage, and sync.Pool will
+//     simply allocate a fresh descriptor next time.
+//
+// Per-access statistics follow the same philosophy: engines count reads,
+// writes, validations and clones in plain fields of a per-descriptor
+// txStats accumulator and flush them to the shared (cache-line padded)
+// engine counters once per attempt, so the hot path performs no shared
+// atomic read-modify-writes (see stats.go).
+//
 // Vars are allocated from a VarSpace (one per engine; see
 // Engine.VarSpace). All Vars that participate in one transaction must come
 // from the same space: their ids order commit-time lock acquisition in

@@ -44,9 +44,10 @@ type NOrecConfig struct {
 //     writers do not scale. The benchmark's write-dominated workloads
 //     make the cost visible.
 type NOrec struct {
-	space VarSpace
-	cfg   NOrecConfig
-	stats statCounters
+	space  VarSpace
+	cfg    NOrecConfig
+	stats  statCounters
+	txPool txPool[norecTx]
 	// seq is the global sequence lock: odd while a writer is in its
 	// write-back phase, even otherwise. An even value doubles as the
 	// snapshot time of every committed state.
@@ -59,7 +60,11 @@ func NewNOrec() *NOrec { return NewNOrecWith(NOrecConfig{}) }
 func init() { Register("norec", func() Engine { return NewNOrec() }) }
 
 // NewNOrecWith returns a NOrec engine with explicit configuration.
-func NewNOrecWith(cfg NOrecConfig) *NOrec { return &NOrec{cfg: cfg} }
+func NewNOrecWith(cfg NOrecConfig) *NOrec {
+	e := &NOrec{cfg: cfg}
+	e.txPool.init(func() *norecTx { return &norecTx{eng: e} })
+	return e
+}
 
 // Name implements Engine.
 func (e *NOrec) Name() string { return "norec" }
@@ -72,24 +77,38 @@ func (e *NOrec) Stats() Stats { return e.stats.snapshot() }
 
 // Atomic implements Engine.
 func (e *NOrec) Atomic(fn func(tx Tx) error) error {
-	tx := &norecTx{eng: e}
+	tx := e.txPool.get()
 	for attempt := 0; ; attempt++ {
 		if e.cfg.MaxRetries > 0 && attempt > e.cfg.MaxRetries {
+			e.putTx(tx)
 			return ErrAborted
 		}
 		tx.reset()
 		committed, err := e.runAttempt(tx, fn)
+		e.stats.flushTx(&tx.st)
 		if committed {
 			e.stats.commits.Add(1)
+			e.putTx(tx)
 			return nil
 		}
 		if err != nil {
 			e.stats.userAborts.Add(1)
+			e.putTx(tx)
 			return err
 		}
 		e.stats.conflictAborts.Add(1)
 		spinWait(backoffDur(attempt, uint64(len(tx.reads))+uint64(attempt)<<32))
 	}
+}
+
+// putTx recycles a descriptor, dropping buffered user values and observed
+// snapshots first so the pool cannot pin them. The scrub covers the full
+// capacity because an earlier, larger aborted attempt may have left values
+// beyond the final attempt's length.
+func (e *NOrec) putTx(tx *norecTx) {
+	clear(tx.writes[:cap(tx.writes)])
+	clear(tx.reads[:cap(tx.reads)])
+	e.txPool.put(tx)
 }
 
 func (e *NOrec) runAttempt(tx *norecTx, fn func(tx Tx) error) (committed bool, err error) {
@@ -129,23 +148,26 @@ type norecWrite struct {
 	val any
 }
 
+// norecTx is the pooled per-transaction descriptor; reset reuses the
+// read/write-set storage across attempts and pooled reuses.
 type norecTx struct {
 	eng      *NOrec
-	snapshot uint64 // even sequence value all reads so far are consistent with
+	snapshot uint64  // even sequence value all reads so far are consistent with
+	st       txStats // per-attempt counters, flushed by Atomic
 
 	reads   []norecRead
-	readIdx map[*Var]int
+	readIdx varIndex // *Var -> index into reads
 
 	writes   []norecWrite
-	writeIdx map[*Var]int
+	writeIdx varIndex // *Var -> index into writes
 }
 
 func (tx *norecTx) reset() {
 	tx.snapshot = tx.eng.sampleSeq()
 	tx.reads = tx.reads[:0]
-	tx.readIdx = make(map[*Var]int)
+	tx.readIdx.reset()
 	tx.writes = tx.writes[:0]
-	tx.writeIdx = make(map[*Var]int)
+	tx.writeIdx.reset()
 }
 
 // readVar performs NOrec's post-validated read: load the value, and if
@@ -163,10 +185,9 @@ func (tx *norecTx) readVar(v *Var) any {
 		tx.snapshot = tx.validate()
 		b = v.cur.Load()
 	}
-	if i, ok := tx.readIdx[v]; ok {
+	if i, ok := tx.readIdx.getOrPut(v, int32(len(tx.reads))); ok {
 		tx.reads[i].seen = b
 	} else {
-		tx.readIdx[v] = len(tx.reads)
 		tx.reads = append(tx.reads, norecRead{v: v, seen: b})
 	}
 	return b.val
@@ -180,7 +201,7 @@ func (tx *norecTx) readVar(v *Var) any {
 func (tx *norecTx) validate() uint64 {
 	for {
 		t := tx.eng.sampleSeq()
-		tx.eng.stats.validations.Add(uint64(len(tx.reads)))
+		tx.st.validations += uint64(len(tx.reads))
 		for _, r := range tx.reads {
 			if !tx.stillValid(r) {
 				throwConflict("norec: read value changed")
@@ -230,8 +251,8 @@ func boxValuesEqual(a, b *box) bool {
 
 // Read implements Tx.
 func (tx *norecTx) Read(v *Var) any {
-	tx.eng.stats.reads.Add(1)
-	if i, ok := tx.writeIdx[v]; ok {
+	tx.st.reads++
+	if i, ok := tx.writeIdx.get(v); ok {
 		return tx.writes[i].val
 	}
 	return tx.readVar(v)
@@ -239,12 +260,11 @@ func (tx *norecTx) Read(v *Var) any {
 
 // Write implements Tx (lazy: buffered until commit).
 func (tx *norecTx) Write(v *Var, val any) {
-	tx.eng.stats.writes.Add(1)
-	if i, ok := tx.writeIdx[v]; ok {
+	tx.st.writes++
+	if i, ok := tx.writeIdx.getOrPut(v, int32(len(tx.writes))); ok {
 		tx.writes[i].val = val
 		return
 	}
-	tx.writeIdx[v] = len(tx.writes)
 	tx.writes = append(tx.writes, norecWrite{v: v, val: val})
 }
 
@@ -252,17 +272,19 @@ func (tx *norecTx) Write(v *Var, val any) {
 // joins the read set, guarding against lost updates), clones it if the
 // Var has a clone function, applies f, and buffers the result.
 func (tx *norecTx) Update(v *Var, f func(val any) any) {
-	tx.eng.stats.writes.Add(1)
-	if i, ok := tx.writeIdx[v]; ok {
+	tx.st.writes++
+	if i, ok := tx.writeIdx.getOrPut(v, int32(len(tx.writes))); ok {
 		tx.writes[i].val = f(tx.writes[i].val)
 		return
 	}
+	// The index entry is in place before the readVar below; a conflict
+	// thrown there unwinds the whole attempt, so the index is never seen
+	// ahead of its slice entry.
 	cur := tx.readVar(v)
 	if v.clone != nil {
 		cur = v.clone(cur)
-		tx.eng.stats.clones.Add(1)
+		tx.st.clones++
 	}
-	tx.writeIdx[v] = len(tx.writes)
 	tx.writes = append(tx.writes, norecWrite{v: v, val: f(cur)})
 }
 
@@ -284,6 +306,8 @@ func (tx *norecTx) commit() bool {
 	}
 	for i := range tx.writes {
 		w := &tx.writes[i]
+		// One fresh box per written Var: published snapshots may be held
+		// by concurrent readers forever and cannot come from the pool.
 		w.v.cur.Store(&box{val: w.val})
 	}
 	tx.eng.seq.Store(tx.snapshot + 2)

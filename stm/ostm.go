@@ -18,9 +18,12 @@ const (
 )
 
 // txState is the shared, lock-free handle through which other transactions
-// observe and (with contention-manager blessing) abort a transaction. A
-// fresh txState is allocated per attempt, so locators installed by dead
-// attempts keep pointing at the status of the attempt that installed them.
+// observe and (with contention-manager blessing) abort a transaction. Once
+// published (installed in a locator or a reader set), a txState belongs to
+// that attempt forever: locators installed by dead attempts keep pointing
+// at the status of the attempt that installed them. A state that was never
+// published is private to its descriptor and may be reused by the next
+// attempt (see ostmTx.reset).
 type txState struct {
 	status  atomic.Uint32
 	opens   atomic.Uint64 // objects opened so far (contention-manager priority)
@@ -37,6 +40,14 @@ func (s *txState) Retries() uint64 { return s.retries }
 // Var's current logical value is old or new depending on owner's status.
 // Each locator snapshots its predecessor's resolved value into old, so
 // resolution never chases more than one link.
+//
+// ownerState is inline storage for the owning transaction's state: the
+// first locator a transaction installs carries the state the rest of its
+// locators point to, making a small write transaction one allocation
+// cheaper. It is inert (owner points elsewhere) for every later locator.
+// The state may be embedded here rather than in the descriptor because a
+// locator, once installed, is immutable and lives as long as anything
+// references its owner — exactly the lifetime the status word needs.
 type locator struct {
 	owner *txState
 	old   *box
@@ -44,7 +55,8 @@ type locator struct {
 	// cloned records whether new.val has been detached from old.val (by a
 	// Write replacing it outright or by an Update-triggered clone). Only
 	// the owning transaction touches it, before commit.
-	cloned bool
+	cloned     bool
+	ownerState txState
 }
 
 // AcquireMode selects when OSTM takes ownership of written Vars.
@@ -126,9 +138,10 @@ type OSTMConfig struct {
 // ascribes to ASTM: validation work quadratic in the read-set size, and
 // whole-object copies for every first write to an object.
 type OSTM struct {
-	space VarSpace
-	cfg   OSTMConfig
-	stats statCounters
+	space  VarSpace
+	cfg    OSTMConfig
+	stats  statCounters
+	txPool txPool[ostmTx]
 	// commitSerial counts committed WRITE transactions; the commit-counter
 	// validation heuristic compares it against a transaction-local
 	// snapshot to skip provably redundant validation passes.
@@ -146,7 +159,9 @@ func NewOSTMWith(cfg OSTMConfig) *OSTM {
 	if cfg.CM == nil {
 		cfg.CM = Polka{}
 	}
-	return &OSTM{cfg: cfg}
+	e := &OSTM{cfg: cfg}
+	e.txPool.init(func() *ostmTx { return &ostmTx{eng: e} })
+	return e
 }
 
 // Name implements Engine.
@@ -160,15 +175,18 @@ func (e *OSTM) Stats() Stats { return e.stats.snapshot() }
 
 // Atomic implements Engine.
 func (e *OSTM) Atomic(fn func(tx Tx) error) error {
-	tx := &ostmTx{eng: e}
+	tx := e.txPool.get()
 	for attempt := 0; ; attempt++ {
 		if e.cfg.MaxRetries > 0 && attempt > e.cfg.MaxRetries {
+			e.putTx(tx)
 			return ErrAborted
 		}
 		tx.reset(uint64(attempt))
 		committed, err := e.runAttempt(tx, fn)
+		e.stats.flushTx(&tx.st)
 		if committed {
 			e.stats.commits.Add(1)
+			e.putTx(tx)
 			return nil
 		}
 		if err != nil {
@@ -176,11 +194,30 @@ func (e *OSTM) Atomic(fn func(tx Tx) error) error {
 			// must not be retried. Its writes are invisible because the
 			// locators' owner is now Aborted.
 			e.stats.userAborts.Add(1)
+			e.putTx(tx)
 			return err
 		}
 		e.stats.conflictAborts.Add(1)
 		spinWait(backoffDur(attempt, tx.state.opens.Load()))
 	}
+}
+
+// putTx recycles a descriptor: observed boxes, locator references and
+// buffered values are dropped (over the slices' full capacity — an earlier,
+// larger aborted attempt may have left entries beyond the final attempt's
+// length) so the pool cannot pin a finished transaction's object graph.
+// The state pointer is always detached: a published state belongs to the
+// attempt that published it forever, and even an unpublished one may point
+// into a locator whose CAS failed (acquire relocates before installing), so
+// keeping it would pin that dead locator and its boxes. reset re-establishes
+// the descriptor's scratch state on next use.
+func (e *OSTM) putTx(tx *ostmTx) {
+	clear(tx.reads[:cap(tx.reads)])
+	clear(tx.writeLocs[:cap(tx.writeLocs)])
+	clear(tx.pending[:cap(tx.pending)])
+	tx.state = nil
+	tx.stateShared = false
+	e.txPool.put(tx)
 }
 
 // runAttempt executes fn once and tries to commit. It returns
@@ -214,20 +251,27 @@ type pendingWrite struct {
 	cloned bool
 }
 
-// ostmTx is the per-goroutine transaction descriptor. It is reused across
-// attempts (slices/maps are reallocated per attempt — read-set maps for
-// 10⁵-object traversals are themselves part of ASTM's cost profile).
+// ostmTx is the pooled per-transaction descriptor. reset reuses the
+// read/write-set storage across attempts; the scratch state is reused for
+// as long as it stays private (invisible-read transactions that never
+// write), which is what makes steady-state read-only transactions
+// allocation free.
 type ostmTx struct {
-	eng     *OSTM
-	state   *txState
-	reads   []readEntry
-	readIdx map[*Var]int
-	writes  map[*Var]*locator
+	eng         *OSTM
+	state       *txState
+	stateShared bool    // state has been published (locator or reader set)
+	scratch     txState // private reusable state for unpublished attempts
+	st          txStats // per-attempt counters, flushed by Atomic
+
+	reads     []readEntry
+	readIdx   varIndex // *Var -> index into reads
+	writeLocs []*locator
+	writeIdx  varIndex // *Var -> index into writeLocs
 
 	// Lazy-acquire state.
 	lazy       bool
 	pending    []pendingWrite
-	pendingIdx map[*Var]int
+	pendingIdx varIndex // *Var -> index into pending
 
 	// lastSerial is the engine commit serial as of the last validation
 	// (commit-counter heuristic).
@@ -235,10 +279,24 @@ type ostmTx struct {
 }
 
 func (tx *ostmTx) reset(attempt uint64) {
-	tx.state = &txState{retries: attempt}
+	if tx.eng.cfg.VisibleReads {
+		// Reader registration publishes the state on first read, and
+		// reader-set entries may outlive the attempt; never recycle.
+		tx.state = &txState{retries: attempt}
+		tx.stateShared = true
+	} else {
+		if tx.stateShared || tx.state == nil {
+			tx.state = &tx.scratch
+			tx.stateShared = false
+		}
+		tx.state.retries = attempt
+		tx.state.status.Store(statusActive)
+		tx.state.opens.Store(0)
+	}
 	tx.reads = tx.reads[:0]
-	tx.readIdx = make(map[*Var]int)
-	tx.writes = make(map[*Var]*locator)
+	tx.readIdx.reset()
+	tx.writeLocs = tx.writeLocs[:0]
+	tx.writeIdx.reset()
 	switch tx.eng.cfg.Acquire {
 	case LazyAcquire:
 		tx.lazy = true
@@ -248,11 +306,7 @@ func (tx *ostmTx) reset(attempt uint64) {
 		tx.lazy = false
 	}
 	tx.pending = tx.pending[:0]
-	if tx.lazy {
-		tx.pendingIdx = make(map[*Var]int)
-	} else {
-		tx.pendingIdx = nil
-	}
+	tx.pendingIdx.reset()
 	// Nothing read yet, so the current serial is a sound baseline.
 	tx.lastSerial = tx.eng.commitSerial.Load()
 }
@@ -276,7 +330,7 @@ func (tx *ostmTx) abortEnemy(enemy *txState) bool {
 			return true
 		default:
 			if enemy.status.CompareAndSwap(s, statusAborted) {
-				tx.eng.stats.enemyAborts.Add(1)
+				tx.st.enemyAborts++
 				return true
 			}
 		}
@@ -308,27 +362,26 @@ func (tx *ostmTx) resolveRead(v *Var) *box {
 
 // Read implements Tx.
 func (tx *ostmTx) Read(v *Var) any {
-	tx.eng.stats.reads.Add(1)
+	tx.st.reads++
 	tx.checkAlive()
 	if tx.eng.cfg.VisibleReads {
 		return tx.visibleRead(v)
 	}
 	if tx.lazy {
-		if i, ok := tx.pendingIdx[v]; ok {
+		if i, ok := tx.pendingIdx.get(v); ok {
 			return tx.pending[i].val
 		}
 	}
-	if l, ok := tx.writes[v]; ok {
-		return l.new.val
+	if i, ok := tx.writeIdx.get(v); ok {
+		return tx.writeLocs[i].new.val
 	}
 	b := tx.resolveRead(v)
-	if i, ok := tx.readIdx[v]; ok {
+	if i, ok := tx.readIdx.getOrPut(v, int32(len(tx.reads))); ok {
 		if tx.reads[i].seen != b {
 			throwConflict("reread changed")
 		}
 		return b.val
 	}
-	tx.readIdx[v] = len(tx.reads)
 	tx.reads = append(tx.reads, readEntry{v: v, seen: b})
 	tx.state.opens.Add(1)
 	if !tx.eng.cfg.CommitTimeValidationOnly {
@@ -341,8 +394,8 @@ func (tx *ostmTx) Read(v *Var) any {
 // transaction, arbitrating with any live current owner through the
 // contention manager.
 func (tx *ostmTx) acquire(v *Var) *locator {
-	if l, ok := tx.writes[v]; ok {
-		return l
+	if i, ok := tx.writeIdx.get(v); ok {
+		return tx.writeLocs[i]
 	}
 	cm := tx.eng.cfg.CM
 	attempt := 0
@@ -371,13 +424,27 @@ func (tx *ostmTx) acquire(v *Var) *locator {
 				continue
 			}
 		}
-		newLoc := &locator{owner: tx.state, old: oldBox, new: &box{val: oldBox.val}}
+		newLoc := &locator{old: oldBox, new: &box{val: oldBox.val}}
+		if !tx.stateShared && !tx.eng.cfg.VisibleReads {
+			// First publication: relocate the still-private state into the
+			// locator allocation. Nothing outside this descriptor has seen
+			// the old state, so moving it is invisible; all of this
+			// transaction's locators will share the relocated state.
+			st := &newLoc.ownerState
+			st.retries = tx.state.retries
+			st.opens.Store(tx.state.opens.Load())
+			st.status.Store(statusActive) // private ⇒ nobody could have aborted us
+			tx.state = st
+		}
+		newLoc.owner = tx.state
 		if v.loc.CompareAndSwap(cur, newLoc) {
+			tx.stateShared = true
 			tx.state.opens.Add(1)
-			tx.writes[v] = newLoc
+			tx.writeIdx.put(v, int32(len(tx.writeLocs)))
+			tx.writeLocs = append(tx.writeLocs, newLoc)
 			// If we previously read v, the value we took ownership of must
 			// be the one we read.
-			if i, ok := tx.readIdx[v]; ok && tx.reads[i].seen != oldBox {
+			if i, ok := tx.readIdx.get(v); ok && tx.reads[i].seen != oldBox {
 				throwConflict("acquired var changed since read")
 			}
 			if tx.eng.cfg.VisibleReads {
@@ -395,14 +462,14 @@ func (tx *ostmTx) acquire(v *Var) *locator {
 
 // Write implements Tx.
 func (tx *ostmTx) Write(v *Var, val any) {
-	tx.eng.stats.writes.Add(1)
+	tx.st.writes++
 	if tx.lazy {
-		if i, ok := tx.pendingIdx[v]; ok {
+		if i, ok := tx.pendingIdx.get(v); ok {
 			tx.pending[i].val = val
 			tx.pending[i].cloned = true
 			return
 		}
-		tx.pendingIdx[v] = len(tx.pending)
+		tx.pendingIdx.put(v, int32(len(tx.pending)))
 		tx.pending = append(tx.pending, pendingWrite{v: v, val: val, cloned: true})
 		return
 	}
@@ -414,14 +481,14 @@ func (tx *ostmTx) Write(v *Var, val any) {
 // Update implements Tx. The first Update on a freshly acquired Var clones
 // the value (object-level copy-on-write, ASTM style) before applying f.
 func (tx *ostmTx) Update(v *Var, f func(val any) any) {
-	tx.eng.stats.writes.Add(1)
+	tx.st.writes++
 	if tx.lazy {
-		if i, ok := tx.pendingIdx[v]; ok {
+		if i, ok := tx.pendingIdx.get(v); ok {
 			p := &tx.pending[i]
 			if !p.cloned {
 				if v.clone != nil {
 					p.val = v.clone(p.val)
-					tx.eng.stats.clones.Add(1)
+					tx.st.clones++
 				}
 				p.cloned = true
 			}
@@ -433,9 +500,9 @@ func (tx *ostmTx) Update(v *Var, f func(val any) any) {
 		cur := tx.Read(v)
 		if v.clone != nil {
 			cur = v.clone(cur)
-			tx.eng.stats.clones.Add(1)
+			tx.st.clones++
 		}
-		tx.pendingIdx[v] = len(tx.pending)
+		tx.pendingIdx.put(v, int32(len(tx.pending)))
 		tx.pending = append(tx.pending, pendingWrite{v: v, val: f(cur), cloned: true})
 		return
 	}
@@ -443,7 +510,7 @@ func (tx *ostmTx) Update(v *Var, f func(val any) any) {
 	if !l.cloned {
 		if v.clone != nil {
 			l.new.val = v.clone(l.new.val)
-			tx.eng.stats.clones.Add(1)
+			tx.st.clones++
 		}
 		l.cloned = true
 	}
@@ -509,7 +576,7 @@ func (tx *ostmTx) validate(final bool) {
 		tx.lastSerial = serial
 	}
 	n := len(tx.reads)
-	tx.eng.stats.validations.Add(uint64(n))
+	tx.st.validations += uint64(n)
 	for i := 0; i < n; i++ {
 		ent := &tx.reads[i]
 		if tx.resolveValidate(ent.v, final) != ent.seen {
@@ -537,12 +604,12 @@ func (tx *ostmTx) commit() bool {
 		if !tx.state.status.CompareAndSwap(statusActive, statusCommitted) {
 			return false
 		}
-		if len(tx.writes) > 0 {
+		if len(tx.writeLocs) > 0 {
 			tx.eng.commitSerial.Add(1)
 		}
 		return true
 	}
-	if len(tx.writes) == 0 {
+	if len(tx.writeLocs) == 0 {
 		// Invisible read-only transaction: nobody can see or kill it; it
 		// commits iff its final validation passes.
 		tx.validate(true)

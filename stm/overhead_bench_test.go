@@ -1,0 +1,87 @@
+package stm_test
+
+import (
+	"testing"
+
+	"repro/internal/benchshapes"
+	"repro/stm"
+)
+
+// BenchmarkTxOverhead* measure the fixed per-transaction cost of every
+// registered engine on the shapes that bracket STMBench7's operation mix
+// (defined once in internal/benchshapes, shared with `experiments -exp
+// overhead` so the checked-in BENCH_*.json numbers correspond to these
+// benchmarks). With b.ReportAllocs() they are also the living record of the
+// allocation-free hot path: steady-state read-only transactions allocate
+// nothing, small writes stay within the published-box (+locator, for OSTM)
+// budget, and conflict retries reuse the descriptor.
+
+func benchShape(b *testing.B, shapeName string) {
+	sh, ok := benchshapes.ByName(shapeName)
+	if !ok {
+		b.Fatalf("unknown shape %q", shapeName)
+	}
+	for _, name := range stm.Registered() {
+		if sh.Skip != nil && sh.Skip(name) {
+			continue
+		}
+		b.Run(name, func(b *testing.B) {
+			eng, err := stm.New(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fn, check := sh.Setup(eng)
+			before := eng.Stats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			if sh.Parallel {
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if err := eng.Atomic(fn); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+			} else {
+				for i := 0; i < b.N; i++ {
+					if err := eng.Atomic(fn); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			st := eng.Stats()
+			if n := st.Commits - before.Commits; sh.Parallel && n > 0 {
+				// Retries per committed transaction: a protocol regression
+				// (retry explosion) shows up next to the ns/op.
+				b.ReportMetric(float64(st.ConflictAborts-before.ConflictAborts)/float64(n), "retries/op")
+			}
+			if check != nil {
+				if err := check(b.N); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTxOverheadReadOnly: an 8-Var read-only transaction, the shape of
+// STMBench7's short read operations (OP1/OP2/OP3 touch a handful of Vars).
+func BenchmarkTxOverheadReadOnly(b *testing.B) { benchShape(b, "read8") }
+
+// BenchmarkTxOverheadSmallWrite: read 4 Vars, write 1 — the shape of the
+// short update operations (OP7/OP9-style attribute writes).
+func BenchmarkTxOverheadSmallWrite(b *testing.B) { benchShape(b, "read4write1") }
+
+// BenchmarkTxOverheadConflictStorm: every worker increments the same
+// counter, so aborts and retries dominate. What's measured is the cost of a
+// retry — which, with pooled descriptors and generation-cleared indexes,
+// must not re-allocate per attempt. The shape's check verifies no updates
+// were lost.
+func BenchmarkTxOverheadConflictStorm(b *testing.B) { benchShape(b, "storm") }
+
+// BenchmarkTxOverheadLongTraversal: a 1024-Var read-only transaction — far
+// past the inline access-set fast path — exercising the spill index the way
+// STMBench7's long traversals do (without the structure around it).
+func BenchmarkTxOverheadLongTraversal(b *testing.B) { benchShape(b, "traverse1024") }

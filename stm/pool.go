@@ -1,0 +1,47 @@
+package stm
+
+import "sync"
+
+// Transaction-descriptor pooling.
+//
+// Every engine keeps a sync.Pool of its descriptor type so that the
+// steady-state cost of Atomic is zero heap allocations for read-only
+// transactions: the descriptor, its read/write-set slices, its varIndex
+// spill tables and (for TL2) its commit scratch space all survive from one
+// transaction to the next. The engine's reset() method — called once per
+// attempt — must restore every field to a fresh-attempt state while
+// *reusing* that storage (slices truncated with s[:0], indexes cleared with
+// varIndex.reset, scratch buffers kept at capacity). See the "descriptor
+// pooling contract" section in the package documentation for what a new
+// engine must guarantee before it may recycle its descriptors.
+//
+// Descriptors are returned to the pool on every normal exit from Atomic
+// (commit, user abort, exhausted retry budget). A user panic unwinding
+// through Atomic deliberately drops the descriptor instead: its state is
+// mid-attempt garbage, and correctness beats recycling one object.
+//
+// Before a descriptor is pooled, engines clear the user values buffered in
+// its read/write sets (clearing a slice is one memclr, once per
+// transaction) so that a pooled descriptor cannot pin a committed
+// transaction's object graph in memory. *Var references retained by
+// varIndex slots are not scrubbed — Vars live as long as the structure —
+// and sync.Pool drops idle descriptors at GC anyway.
+
+// txPool is a typed wrapper around sync.Pool for per-engine transaction
+// descriptors. init must be called once (from the engine constructor)
+// before get.
+type txPool[T any] struct {
+	pool sync.Pool
+	mk   func() *T
+}
+
+func (p *txPool[T]) init(mk func() *T) { p.mk = mk }
+
+func (p *txPool[T]) get() *T {
+	if v := p.pool.Get(); v != nil {
+		return v.(*T)
+	}
+	return p.mk()
+}
+
+func (p *txPool[T]) put(t *T) { p.pool.Put(t) }

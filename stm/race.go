@@ -1,0 +1,9 @@
+//go:build race
+
+package stm
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-regression tests skip under race: the detector instruments
+// allocations (shadow memory, extra bookkeeping objects), which makes
+// AllocsPerRun counts meaningless.
+const raceEnabled = true

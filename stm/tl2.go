@@ -1,6 +1,10 @@
 package stm
 
-import "sync/atomic"
+import (
+	"cmp"
+	"slices"
+	"sync/atomic"
+)
 
 // TL2Config tunes the TL2 engine.
 type TL2Config struct {
@@ -31,9 +35,10 @@ type TL2Config struct {
 // validates in O(1) against the snapshot clock, so a k-read traversal costs
 // O(k), not O(k²).
 type TL2 struct {
-	space VarSpace
-	cfg   TL2Config
-	stats statCounters
+	space  VarSpace
+	cfg    TL2Config
+	stats  statCounters
+	txPool txPool[tl2Tx]
 	// clock is the global version clock. It advances by 2 so that version
 	// numbers are always even; bit 0 of a Var's meta word is its lock bit.
 	clock atomic.Uint64
@@ -52,7 +57,9 @@ func NewTL2With(cfg TL2Config) *TL2 {
 	if cfg.CommitLockSpins <= 0 {
 		cfg.CommitLockSpins = 64
 	}
-	return &TL2{cfg: cfg}
+	e := &TL2{cfg: cfg}
+	e.txPool.init(func() *tl2Tx { return &tl2Tx{eng: e} })
+	return e
 }
 
 // Name implements Engine.
@@ -66,24 +73,38 @@ func (e *TL2) Stats() Stats { return e.stats.snapshot() }
 
 // Atomic implements Engine.
 func (e *TL2) Atomic(fn func(tx Tx) error) error {
-	tx := &tl2Tx{eng: e}
+	tx := e.txPool.get()
 	for attempt := 0; ; attempt++ {
 		if e.cfg.MaxRetries > 0 && attempt > e.cfg.MaxRetries {
+			e.putTx(tx)
 			return ErrAborted
 		}
 		tx.reset()
 		committed, err := e.runAttempt(tx, fn)
+		e.stats.flushTx(&tx.st)
 		if committed {
 			e.stats.commits.Add(1)
+			e.putTx(tx)
 			return nil
 		}
 		if err != nil {
 			e.stats.userAborts.Add(1)
+			e.putTx(tx)
 			return err
 		}
 		e.stats.conflictAborts.Add(1)
 		spinWait(backoffDur(attempt, uint64(len(tx.reads))+uint64(attempt)<<32))
 	}
+}
+
+// putTx recycles a descriptor. Buffered user values are dropped first so a
+// pooled descriptor cannot pin the last transaction's object graph; the
+// scrub covers the full capacity because an earlier, larger aborted attempt
+// may have left values beyond the final attempt's length.
+func (e *TL2) putTx(tx *tl2Tx) {
+	clear(tx.writes[:cap(tx.writes)])
+	clear(tx.reads[:cap(tx.reads)])
+	e.txPool.put(tx)
 }
 
 func (e *TL2) runAttempt(tx *tl2Tx, fn func(tx Tx) error) (committed bool, err error) {
@@ -105,23 +126,30 @@ type tl2Write struct {
 	val any
 }
 
+// tl2Tx is the pooled per-transaction descriptor. reset reuses all of its
+// storage — slices are truncated, the indexes generation-cleared, the
+// commit scratch kept at capacity — so steady-state attempts allocate
+// nothing.
 type tl2Tx struct {
 	eng *TL2
-	rv  uint64 // read version: clock snapshot at attempt start
+	rv  uint64  // read version: clock snapshot at attempt start
+	st  txStats // per-attempt counters, flushed by Atomic
 
 	reads   []*Var
-	readIdx map[*Var]struct{}
+	readIdx varIndex // *Var -> index into reads
 
 	writes   []tl2Write
-	writeIdx map[*Var]int
+	writeIdx varIndex // *Var -> index into writes
+
+	lockedMeta []uint64 // commit scratch: pre-lock meta per write-set entry
 }
 
 func (tx *tl2Tx) reset() {
 	tx.rv = tx.eng.clock.Load()
 	tx.reads = tx.reads[:0]
-	tx.readIdx = make(map[*Var]struct{})
+	tx.readIdx.reset()
 	tx.writes = tx.writes[:0]
-	tx.writeIdx = make(map[*Var]int)
+	tx.writeIdx.reset()
 }
 
 // readVar performs TL2's sampled-meta read: meta, value, meta again; the
@@ -149,8 +177,7 @@ func (tx *tl2Tx) readVar(v *Var) any {
 			}
 			throwConflict("read version too new")
 		}
-		if _, ok := tx.readIdx[v]; !ok {
-			tx.readIdx[v] = struct{}{}
+		if _, ok := tx.readIdx.getOrPut(v, int32(len(tx.reads))); !ok {
 			tx.reads = append(tx.reads, v)
 		}
 		return b.val
@@ -166,7 +193,7 @@ func (tx *tl2Tx) extendSnapshot() bool {
 	if newRv == tx.rv {
 		return false
 	}
-	tx.eng.stats.validations.Add(uint64(len(tx.reads)))
+	tx.st.validations += uint64(len(tx.reads))
 	for _, v := range tx.reads {
 		m := v.meta.Load()
 		if m&1 == 1 || m > tx.rv {
@@ -179,8 +206,8 @@ func (tx *tl2Tx) extendSnapshot() bool {
 
 // Read implements Tx.
 func (tx *tl2Tx) Read(v *Var) any {
-	tx.eng.stats.reads.Add(1)
-	if i, ok := tx.writeIdx[v]; ok {
+	tx.st.reads++
+	if i, ok := tx.writeIdx.get(v); ok {
 		return tx.writes[i].val
 	}
 	return tx.readVar(v)
@@ -188,12 +215,11 @@ func (tx *tl2Tx) Read(v *Var) any {
 
 // Write implements Tx (lazy: buffered until commit).
 func (tx *tl2Tx) Write(v *Var, val any) {
-	tx.eng.stats.writes.Add(1)
-	if i, ok := tx.writeIdx[v]; ok {
+	tx.st.writes++
+	if i, ok := tx.writeIdx.getOrPut(v, int32(len(tx.writes))); ok {
 		tx.writes[i].val = val
 		return
 	}
-	tx.writeIdx[v] = len(tx.writes)
 	tx.writes = append(tx.writes, tl2Write{v: v, val: val})
 }
 
@@ -201,18 +227,28 @@ func (tx *tl2Tx) Write(v *Var, val any) {
 // the read set, guarding against lost updates), clones it if the Var has a
 // clone function, applies f, and buffers the result.
 func (tx *tl2Tx) Update(v *Var, f func(val any) any) {
-	tx.eng.stats.writes.Add(1)
-	if i, ok := tx.writeIdx[v]; ok {
+	tx.st.writes++
+	if i, ok := tx.writeIdx.getOrPut(v, int32(len(tx.writes))); ok {
 		tx.writes[i].val = f(tx.writes[i].val)
 		return
 	}
+	// The index entry is in place before the readVar below; a conflict
+	// thrown there unwinds the whole attempt, so the index is never seen
+	// ahead of its slice entry.
 	cur := tx.readVar(v)
 	if v.clone != nil {
 		cur = v.clone(cur)
-		tx.eng.stats.clones.Add(1)
+		tx.st.clones++
 	}
-	tx.writeIdx[v] = len(tx.writes)
 	tx.writes = append(tx.writes, tl2Write{v: v, val: f(cur)})
+}
+
+// releaseLocks restores the saved meta of the first `locked` write-set
+// entries, undoing a failed commit's lock acquisitions.
+func (tx *tl2Tx) releaseLocks(locked int) {
+	for i := 0; i < locked; i++ {
+		tx.writes[i].v.meta.Store(tx.lockedMeta[i])
+	}
 }
 
 // commit implements TL2's commit protocol: lock the write set in id order,
@@ -228,29 +264,27 @@ func (tx *tl2Tx) commit() bool {
 	// deadlock (we spin-bound anyway, but ordering avoids wasted work).
 	sortWritesByID(tx.writes)
 	for i := range tx.writes {
-		tx.writeIdx[tx.writes[i].v] = i // reindex after sorting
+		tx.writeIdx.put(tx.writes[i].v, int32(i)) // reindex after sorting
 	}
+	if cap(tx.lockedMeta) < len(tx.writes) {
+		tx.lockedMeta = make([]uint64, len(tx.writes))
+	}
+	tx.lockedMeta = tx.lockedMeta[:len(tx.writes)]
 	locked := 0
-	lockedMeta := make([]uint64, len(tx.writes))
-	release := func() {
-		for i := 0; i < locked; i++ {
-			tx.writes[i].v.meta.Store(lockedMeta[i])
-		}
-	}
 	for i := range tx.writes {
 		v := tx.writes[i].v
 		spins := 0
 		for {
 			m := v.meta.Load()
 			if m&1 == 0 && v.meta.CompareAndSwap(m, m|1) {
-				lockedMeta[i] = m
+				tx.lockedMeta[i] = m
 				locked++
 				break
 			}
 			spins++
 			if spins > tx.eng.cfg.CommitLockSpins {
-				release()
-				tx.eng.stats.lockFailures.Add(1)
+				tx.releaseLocks(locked)
+				tx.st.lockFailures++
 				return false
 			}
 			spinHint()
@@ -262,30 +296,33 @@ func (tx *tl2Tx) commit() bool {
 	// Validate the read set unless nobody else committed since we started
 	// (wv == rv+2 means the clock moved only by our own increment).
 	if wv != tx.rv+2 {
-		tx.eng.stats.validations.Add(uint64(len(tx.reads)))
+		tx.st.validations += uint64(len(tx.reads))
 		for _, v := range tx.reads {
 			m := v.meta.Load()
 			if m&1 == 1 {
 				// Locked: only fine if we hold the lock, in which case the
 				// pre-lock version must not exceed rv.
-				if i, ok := tx.writeIdx[v]; ok {
-					if lockedMeta[i] > tx.rv {
-						release()
+				if i, ok := tx.writeIdx.get(v); ok {
+					if tx.lockedMeta[i] > tx.rv {
+						tx.releaseLocks(locked)
 						return false
 					}
 					continue
 				}
-				release()
+				tx.releaseLocks(locked)
 				return false
 			}
 			if m > tx.rv {
-				release()
+				tx.releaseLocks(locked)
 				return false
 			}
 		}
 	}
 
-	// Write back and unlock by publishing the new version.
+	// Write back and unlock by publishing the new version. The box per
+	// written Var is the one unavoidable commit allocation: published boxes
+	// are immutable snapshots that concurrent readers may hold
+	// indefinitely, so they can never be recycled from the descriptor.
 	for i := range tx.writes {
 		w := &tx.writes[i]
 		w.v.cur.Store(&box{val: w.val})
@@ -294,9 +331,15 @@ func (tx *tl2Tx) commit() bool {
 	return true
 }
 
-// sortWritesByID sorts in place by Var id (insertion sort: write sets are
-// small in almost all workloads; avoids sort.Slice's closure allocations).
+// sortWritesByID sorts in place by Var id. Small write sets (almost every
+// STMBench7 operation) use an insertion sort — no closure, no reflection;
+// structural-modification transactions with large write sets fall back to
+// the standard-library sort to avoid the O(n²) blowup.
 func sortWritesByID(ws []tl2Write) {
+	if len(ws) > 32 {
+		slices.SortFunc(ws, func(a, b tl2Write) int { return cmp.Compare(a.v.id, b.v.id) })
+		return
+	}
 	for i := 1; i < len(ws); i++ {
 		for j := i; j > 0 && ws[j].v.id < ws[j-1].v.id; j-- {
 			ws[j], ws[j-1] = ws[j-1], ws[j]

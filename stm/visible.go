@@ -30,7 +30,11 @@ package stm
 
 // registerReader adds tx to v's reader set, pruning entries of finished
 // transactions while copying (the set is immutable; replacement is by CAS).
+// Registration publishes tx.state: reader-set entries may survive the
+// attempt, so a registered state must never be recycled (reset allocates a
+// fresh state per attempt in visible mode).
 func (tx *ostmTx) registerReader(v *Var) {
+	tx.stateShared = true
 	for {
 		old := v.readers.Load()
 		var list []*txState
@@ -83,14 +87,14 @@ func (tx *ostmTx) unregisterReader(v *Var) {
 // must abort this transaction first.
 func (tx *ostmTx) visibleRead(v *Var) any {
 	if tx.lazy {
-		if i, ok := tx.pendingIdx[v]; ok {
+		if i, ok := tx.pendingIdx.get(v); ok {
 			return tx.pending[i].val
 		}
 	}
-	if l, ok := tx.writes[v]; ok {
-		return l.new.val
+	if i, ok := tx.writeIdx.get(v); ok {
+		return tx.writeLocs[i].new.val
 	}
-	if i, ok := tx.readIdx[v]; ok {
+	if i, ok := tx.readIdx.get(v); ok {
 		return tx.reads[i].seen.val
 	}
 	cm := tx.eng.cfg.CM
@@ -122,7 +126,7 @@ func (tx *ostmTx) visibleRead(v *Var) any {
 			}
 		}
 		b := tx.resolveRead(v)
-		tx.readIdx[v] = len(tx.reads)
+		tx.readIdx.put(v, int32(len(tx.reads)))
 		tx.reads = append(tx.reads, readEntry{v: v, seen: b})
 		tx.state.opens.Add(1)
 		// Doomed-reader guard: a writer invalidating one of our earlier
