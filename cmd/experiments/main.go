@@ -17,6 +17,15 @@
 // conflict-storm and long-traversal shapes) via testing.Benchmark — the
 // same shapes the stm package's BenchmarkTxOverhead* report under go test.
 //
+// The scenarios experiment sweeps the built-in multi-phase scenario
+// library (steady, ramp-up, spike, read-burst-write-storm,
+// hotspot-migration, engine-sweep; the CI smoke scenario is skipped)
+// across every strategy — both lock baselines plus every registered STM
+// engine — recording per-phase throughput, abort rate and, for open-loop
+// phases, p50/p99 response time. -seconds scales phase durations
+// (1 keeps the scenarios' native lengths); the largest -threads value is
+// the default worker count for phases that don't set their own.
+//
 // With -json FILE, every measured data point is also written as
 // machine-readable JSON suitable for checking in as BENCH_<pr>.json, so
 // performance PRs leave a trajectory future PRs can diff against:
@@ -46,6 +55,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ops"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/sync7"
 	"repro/stm"
 )
@@ -76,6 +86,13 @@ type jsonPoint struct {
 	Validations  uint64   `json:"validations,omitempty"`
 	Commits      uint64   `json:"commits,omitempty"`
 	Aborts       uint64   `json:"aborts,omitempty"`
+	// Scenario-sweep fields: which scenario phase the point measures and,
+	// for open-loop phases, the response-time percentiles (queueing
+	// included).
+	Scenario      string   `json:"scenario,omitempty"`
+	Phase         string   `json:"phase,omitempty"`
+	P50ResponseMs *float64 `json:"p50_response_ms,omitempty"`
+	P99ResponseMs *float64 `json:"p99_response_ms,omitempty"`
 }
 
 // jsonReport is the -json document. Size/Seconds/Threads echo the driver
@@ -83,15 +100,21 @@ type jsonPoint struct {
 // ignore them (testing.Benchmark budgets its own ~1s) and carry the thread
 // count they actually ran with in their own threads field.
 type jsonReport struct {
-	Size      string      `json:"size"`
-	Seconds   float64     `json:"seconds"`
-	Threads   []int       `json:"threads"`
-	Seed      uint64      `json:"seed"`
-	GoVersion string      `json:"go_version"`
-	GOOS      string      `json:"goos"`
-	GOARCH    string      `json:"goarch"`
-	NumCPU    int         `json:"num_cpu"`
-	Points    []jsonPoint `json:"points"`
+	Size      string  `json:"size"`
+	Seconds   float64 `json:"seconds"`
+	Threads   []int   `json:"threads"`
+	Seed      uint64  `json:"seed"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"`
+	// GoMaxProcs, Engines and Strategies pin down the runtime
+	// configuration the points were measured under, so checked-in
+	// BENCH_*.json files are self-describing across machines and PRs.
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Engines    []string    `json:"engines"`
+	Strategies []string    `json:"strategies"`
+	Points     []jsonPoint `json:"points"`
 }
 
 var (
@@ -114,7 +137,7 @@ func i64ptr(v int64) *int64     { return &v }
 func f64ptr(v float64) *float64 { return &v }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, table3, fig6, headline, ablations, overhead or all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, table3, fig6, headline, ablations, overhead, scenarios or all")
 	size := flag.String("size", "small", "structure size: tiny, small or medium (paper scale)")
 	seconds := flag.Float64("seconds", 1.0, "measurement duration per data point, in seconds")
 	threadsFlag := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
@@ -141,7 +164,8 @@ func main() {
 		jsonOut = &jsonReport{
 			Size: cfg.size, Seconds: cfg.seconds, Threads: cfg.threads, Seed: cfg.seed,
 			GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
-			NumCPU: runtime.NumCPU(),
+			NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+			Engines: stm.Registered(), Strategies: sync7.Strategies(),
 		}
 	}
 
@@ -156,8 +180,9 @@ func main() {
 		"headline":  headline,
 		"ablations": ablations,
 		"overhead":  overhead,
+		"scenarios": scenarioSweep,
 	}
-	order := []string{"fig3", "fig4", "table3", "fig6", "headline", "ablations", "overhead"}
+	order := []string{"fig3", "fig4", "table3", "fig6", "headline", "ablations", "overhead", "scenarios"}
 	if *exp == "all" {
 		for _, name := range order {
 			curExp = name
@@ -625,6 +650,75 @@ func overhead(cfg config) {
 				BytesPerOp:  i64ptr(r.AllocedBytesPerOp()),
 				OpsPerSec:   opsPerSec,
 			})
+		}
+	}
+	fmt.Println()
+}
+
+// scenarioSweep runs every built-in scenario (except the CI smoke one) on
+// every strategy — lock baselines plus all registered STM engines — and
+// prints one row per (strategy, phase). This is the Synchrobench-style
+// probe: engine rankings that flip between phases (mix shifts, hotspot
+// migration, arrival spikes) show up as crossed columns here.
+func scenarioSweep(cfg config) {
+	strategies := append([]string{"coarse", "medium"}, sync7.STMStrategies()...)
+	threads := 4
+	if n := len(cfg.threads); n > 0 {
+		threads = cfg.threads[n-1]
+	}
+	fmt.Printf("=== Scenario sweep: built-in multi-phase workloads x every strategy ===\n")
+	fmt.Printf("    (phase durations x%g via -seconds; default %d workers; open-loop rows\n", cfg.seconds, threads)
+	fmt.Printf("     report p50/p99 response time with queueing included)\n")
+	for _, name := range scenario.Names() {
+		if name == "smoke" {
+			continue // CI plumbing, not a measurement
+		}
+		sc, _ := scenario.Builtin(name)
+		fmt.Printf("\n  scenario %q — %s\n", sc.Name, sc.Description)
+		fmt.Printf("  %-8s %-14s %7s %-12s %10s %8s %9s %9s\n",
+			"engine", "phase", "threads", "mode", "ops/s", "abort%", "p50[ms]", "p99[ms]")
+		for _, strat := range strategies {
+			rep, err := scenario.Run(sc, scenario.RunOptions{
+				Params:    cfg.params,
+				Strategy:  strat,
+				Seed:      cfg.seed,
+				Threads:   threads,
+				TimeScale: cfg.seconds,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			for _, pr := range rep.Phases {
+				ph, res := pr.Phase, pr.Result
+				mode := "closed"
+				if ph.OpenLoop {
+					mode = fmt.Sprintf("open@%.0f/s", ph.ArrivalRate)
+				}
+				pt := jsonPoint{
+					Experiment: "scenarios",
+					Variant:    strat,
+					Scenario:   sc.Name,
+					Phase:      ph.Name,
+					Workload:   ph.Workload.String(),
+					Threads:    ph.Threads,
+					OpsPerSec:  res.Throughput(),
+					AbortPct:   f64ptr(100 * res.EngineStats.AbortRate()),
+					Commits:    res.EngineStats.Commits,
+					Aborts:     res.EngineStats.ConflictAborts,
+				}
+				p50s, p99s := "-", "-"
+				if ls, ok := res.ResponseLatency(); ok {
+					pt.P50ResponseMs = f64ptr(ls.P50Ms)
+					pt.P99ResponseMs = f64ptr(ls.P99Ms)
+					p50s = fmt.Sprintf("%.3f", ls.P50Ms)
+					p99s = fmt.Sprintf("%.3f", ls.P99Ms)
+				}
+				record(pt)
+				fmt.Printf("  %-8s %-14s %7d %-12s %10.0f %8.1f %9s %9s\n",
+					strat, ph.Name, ph.Threads, mode, res.Throughput(),
+					100*res.EngineStats.AbortRate(), p50s, p99s)
+			}
 		}
 	}
 	fmt.Println()

@@ -25,8 +25,18 @@
 //	-group-atomic             group atomic-part state per composite part (§5 optimization)
 //	-tx-index                 use per-node transactional B-tree indexes (§5 optimization)
 //
-// The report (Appendix A.1's output format) goes to stdout; diagnostics go
-// to stderr.
+// Scenario mode (multi-phase workloads; see the README's Scenarios
+// chapter):
+//
+//	-scenario NAME|FILE   run a built-in scenario or a JSON scenario file
+//	                      instead of a single static mix; -t becomes the
+//	                      default thread count for phases that don't set
+//	                      their own, and -l/-w/--no-* are ignored
+//	-scenario-scale F     multiply every phase duration by F (default 1)
+//	-list-scenarios       print the built-in scenario library and exit
+//
+// The report (Appendix A.1's output format, or the scenario per-phase
+// report) goes to stdout; diagnostics go to stderr.
 package main
 
 import (
@@ -83,8 +93,19 @@ func run(args []string) error {
 	chunks := fs.Int("chunks", 1, "manual chunks (§5 optimization when > 1)")
 	groupAtomic := fs.Bool("group-atomic", false, "group atomic-part state per composite (§5 optimization)")
 	txIndex := fs.Bool("tx-index", false, "per-node transactional B-tree indexes (§5 optimization)")
+	scenarioArg := fs.String("scenario", "", "run a multi-phase scenario: builtin name or JSON file (see -list-scenarios)")
+	scenarioScale := fs.Float64("scenario-scale", 1, "multiply scenario phase durations")
+	listScenarios := fs.Bool("list-scenarios", false, "list builtin scenarios and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *listScenarios {
+		for _, name := range stmbench7.Scenarios() {
+			sc, _ := stmbench7.LookupScenario(name)
+			fmt.Printf("  %-24s %d phases  %s\n", name, len(sc.Phases), sc.Description)
+		}
+		return nil
 	}
 
 	params, ok := stmbench7.NamedParams(*size)
@@ -94,6 +115,37 @@ func run(args []string) error {
 	params.ManualChunks = *chunks
 	params.GroupAtomicParts = *groupAtomic
 	params.TxIndexes = *txIndex
+
+	if *scenarioArg != "" {
+		sc, err := stmbench7.LookupScenario(*scenarioArg)
+		if err != nil {
+			return err
+		}
+		cm, err := contentionManager(*cmName)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "building %s structure (seed %d) for scenario %q...\n", *size, *seed, sc.Name)
+		t0 := time.Now()
+		rep, err := stmbench7.RunScenario(sc, stmbench7.ScenarioRunOptions{
+			Params:                   params,
+			Strategy:                 *strategy,
+			Seed:                     *seed,
+			Threads:                  *threads,
+			TimeScale:                *scenarioScale,
+			CollectHistograms:        *histograms,
+			CheckInvariants:          *check,
+			CM:                       cm,
+			CommitTimeValidationOnly: *ctv,
+			VisibleReads:             *visible,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(t0).Round(time.Millisecond))
+		stmbench7.WriteScenarioReport(os.Stdout, rep)
+		return nil
+	}
 
 	w, err := stmbench7.ParseWorkload(*workload)
 	if err != nil {

@@ -1,0 +1,99 @@
+// Command scenarios demonstrates the scenario engine: running a built-in
+// multi-phase workload, declaring a custom scenario in Go (mix weights,
+// contention skew, an open-loop phase), and loading one from the JSON
+// format. Everything runs on the tiny structure with scaled-down phase
+// durations so the whole demo finishes in a couple of seconds:
+//
+//	go run ./examples/scenarios
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	stmbench7 "repro"
+)
+
+func main() {
+	// 1. A built-in scenario: the arrival-rate spike, on TL2. The
+	// cross-phase comparison shows how far p99 response time (queueing
+	// included) degrades during the spike phase.
+	fmt.Println("--- built-in \"spike\" on tl2 ---")
+	spike, err := stmbench7.LookupScenario("spike")
+	if err != nil {
+		fail(err)
+	}
+	rep, err := stmbench7.RunScenario(spike, stmbench7.ScenarioRunOptions{
+		Strategy:  "tl2",
+		Threads:   2,
+		TimeScale: 0.5,
+	})
+	if err != nil {
+		fail(err)
+	}
+	stmbench7.WriteScenarioReport(os.Stdout, rep)
+
+	// 2. A custom scenario in Go: a calm read phase, then a skewed
+	// write storm where 95%-zipfian draws hammer a hotspot of composite
+	// parts, then an open-loop probe measuring response time under a
+	// fixed offered load.
+	fmt.Println("\n--- custom scenario on norec ---")
+	custom := &stmbench7.Scenario{
+		Name:        "calm-storm-probe",
+		Description: "read calm, skewed write storm, open-loop response probe",
+		Phases: []stmbench7.ScenarioPhase{
+			{
+				Name: "calm", Duration: 400 * time.Millisecond,
+				Workload: stmbench7.ReadDominated, StructureMods: true,
+			},
+			{
+				Name: "storm", Duration: 400 * time.Millisecond,
+				Workload: stmbench7.WriteDominated, StructureMods: true,
+				Weights: map[stmbench7.OperationCategory]float64{
+					stmbench7.ShortOperation:        3,
+					stmbench7.StructureModification: 1,
+				},
+				SkewTheta: 0.95,
+			},
+			{
+				Name: "probe", Duration: 400 * time.Millisecond,
+				Workload: stmbench7.ReadWrite, StructureMods: true,
+				OpenLoop: true, ArrivalRate: 2000,
+			},
+		},
+	}
+	rep, err = stmbench7.RunScenario(custom, stmbench7.ScenarioRunOptions{
+		Strategy: "norec",
+		Threads:  2,
+	})
+	if err != nil {
+		fail(err)
+	}
+	stmbench7.WriteScenarioReport(os.Stdout, rep)
+
+	// 3. The same declarative format the -scenario FILE flag accepts.
+	fmt.Println("\n--- JSON scenario on ostm ---")
+	parsed, err := stmbench7.ParseScenario([]byte(`{
+		"name": "from-json",
+		"description": "declared in JSON, workload flip with a migrating hotspot",
+		"defaults": {"threads": 2, "skew": 0.9},
+		"phases": [
+			{"name": "left", "duration": "300ms", "workload": "rw"},
+			{"name": "right", "duration": "300ms", "workload": "w", "skew_shift": 0.5}
+		]
+	}`))
+	if err != nil {
+		fail(err)
+	}
+	rep, err = stmbench7.RunScenario(parsed, stmbench7.ScenarioRunOptions{Strategy: "ostm"})
+	if err != nil {
+		fail(err)
+	}
+	stmbench7.WriteScenarioReport(os.Stdout, rep)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "scenarios:", err)
+	os.Exit(1)
+}

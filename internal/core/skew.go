@@ -1,0 +1,35 @@
+package core
+
+import "repro/internal/rng"
+
+// IDSampler draws a 0-based index from [0, n). Installing samplers on a
+// Structure (SetIDSamplers) redirects RandomCompID / RandomAtomicID
+// through them, so the random-id operations of the benchmark concentrate
+// on whatever subset of parts the sampler favors — the contention-skew
+// knob of the scenario engine. A sampler must be safe for concurrent use
+// with distinct *Rand arguments (pure functions of (r, n) are).
+type IDSampler func(r *rng.Rand, n uint64) uint64
+
+// SetIDSamplers installs (or, with nil arguments, removes) the biased
+// samplers for composite-part and atomic-part id draws. The builder and
+// the structural operations that walk the assembly tree are unaffected:
+// only the "pick a random id and look it up" entry points (ST1/ST9-style
+// document lookups, OP1/OP6-style part lookups, SM2's deletion victim,
+// ...) go through the samplers, which is exactly the access pattern a
+// hotspot should distort.
+//
+// Installation is atomic and may happen while worker threads are between
+// operations; the scenario runner swaps samplers at phase boundaries,
+// when no workers are running.
+func (s *Structure) SetIDSamplers(comp, atom IDSampler) {
+	if comp == nil {
+		s.compSampler.Store(nil)
+	} else {
+		s.compSampler.Store(&comp)
+	}
+	if atom == nil {
+		s.atomicSampler.Store(nil)
+	} else {
+		s.atomicSampler.Store(&atom)
+	}
+}

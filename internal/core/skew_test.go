@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/stm"
+)
+
+func TestIDSamplersRedirectDraws(t *testing.T) {
+	p := Tiny()
+	s, err := Build(p, 1, stm.NewDirect().VarSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+
+	// Uniform by default: draws cover more than one composite id.
+	seen := map[uint64]bool{}
+	for i := 0; i < 200; i++ {
+		seen[s.RandomCompID(r)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("uniform draws hit only %d ids", len(seen))
+	}
+
+	// Constant samplers pin every draw.
+	s.SetIDSamplers(
+		func(*rng.Rand, uint64) uint64 { return 2 },
+		func(*rng.Rand, uint64) uint64 { return 5 },
+	)
+	for i := 0; i < 50; i++ {
+		if got := s.RandomCompID(r); got != 3 {
+			t.Fatalf("comp draw = %d, want 3 (sampler index 2 + 1)", got)
+		}
+		if got := s.RandomAtomicID(r); got != 6 {
+			t.Fatalf("atomic draw = %d, want 6 (sampler index 5 + 1)", got)
+		}
+	}
+
+	// Removing the samplers restores uniform draws.
+	s.SetIDSamplers(nil, nil)
+	seen = map[uint64]bool{}
+	for i := 0; i < 200; i++ {
+		seen[s.RandomCompID(r)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("draws still pinned after removing samplers")
+	}
+}

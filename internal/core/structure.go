@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/rng"
 	"repro/stm"
@@ -38,6 +39,11 @@ type Structure struct {
 	Idx    *Indexes
 
 	ids *stm.Cell[IDState]
+
+	// compSampler and atomicSampler, when installed, bias RandomCompID
+	// and RandomAtomicID draws (contention skew; see SetIDSamplers).
+	compSampler   atomic.Pointer[IDSampler]
+	atomicSampler atomic.Pointer[IDSampler]
 }
 
 // --- id allocation -------------------------------------------------------
@@ -155,11 +161,25 @@ func (p Params) SubtreeIDNeeds(level int) (complexN, baseN int) {
 
 // --- random id domains (no tx needed; caps are static) -------------------
 
-// RandomAtomicID draws from the atomic-part id domain.
-func (s *Structure) RandomAtomicID(r *rng.Rand) uint64 { return 1 + r.Uint64n(s.P.MaxAtomicParts()) }
+// RandomAtomicID draws from the atomic-part id domain — uniformly, unless
+// an atomic-part sampler is installed (SetIDSamplers).
+func (s *Structure) RandomAtomicID(r *rng.Rand) uint64 {
+	n := s.P.MaxAtomicParts()
+	if f := s.atomicSampler.Load(); f != nil {
+		return 1 + (*f)(r, n)
+	}
+	return 1 + r.Uint64n(n)
+}
 
-// RandomCompID draws from the composite-part id domain.
-func (s *Structure) RandomCompID(r *rng.Rand) uint64 { return 1 + r.Uint64n(s.P.MaxCompParts()) }
+// RandomCompID draws from the composite-part id domain — uniformly, unless
+// a composite-part sampler is installed (SetIDSamplers).
+func (s *Structure) RandomCompID(r *rng.Rand) uint64 {
+	n := s.P.MaxCompParts()
+	if f := s.compSampler.Load(); f != nil {
+		return 1 + (*f)(r, n)
+	}
+	return 1 + r.Uint64n(n)
+}
 
 // RandomBaseID draws from the base-assembly id domain.
 func (s *Structure) RandomBaseID(r *rng.Rand) uint64 {

@@ -58,6 +58,31 @@ type Options struct {
 	// CheckInvariants runs the full structural invariant checker after
 	// the run and fails the run on violations.
 	CheckInvariants bool
+	// CategoryWeights overrides the Table 2 category shares with
+	// arbitrary relative weights (see ops.Profile.CategoryWeights).
+	// Nil keeps the paper's mix. Scenario phases use this.
+	CategoryWeights map[ops.Category]float64
+	// SkewTheta, when nonzero, installs a YCSB-style zipfian hotspot
+	// (exponent theta in (0, 1); larger is more skewed) over the
+	// composite-part id domain for the duration of the run: random-id
+	// operations concentrate on a hot subset of composite parts, and
+	// atomic-part draws follow their owning composite's rank so both id
+	// domains hit the same hot objects. 0 keeps uniform draws.
+	SkewTheta float64
+	// SkewShift rotates the start of the hotspot to the given fraction
+	// of the composite-part id domain, in [0, 1) — successive phases
+	// with different shifts migrate the hotspot across the structure.
+	SkewShift float64
+	// OpenLoop replaces the closed per-thread loop with an open-loop
+	// driver: operations arrive on a deterministic Poisson schedule at
+	// ArrivalRate ops/s in total, Threads workers serve the queue, and
+	// response time is measured from the *scheduled* arrival, so
+	// queueing delay is included (coordinated-omission safe). See
+	// Result.Response.
+	OpenLoop bool
+	// ArrivalRate is the open-loop offered load in operations per
+	// second, across all workers. Required (> 0) when OpenLoop is set.
+	ArrivalRate float64
 }
 
 // Defaults fills in unset fields: 1 thread, 1 s, read-dominated, coarse,
@@ -84,11 +109,26 @@ func Defaults(o Options) Options {
 // Profile derives the operation mix from the options.
 func (o Options) Profile() ops.Profile {
 	return ops.Profile{
-		Workload:       o.Workload,
-		LongTraversals: o.LongTraversals,
-		StructureMods:  o.StructureMods,
-		Reduced:        o.Reduced,
+		Workload:        o.Workload,
+		LongTraversals:  o.LongTraversals,
+		StructureMods:   o.StructureMods,
+		Reduced:         o.Reduced,
+		CategoryWeights: o.CategoryWeights,
 	}
+}
+
+// validate rejects option combinations the drivers cannot honor.
+func (o Options) validate() error {
+	if o.SkewTheta < 0 || o.SkewTheta >= 1 {
+		return fmt.Errorf("harness: SkewTheta %v outside [0, 1)", o.SkewTheta)
+	}
+	if o.SkewShift < 0 || o.SkewShift >= 1 {
+		return fmt.Errorf("harness: SkewShift %v outside [0, 1)", o.SkewShift)
+	}
+	if o.OpenLoop && o.ArrivalRate <= 0 {
+		return fmt.Errorf("harness: OpenLoop needs ArrivalRate > 0, got %v", o.ArrivalRate)
+	}
+	return nil
 }
 
 // OpResult is the merged measurement for one operation type.
@@ -116,9 +156,20 @@ type Result struct {
 	PerOp map[string]*OpResult
 	// Expected is the expected ratio per operation (from Table 2).
 	Expected map[string]float64
-	// EngineStats snapshots the stm engine counters (commits, aborts,
-	// validations, clones...) after the run.
+	// EngineStats holds the stm engine counters (commits, aborts,
+	// validations, clones...) accumulated DURING the run: the counters
+	// are snapshotted before and after and the delta reported, so
+	// several runs (scenario phases) sharing one executor each see only
+	// their own activity.
 	EngineStats stm.Stats
+	// Arrivals is the number of scheduled arrivals actually issued by
+	// an open-loop run (0 for closed-loop runs). Every issued arrival
+	// executes exactly once, so Arrivals == TotalAttempted.
+	Arrivals int64
+	// Response is the open-loop response-time histogram in MICROSECOND
+	// buckets: completion minus scheduled arrival, queueing included.
+	// Nil for closed-loop runs; summarize with ResponseLatency.
+	Response map[int64]int64
 }
 
 // threadStats is the per-thread measurement record; merged at the end per
@@ -128,6 +179,9 @@ type threadStats struct {
 	failed    map[string]int64
 	maxTTC    map[string]time.Duration
 	hist      map[string]map[int64]int64
+	// resp is the open-loop response-time histogram (µs buckets); nil
+	// in closed-loop runs.
+	resp map[int64]int64
 }
 
 func newThreadStats() *threadStats {
@@ -137,6 +191,31 @@ func newThreadStats() *threadStats {
 		maxTTC:    map[string]time.Duration{},
 		hist:      map[string]map[int64]int64{},
 	}
+}
+
+// recordOutcome books one executed operation into the thread-local record.
+// Non-logical errors are returned for the worker to abort on.
+func (st *threadStats) recordOutcome(opName string, ttc time.Duration, collectHist bool, err error) error {
+	switch {
+	case err == nil:
+		st.succeeded[opName]++
+		if ttc > st.maxTTC[opName] {
+			st.maxTTC[opName] = ttc
+		}
+		if collectHist {
+			h := st.hist[opName]
+			if h == nil {
+				h = map[int64]int64{}
+				st.hist[opName] = h
+			}
+			h[ttc.Milliseconds()]++
+		}
+	case err == ops.ErrFailed || err == stm.ErrAborted:
+		st.failed[opName]++
+	default:
+		return fmt.Errorf("harness: %s: %w", opName, err)
+	}
+	return nil
 }
 
 // Setup builds the executor and the data structure for the options — split
@@ -172,8 +251,64 @@ func Run(o Options) (*Result, error) {
 
 // RunOn executes the benchmark on a pre-built structure (callers that sweep
 // thread counts over identical structures build once per point themselves).
+// It installs the contention-skew samplers for the duration of the run,
+// dispatches to the closed- or open-loop driver, and reports the engine
+// counters as a delta over the run (per-phase stats reset for scenarios).
 func RunOn(o Options, ex sync7.Executor, s *core.Structure) (*Result, error) {
 	o = Defaults(o)
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if o.SkewTheta != 0 {
+		comp, atom := skewSamplers(s.P, o.SkewTheta, o.SkewShift)
+		s.SetIDSamplers(comp, atom)
+		defer s.SetIDSamplers(nil, nil)
+	}
+
+	before := ex.Engine().Stats()
+	var res *Result
+	var err error
+	if o.OpenLoop {
+		res, err = runOpenLoop(o, ex, s)
+	} else {
+		res, err = runClosedLoop(o, ex, s)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.EngineStats = ex.Engine().Stats().Delta(before)
+
+	if o.CheckInvariants {
+		if err := ex.Engine().Atomic(func(tx stm.Tx) error { return s.CheckInvariants(tx) }); err != nil {
+			return nil, fmt.Errorf("harness: post-run invariant violation: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// skewSamplers builds the zipfian hotspot samplers for the two skewed id
+// domains. Composite ranks map to ids rotated by shift; atomic-part draws
+// pick a composite by the same zipfian and then a uniform part within it,
+// so both domains concentrate on the same hot composite parts.
+func skewSamplers(p core.Params, theta, shift float64) (comp, atom core.IDSampler) {
+	nComp := p.MaxCompParts()
+	z := rng.NewZipf(nComp, theta)
+	off := uint64(shift * float64(nComp))
+	per := uint64(p.NumAtomicPerComp)
+	comp = func(r *rng.Rand, n uint64) uint64 {
+		return (z.Next(r) + off) % n
+	}
+	atom = func(r *rng.Rand, n uint64) uint64 {
+		c := (z.Next(r) + off) % nComp
+		return (c*per + r.Uint64n(per)) % n
+	}
+	return comp, atom
+}
+
+// runClosedLoop is the paper's driver: each of Threads workers draws and
+// executes operations back to back until the duration elapses (or for
+// exactly MaxOps operations each).
+func runClosedLoop(o Options, ex sync7.Executor, s *core.Structure) (*Result, error) {
 	profile := o.Profile()
 	picker := ops.NewPicker(profile)
 
@@ -203,28 +338,9 @@ func RunOn(o Options, ex sync7.Executor, s *core.Structure) (*Result, error) {
 				op := picker.Pick(r)
 				t0 := time.Now()
 				_, err := ex.Execute(op, s, r)
-				ttc := time.Since(t0)
-				switch err {
-				case nil:
-					st.succeeded[op.Name]++
-					if ttc > st.maxTTC[op.Name] {
-						st.maxTTC[op.Name] = ttc
-					}
-					if o.CollectHistograms {
-						h := st.hist[op.Name]
-						if h == nil {
-							h = map[int64]int64{}
-							st.hist[op.Name] = h
-						}
-						h[ttc.Milliseconds()]++
-					}
-				default:
-					if err == ops.ErrFailed || err == stm.ErrAborted {
-						st.failed[op.Name]++
-					} else {
-						errCh <- fmt.Errorf("harness: %s: %w", op.Name, err)
-						return
-					}
+				if err := st.recordOutcome(op.Name, time.Since(t0), o.CollectHistograms, err); err != nil {
+					errCh <- err
+					return
 				}
 			}
 		}(t)
@@ -243,16 +359,28 @@ func RunOn(o Options, ex sync7.Executor, s *core.Structure) (*Result, error) {
 	default:
 	}
 
+	res := newResult(o, picker, profile, elapsed)
+	mergeThreadStats(res, perThread, o.CollectHistograms)
+	return res, nil
+}
+
+// newResult allocates a Result with one zeroed entry per pickable op.
+func newResult(o Options, picker *ops.Picker, profile ops.Profile, elapsed time.Duration) *Result {
 	res := &Result{
-		Options:     o,
-		Elapsed:     elapsed,
-		PerOp:       map[string]*OpResult{},
-		Expected:    profile.Ratios(),
-		EngineStats: ex.Engine().Stats(),
+		Options:  o,
+		Elapsed:  elapsed,
+		PerOp:    map[string]*OpResult{},
+		Expected: profile.Ratios(),
 	}
 	for _, op := range picker.Ops() {
 		res.PerOp[op.Name] = &OpResult{Name: op.Name, Category: op.Category, ReadOnly: op.ReadOnly}
 	}
+	return res
+}
+
+// mergeThreadStats folds the per-thread records into the result (§4: local
+// measurement, merged at the end).
+func mergeThreadStats(res *Result, perThread []*threadStats, collectHist bool) {
 	for _, st := range perThread {
 		for name, n := range st.succeeded {
 			res.PerOp[name].Succeeded += n
@@ -265,7 +393,7 @@ func RunOn(o Options, ex sync7.Executor, s *core.Structure) (*Result, error) {
 				res.PerOp[name].MaxTTC = ttc
 			}
 		}
-		if o.CollectHistograms {
+		if collectHist {
 			for name, h := range st.hist {
 				dst := res.PerOp[name].Hist
 				if dst == nil {
@@ -277,14 +405,15 @@ func RunOn(o Options, ex sync7.Executor, s *core.Structure) (*Result, error) {
 				}
 			}
 		}
-	}
-
-	if o.CheckInvariants {
-		if err := ex.Engine().Atomic(func(tx stm.Tx) error { return s.CheckInvariants(tx) }); err != nil {
-			return nil, fmt.Errorf("harness: post-run invariant violation: %w", err)
+		if st.resp != nil {
+			if res.Response == nil {
+				res.Response = map[int64]int64{}
+			}
+			for us, n := range st.resp {
+				res.Response[us] += n
+			}
 		}
 	}
-	return res, nil
 }
 
 // --- aggregate views ------------------------------------------------------

@@ -3,6 +3,8 @@ package harness
 import (
 	"sort"
 	"time"
+
+	"repro/internal/ops"
 )
 
 // LatencySummary condenses an operation's TTC histogram. The paper's output
@@ -77,10 +79,10 @@ func summarizeHistogram(hist map[int64]int64) LatencySummary {
 
 // CategoryLatency merges the histograms of every operation in a category
 // and summarizes the result (e.g. "all short traversals").
-func (r *Result) CategoryLatency(cat interface{ String() string }) (LatencySummary, bool) {
+func (r *Result) CategoryLatency(cat ops.Category) (LatencySummary, bool) {
 	merged := map[int64]int64{}
 	for _, op := range r.PerOp {
-		if op.Category.String() != cat.String() || len(op.Hist) == 0 {
+		if op.Category != cat || len(op.Hist) == 0 {
 			continue
 		}
 		for ms, n := range op.Hist {
@@ -91,6 +93,42 @@ func (r *Result) CategoryLatency(cat interface{ String() string }) (LatencySumma
 		return LatencySummary{}, false
 	}
 	return summarizeHistogram(merged), true
+}
+
+// OverallLatency merges every operation's TTC histogram into one summary —
+// the run's service-time distribution across the whole mix. ok is false
+// when the run collected no histograms (CollectHistograms off).
+func (r *Result) OverallLatency() (LatencySummary, bool) {
+	merged := map[int64]int64{}
+	for _, op := range r.PerOp {
+		for ms, n := range op.Hist {
+			merged[ms] += n
+		}
+	}
+	if len(merged) == 0 {
+		return LatencySummary{}, false
+	}
+	return summarizeHistogram(merged), true
+}
+
+// ResponseLatency summarizes an open-loop run's response-time histogram:
+// completion minus *scheduled* arrival, so an operation that waited behind
+// a busy worker is charged its queueing delay — the coordinated-omission-
+// safe quantity a closed loop cannot measure. Result.Response buckets are
+// microseconds; the summary is converted to the usual milliseconds (MaxMs
+// rounds up, so ApproxMax stays an upper bound). ok is false for
+// closed-loop runs.
+func (r *Result) ResponseLatency() (LatencySummary, bool) {
+	if len(r.Response) == 0 {
+		return LatencySummary{}, false
+	}
+	s := summarizeHistogram(r.Response) // values in µs buckets
+	s.MeanMs /= 1000
+	s.P50Ms /= 1000
+	s.P90Ms /= 1000
+	s.P99Ms /= 1000
+	s.MaxMs = (s.MaxMs + 999) / 1000
+	return s, true
 }
 
 // ApproxMax returns the summary max as a duration (millisecond resolution).

@@ -126,3 +126,62 @@ func TestCategoryLatency(t *testing.T) {
 		t.Errorf("category count = %d, want %d", s.Count, want)
 	}
 }
+
+func TestCategoryLatencyTakesConcreteCategory(t *testing.T) {
+	o := baseOpts()
+	o.CollectHistograms = true
+	o.LongTraversals = false
+	o.MaxOps = 200
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every enabled category with successes summarizes; a disabled one
+	// reports ok == false.
+	for _, cat := range []ops.Category{ops.ShortTraversal, ops.ShortOperation} {
+		if _, ok := res.CategoryLatency(cat); !ok {
+			t.Errorf("no summary for enabled category %v", cat)
+		}
+	}
+	if _, ok := res.CategoryLatency(ops.LongTraversal); ok {
+		t.Error("summary for disabled long-traversal category")
+	}
+	// Category summaries partition the overall one.
+	overall, ok := res.OverallLatency()
+	if !ok {
+		t.Fatal("no overall summary")
+	}
+	var sum int64
+	for _, cat := range []ops.Category{ops.ShortTraversal, ops.ShortOperation, ops.StructureModification} {
+		if s, ok := res.CategoryLatency(cat); ok {
+			sum += s.Count
+		}
+	}
+	if sum != overall.Count {
+		t.Errorf("category counts sum to %d, overall %d", sum, overall.Count)
+	}
+}
+
+func TestResponseLatencyUnitConversion(t *testing.T) {
+	// 100 responses at 500µs, 10 at 2500µs, 1 at 7200µs.
+	res := &Result{Response: map[int64]int64{500: 100, 2500: 10, 7200: 1}}
+	s, ok := res.ResponseLatency()
+	if !ok {
+		t.Fatal("no summary")
+	}
+	if s.Count != 111 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if s.P50Ms != 0.5 {
+		t.Errorf("p50 = %v ms, want 0.5", s.P50Ms)
+	}
+	if s.P99Ms != 2.5 {
+		t.Errorf("p99 = %v ms, want 2.5", s.P99Ms)
+	}
+	if s.MaxMs != 8 {
+		t.Errorf("max = %v ms, want 8 (7200µs rounded up)", s.MaxMs)
+	}
+	if _, ok := (&Result{}).ResponseLatency(); ok {
+		t.Error("closed-loop result has a response summary")
+	}
+}

@@ -109,6 +109,13 @@ func WriteReport(w io.Writer, r *Result) {
 	fmt.Fprintf(w, "  total throughput:     %10.1f ops/s (successful), %10.1f ops/s (attempted)\n",
 		r.Throughput(), r.AttemptedThroughput())
 	fmt.Fprintf(w, "  elapsed time:         %10.3f s\n", r.Elapsed.Seconds())
+	if o.OpenLoop {
+		fmt.Fprintf(w, "  open loop:            %d arrivals offered @ %.0f ops/s\n", r.Arrivals, o.ArrivalRate)
+		if rs, ok := r.ResponseLatency(); ok {
+			fmt.Fprintf(w, "  response time:        p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, max %d ms (queueing included)\n",
+				rs.P50Ms, rs.P90Ms, rs.P99Ms, rs.MaxMs)
+		}
+	}
 
 	es := r.EngineStats
 	if es.Attempts() > 0 && o.Strategy != "coarse" && o.Strategy != "medium" && o.Strategy != "direct" {

@@ -81,6 +81,12 @@ type Profile struct {
 	// objects or write the manual or the large atomic-part indexes. See
 	// ReducedExclusions.
 	Reduced bool
+	// CategoryWeights overrides the Table 2 category shares with
+	// arbitrary relative weights (they are renormalized over the enabled
+	// categories, so they need not sum to 1). A category missing from
+	// the map — or mapped to 0 — draws nothing. Nil keeps Table 2.
+	// Scenario phases use this to reshape the mix per phase.
+	CategoryWeights map[Category]float64
 }
 
 // DefaultProfile is a read-dominated run with everything enabled.
@@ -123,11 +129,21 @@ func (p Profile) Enabled(op *Op) bool {
 	return true
 }
 
+// shareOf returns the relative weight of a category: the CategoryWeights
+// override when set, Table 2 otherwise.
+func (p Profile) shareOf(cat Category) float64 {
+	if p.CategoryWeights != nil {
+		return p.CategoryWeights[cat]
+	}
+	return categoryShare[cat]
+}
+
 // Ratios computes the expected execution ratio of every enabled operation:
-// category shares from Table 2 (renormalized over enabled categories), the
-// workload's read/update split within each traversal/operation category,
-// and equal shares within a (category, kind) bucket (§3: "operations from
-// the same category have equal ratios").
+// category shares from Table 2 or Profile.CategoryWeights (renormalized
+// over enabled categories), the workload's read/update split within each
+// traversal/operation category, and equal shares within a (category,
+// kind) bucket (§3: "operations from the same category have equal
+// ratios").
 func (p Profile) Ratios() map[string]float64 {
 	type bucket struct {
 		cat Category
@@ -147,7 +163,7 @@ func (p Profile) Ratios() map[string]float64 {
 	// Renormalize category shares over the present categories.
 	totalShare := 0.0
 	for cat := range catPresent {
-		totalShare += categoryShare[cat]
+		totalShare += p.shareOf(cat)
 	}
 	out := map[string]float64{}
 	if totalShare == 0 {
@@ -155,7 +171,7 @@ func (p Profile) Ratios() map[string]float64 {
 	}
 	rs := p.Workload.readShare()
 	for cat := range catPresent {
-		share := categoryShare[cat] / totalShare
+		share := p.shareOf(cat) / totalShare
 		roOps := members[bucket{cat, true}]
 		updOps := members[bucket{cat, false}]
 		switch {
@@ -187,16 +203,20 @@ type Picker struct {
 	cum []float64
 }
 
-// NewPicker builds a picker for the profile. It panics if the profile
-// enables no operations.
+// NewPicker builds a picker for the profile. Operations with a zero ratio
+// (zero-weighted categories) are left out entirely, so they neither draw
+// nor appear in results. It panics if the profile enables no operations
+// with positive ratio.
 func NewPicker(p Profile) *Picker {
 	ratios := p.Ratios()
-	if len(ratios) == 0 {
-		panic("ops: profile enables no operations")
-	}
 	names := make([]string, 0, len(ratios))
-	for name := range ratios {
-		names = append(names, name)
+	for name, ratio := range ratios {
+		if ratio > 0 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		panic("ops: profile enables no operations")
 	}
 	sort.Strings(names) // deterministic order
 	pk := &Picker{}

@@ -196,3 +196,69 @@ func TestPickerDeterministicOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestRatiosCategoryWeightsOverride(t *testing.T) {
+	p := Profile{
+		Workload:       ReadWrite,
+		LongTraversals: true,
+		StructureMods:  true,
+		CategoryWeights: map[Category]float64{
+			ShortTraversal: 3,
+			ShortOperation: 1,
+			// LongTraversal and StructureModification omitted -> weight 0.
+		},
+	}
+	ratios := p.Ratios()
+	total := 0.0
+	for _, v := range ratios {
+		total += v
+	}
+	if !almost(total, 1.0) {
+		t.Fatalf("weighted ratios sum to %v, want 1", total)
+	}
+	byCat := sumByCategory(ratios)
+	if !almost(byCat[ShortTraversal], 0.75) {
+		t.Errorf("short-traversal share = %v, want 0.75", byCat[ShortTraversal])
+	}
+	if !almost(byCat[ShortOperation], 0.25) {
+		t.Errorf("short-operation share = %v, want 0.25", byCat[ShortOperation])
+	}
+	if byCat[LongTraversal] != 0 || byCat[StructureModification] != 0 {
+		t.Errorf("zero-weight categories drew mass: %v", byCat)
+	}
+}
+
+func TestPickerSkipsZeroWeightCategories(t *testing.T) {
+	p := Profile{
+		Workload:        WriteDominated,
+		LongTraversals:  true,
+		StructureMods:   true,
+		CategoryWeights: map[Category]float64{ShortOperation: 1},
+	}
+	pk := NewPicker(p)
+	for _, op := range pk.Ops() {
+		if op.Category != ShortOperation {
+			t.Errorf("picker includes %s from zero-weight category %v", op.Name, op.Category)
+		}
+	}
+	r := rng.New(17)
+	for i := 0; i < 2000; i++ {
+		if op := pk.Pick(r); op.Category != ShortOperation {
+			t.Fatalf("picked %s from zero-weight category", op.Name)
+		}
+	}
+}
+
+func TestPickerPanicsOnAllZeroWeights(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("all-zero weights did not panic")
+		}
+	}()
+	NewPicker(Profile{
+		Workload:        ReadDominated,
+		LongTraversals:  true,
+		StructureMods:   true,
+		CategoryWeights: map[Category]float64{},
+	})
+}

@@ -1,0 +1,100 @@
+package rng
+
+import "math"
+
+// Zipf draws zipfian-distributed ranks in [0, n): rank 0 is the most
+// popular, rank i is drawn with probability proportional to 1/(i+1)^theta.
+// The scenario engine uses it to concentrate operations on a hot subset of
+// composite parts; theta is the YCSB-style skew knob, 0 (uniform) up to
+// but excluding 1 (heavily skewed — at theta 0.99 the hottest ~10% of a
+// 500-element domain receive ~2/3 of the draws).
+//
+// The sampler is the Gray et al. rejection-free method ("Quickly
+// generating billion-record synthetic databases", SIGMOD 1994), the same
+// one YCSB uses: constant time per draw after an O(n) zeta precomputation
+// at construction. A Zipf is immutable after New and therefore safe for
+// concurrent use; all per-draw state lives in the caller's *Rand.
+type Zipf struct {
+	n     uint64
+	theta float64
+	// Precomputed constants of the Gray et al. sampler.
+	zetan float64 // zeta(n, theta) = sum_{i=1..n} i^-theta
+	zeta2 float64 // zeta(2, theta)
+	alpha float64 // 1/(1-theta)
+	eta   float64
+}
+
+// NewZipf builds a sampler over [0, n) with exponent theta. It panics if
+// n == 0 or theta is outside [0, 1) — the supported skew range; theta == 0
+// degenerates to the uniform distribution.
+func NewZipf(n uint64, theta float64) *Zipf {
+	if n == 0 {
+		panic("rng: NewZipf with zero n")
+	}
+	if theta < 0 || theta >= 1 || math.IsNaN(theta) {
+		panic("rng: NewZipf theta outside [0, 1)")
+	}
+	z := &Zipf{n: n, theta: theta}
+	if theta == 0 {
+		return z
+	}
+	for i := uint64(1); i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), theta)
+	}
+	z.zeta2 = 1 + 1/math.Pow(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// N returns the domain size.
+func (z *Zipf) N() uint64 { return z.n }
+
+// Theta returns the skew exponent.
+func (z *Zipf) Theta() float64 { return z.theta }
+
+// Next draws the next rank in [0, n) using r for randomness. Two Rands
+// with the same seed yield identical rank sequences.
+func (z *Zipf) Next(r *Rand) uint64 {
+	if z.theta == 0 {
+		return r.Uint64n(z.n)
+	}
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.zeta2 {
+		return 1
+	}
+	rank := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.n { // floating-point overshoot at u -> 1
+		rank = z.n - 1
+	}
+	return rank
+}
+
+// Hotspot draws an index in [0, n): with probability hotProb the index is
+// uniform over the hot prefix of ceil(hotFrac*n) indexes, otherwise
+// uniform over the remainder — the classic two-level hotspot alternative
+// to a full zipfian. It panics if n == 0 or either fraction is outside
+// [0, 1].
+func Hotspot(r *Rand, n uint64, hotFrac, hotProb float64) uint64 {
+	if n == 0 {
+		panic("rng: Hotspot with zero n")
+	}
+	if hotFrac < 0 || hotFrac > 1 || hotProb < 0 || hotProb > 1 {
+		panic("rng: Hotspot fraction outside [0, 1]")
+	}
+	hot := uint64(math.Ceil(hotFrac * float64(n)))
+	if hot == 0 {
+		hot = 1
+	}
+	if hot >= n {
+		return r.Uint64n(n)
+	}
+	if r.Float64() < hotProb {
+		return r.Uint64n(hot)
+	}
+	return hot + r.Uint64n(n-hot)
+}

@@ -1,0 +1,150 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfDeterministic(t *testing.T) {
+	z := NewZipf(100, 0.9)
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		if x, y := z.Next(a), z.Next(b); x != y {
+			t.Fatalf("draw %d: %d != %d with identical seeds", i, x, y)
+		}
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 10, 1000} {
+		for _, theta := range []float64{0, 0.5, 0.99} {
+			z := NewZipf(n, theta)
+			r := New(n * 31)
+			for i := 0; i < 2000; i++ {
+				if v := z.Next(r); v >= n {
+					t.Fatalf("n=%d theta=%v: draw %d out of range", n, theta, v)
+				}
+			}
+		}
+	}
+}
+
+// TestZipfShape checks the distribution against its own closed form: the
+// expected share of rank i is (i+1)^-theta / zeta(n, theta).
+func TestZipfShape(t *testing.T) {
+	const n, theta, draws = 100, 0.9, 200000
+	z := NewZipf(n, theta)
+	r := New(42)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next(r)]++
+	}
+
+	var zetan float64
+	for i := 1; i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), theta)
+	}
+	// Ranks 0 and 1 are exact branches of the sampler: within 5%.
+	for rank := 0; rank < 2; rank++ {
+		want := draws / math.Pow(float64(rank+1), theta) / zetan
+		got := float64(counts[rank])
+		if got < 0.95*want || got > 1.05*want {
+			t.Errorf("rank %d: %v draws, want ~%.0f", rank, got, want)
+		}
+	}
+	// Deeper ranks come from the continuous approximation: within 30%.
+	for _, rank := range []int{2, 5, 20} {
+		want := draws / math.Pow(float64(rank+1), theta) / zetan
+		got := float64(counts[rank])
+		if got < 0.7*want || got > 1.3*want {
+			t.Errorf("rank %d: %v draws, want ~%.0f +-30%%", rank, got, want)
+		}
+	}
+	// Top-10 mass as a block.
+	var top10, wantTop10 float64
+	for rank := 0; rank < 10; rank++ {
+		top10 += float64(counts[rank])
+		wantTop10 += draws / math.Pow(float64(rank+1), theta) / zetan
+	}
+	if top10 < 0.9*wantTop10 || top10 > 1.1*wantTop10 {
+		t.Errorf("top-10 mass = %v, want ~%.0f", top10, wantTop10)
+	}
+	// The hot rank must dominate the median rank by roughly (n/2)^theta.
+	if counts[0] < 10*counts[n/2] {
+		t.Errorf("rank 0 (%d) not dominating rank %d (%d)", counts[0], n/2, counts[n/2])
+	}
+}
+
+func TestZipfThetaZeroIsUniform(t *testing.T) {
+	const n, draws = 16, 160000
+	z := NewZipf(n, 0)
+	r := New(3)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next(r)]++
+	}
+	mean := float64(draws) / n
+	for i, c := range counts {
+		if float64(c) < 0.9*mean || float64(c) > 1.1*mean {
+			t.Errorf("bucket %d: %d draws, want ~%.0f +-10%%", i, c, mean)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		n     uint64
+		theta float64
+	}{
+		{"zero n", 0, 0.5},
+		{"theta 1", 10, 1},
+		{"theta negative", 10, -0.1},
+		{"theta NaN", 10, math.NaN()},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewZipf did not panic", tc.name)
+				}
+			}()
+			NewZipf(tc.n, tc.theta)
+		}()
+	}
+}
+
+func TestHotspotShare(t *testing.T) {
+	const n, draws = 1000, 100000
+	const hotFrac, hotProb = 0.1, 0.8
+	r := New(11)
+	hot := 0
+	for i := 0; i < draws; i++ {
+		if Hotspot(r, n, hotFrac, hotProb) < uint64(hotFrac*n) {
+			hot++
+		}
+	}
+	share := float64(hot) / draws
+	if share < hotProb-0.02 || share > hotProb+0.02 {
+		t.Errorf("hot share = %v, want ~%v", share, hotProb)
+	}
+}
+
+func TestHotspotDegenerate(t *testing.T) {
+	r := New(5)
+	// Whole domain hot: plain uniform, still in range.
+	for i := 0; i < 100; i++ {
+		if v := Hotspot(r, 4, 1, 0.9); v >= 4 {
+			t.Fatalf("draw %d out of range", v)
+		}
+	}
+	// n == 1 always yields 0.
+	if v := Hotspot(r, 1, 0.5, 0.5); v != 0 {
+		t.Errorf("Hotspot(1) = %d", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Hotspot with zero n did not panic")
+		}
+	}()
+	Hotspot(r, 0, 0.5, 0.5)
+}

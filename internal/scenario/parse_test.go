@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ops"
+)
+
+func TestParseFullScenario(t *testing.T) {
+	sc, err := Parse([]byte(`{
+		"name": "custom",
+		"description": "a parser round trip",
+		"defaults": {"threads": 4, "workload": "rw", "long_traversals": false},
+		"phases": [
+			{"name": "warm", "duration": "500ms"},
+			{"name": "storm", "duration": "1s", "workload": "w", "threads": 8,
+			 "weights": {"op": 1, "sm": 1}, "skew": 0.9, "skew_shift": 0.5,
+			 "open_loop": true, "arrival_rate": 5000},
+			{"max_ops": 100, "structure_mods": false, "reduced": true}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "custom" || len(sc.Phases) != 3 {
+		t.Fatalf("parsed %q with %d phases", sc.Name, len(sc.Phases))
+	}
+
+	warm := sc.Phases[0]
+	if warm.Duration != 500*time.Millisecond || warm.Threads != 4 ||
+		warm.Workload != ops.ReadWrite || warm.LongTraversals || !warm.StructureMods {
+		t.Errorf("defaults not layered onto warm: %+v", warm)
+	}
+
+	storm := sc.Phases[1]
+	if storm.Threads != 8 || storm.Workload != ops.WriteDominated ||
+		storm.SkewTheta != 0.9 || storm.SkewShift != 0.5 ||
+		!storm.OpenLoop || storm.ArrivalRate != 5000 {
+		t.Errorf("storm overrides not applied: %+v", storm)
+	}
+	if storm.Weights[ops.ShortOperation] != 1 || storm.Weights[ops.StructureModification] != 1 {
+		t.Errorf("storm weights = %v", storm.Weights)
+	}
+
+	last := sc.Phases[2]
+	if last.Name != "phase3" {
+		t.Errorf("unnamed phase resolved to %q, want phase3", last.Name)
+	}
+	if last.MaxOps != 100 || last.Duration != 0 || last.StructureMods || !last.Reduced {
+		t.Errorf("third phase: %+v", last)
+	}
+}
+
+func TestParseUnknownPhaseField(t *testing.T) {
+	_, err := Parse([]byte(`{
+		"name": "x",
+		"phases": [{"name": "p", "duration": "1s", "turbo": true}]
+	}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Errorf("unknown phase field accepted: %v", err)
+	}
+}
+
+func TestParseZeroDurationPhase(t *testing.T) {
+	_, err := Parse([]byte(`{"name": "x", "phases": [{"name": "p"}]}`))
+	if err == nil || !strings.Contains(err.Error(), "positive duration or max_ops") {
+		t.Errorf("zero-length phase accepted: %v", err)
+	}
+}
+
+func TestParseBadMixWeights(t *testing.T) {
+	for name, body := range map[string]string{
+		"unknown category": `{"name": "x", "phases": [{"name": "p", "duration": "1s", "weights": {"turbo": 1}}]}`,
+		"negative weight":  `{"name": "x", "phases": [{"name": "p", "duration": "1s", "weights": {"op": -1}}]}`,
+		"zero sum":         `{"name": "x", "phases": [{"name": "p", "duration": "1s", "weights": {"op": 0}}]}`,
+	} {
+		if _, err := Parse([]byte(body)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestParseBadDurationAndWorkload(t *testing.T) {
+	if _, err := Parse([]byte(`{"name": "x", "phases": [{"name": "p", "duration": "fast"}]}`)); err == nil {
+		t.Error("bad duration accepted")
+	}
+	if _, err := Parse([]byte(`{"name": "x", "phases": [{"name": "p", "duration": "1s", "workload": "zippy"}]}`)); err == nil {
+		t.Error("bad workload accepted")
+	}
+}
+
+func TestParsedScenarioRuns(t *testing.T) {
+	sc, err := Parse([]byte(`{
+		"name": "from-json",
+		"phases": [
+			{"name": "a", "max_ops": 50, "workload": "r"},
+			{"name": "b", "max_ops": 50, "workload": "w", "skew": 0.8}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sc, RunOptions{Strategy: "norec", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Phases[0].Result.TotalAttempted() != 100 || rep.Phases[1].Result.TotalAttempted() != 100 {
+		t.Errorf("parsed scenario ran wrong op counts: %d, %d",
+			rep.Phases[0].Result.TotalAttempted(), rep.Phases[1].Result.TotalAttempted())
+	}
+}
+
+func TestLookupFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sc.json")
+	body := `{"name": "filed", "phases": [{"name": "p", "max_ops": 10}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Lookup(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "filed" {
+		t.Errorf("loaded %q", sc.Name)
+	}
+}
+
+// TestParsePhaseOverridesDefaultPairs: a phase choosing one side of an
+// either/or pair must beat the defaults' other side.
+func TestParsePhaseOverridesDefaultPairs(t *testing.T) {
+	sc, err := Parse([]byte(`{
+		"name": "pairs",
+		"defaults": {"duration": "100ms", "open_loop": true, "arrival_rate": 1000},
+		"phases": [
+			{"name": "counted", "max_ops": 10, "open_loop": false},
+			{"name": "timed"}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counted := sc.Phases[0]
+	if counted.MaxOps != 10 || counted.Duration != 0 {
+		t.Errorf("max_ops did not override defaulted duration: %+v", counted)
+	}
+	if counted.OpenLoop || counted.ArrivalRate != 0 {
+		t.Errorf("open_loop false did not drop inherited arrival_rate: %+v", counted)
+	}
+	timed := sc.Phases[1]
+	if timed.Duration != 100*time.Millisecond || !timed.OpenLoop || timed.ArrivalRate != 1000 {
+		t.Errorf("defaults not inherited by timed phase: %+v", timed)
+	}
+}

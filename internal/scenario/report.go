@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// phaseMode formats the driver column.
+func phaseMode(ph Phase) string {
+	if ph.OpenLoop {
+		return fmt.Sprintf("open@%.0f/s", ph.ArrivalRate)
+	}
+	return "closed"
+}
+
+// phaseSkew formats the skew column.
+func phaseSkew(ph Phase) string {
+	if ph.SkewTheta == 0 {
+		return "-"
+	}
+	if ph.SkewShift == 0 {
+		return fmt.Sprintf("θ=%.2f", ph.SkewTheta)
+	}
+	return fmt.Sprintf("θ=%.2f@%.2f", ph.SkewTheta, ph.SkewShift)
+}
+
+// phaseLength formats the length column.
+func phaseLength(ph Phase) string {
+	if ph.MaxOps > 0 {
+		return fmt.Sprintf("%d ops", ph.MaxOps)
+	}
+	return ph.Duration.Round(time.Millisecond).String()
+}
+
+// phaseLatency picks the right percentile source: response time for
+// open-loop phases (queueing included), merged TTC for closed-loop phases
+// when histograms were collected.
+func phaseLatency(pr PhaseResult) (harness.LatencySummary, bool) {
+	if pr.Phase.OpenLoop {
+		return pr.Result.ResponseLatency()
+	}
+	return pr.Result.OverallLatency()
+}
+
+// WriteReport prints the per-phase table and the cross-phase comparison.
+// Open-loop rows report p50/p99 response time (queueing included);
+// closed-loop rows report p50/p99 TTC when histograms were collected.
+func WriteReport(w io.Writer, rep *Report) {
+	sc := rep.Scenario
+	fmt.Fprintf(w, "Scenario %q — %d phases, strategy %s, %d composite parts, seed %d\n",
+		sc.Name, len(sc.Phases), rep.Strategy, rep.Params.NumCompParts, rep.Seed)
+	if sc.Description != "" {
+		fmt.Fprintf(w, "  %s\n", sc.Description)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "  %-14s %7s %-12s %-15s %-12s %8s %10s %8s %9s %9s\n",
+		"phase", "threads", "mode", "workload", "skew", "length", "ops/s", "abort%", "p50[ms]", "p99[ms]")
+	for _, pr := range rep.Phases {
+		ph, res := pr.Phase, pr.Result
+		p50, p99 := "-", "-"
+		if ls, ok := phaseLatency(pr); ok {
+			p50 = fmt.Sprintf("%.3f", ls.P50Ms)
+			p99 = fmt.Sprintf("%.3f", ls.P99Ms)
+		}
+		fmt.Fprintf(w, "  %-14s %7d %-12s %-15s %-12s %8s %10.0f %8.1f %9s %9s\n",
+			ph.Name, ph.Threads, phaseMode(ph), ph.Workload.String(), phaseSkew(ph),
+			phaseLength(ph), res.Throughput(), 100*res.EngineStats.AbortRate(), p50, p99)
+	}
+	fmt.Fprintln(w)
+
+	writeComparison(w, rep)
+}
+
+// writeComparison prints the cross-phase summary: throughput extremes and
+// spread, response-time extremes over the open-loop phases, and the abort
+// range over phases with transactional activity.
+func writeComparison(w io.Writer, rep *Report) {
+	fmt.Fprintln(w, "Cross-phase comparison")
+	if len(rep.Phases) == 0 {
+		return
+	}
+
+	best, worst := rep.Phases[0], rep.Phases[0]
+	for _, pr := range rep.Phases[1:] {
+		if pr.Result.Throughput() > best.Result.Throughput() {
+			best = pr
+		}
+		if pr.Result.Throughput() < worst.Result.Throughput() {
+			worst = pr
+		}
+	}
+	spread := 0.0
+	if worst.Result.Throughput() > 0 {
+		spread = best.Result.Throughput() / worst.Result.Throughput()
+	}
+	fmt.Fprintf(w, "  throughput:   best %q %.0f ops/s, worst %q %.0f ops/s (spread %.2fx)\n",
+		best.Phase.Name, best.Result.Throughput(), worst.Phase.Name, worst.Result.Throughput(), spread)
+
+	var openBest, openWorst *PhaseResult
+	var openBestP99, openWorstP99 float64
+	for i := range rep.Phases {
+		pr := &rep.Phases[i]
+		if !pr.Phase.OpenLoop {
+			continue
+		}
+		ls, ok := pr.Result.ResponseLatency()
+		if !ok {
+			continue
+		}
+		if openBest == nil || ls.P99Ms < openBestP99 {
+			openBest, openBestP99 = pr, ls.P99Ms
+		}
+		if openWorst == nil || ls.P99Ms > openWorstP99 {
+			openWorst, openWorstP99 = pr, ls.P99Ms
+		}
+	}
+	if openWorst != nil {
+		fmt.Fprintf(w, "  response p99: best %q %.3f ms, worst %q %.3f ms (open-loop phases, queueing included)\n",
+			openBest.Phase.Name, openBestP99, openWorst.Phase.Name, openWorstP99)
+	}
+
+	minAbort, maxAbort := -1.0, -1.0
+	for _, pr := range rep.Phases {
+		if pr.Result.EngineStats.Attempts() == 0 {
+			continue
+		}
+		a := 100 * pr.Result.EngineStats.AbortRate()
+		if minAbort < 0 || a < minAbort {
+			minAbort = a
+		}
+		if a > maxAbort {
+			maxAbort = a
+		}
+	}
+	if minAbort >= 0 {
+		fmt.Fprintf(w, "  abort rate:   %.1f%% to %.1f%% across phases\n", minAbort, maxAbort)
+	}
+	fmt.Fprintf(w, "  elapsed:      %.3f s over %d phases\n", rep.Elapsed.Seconds(), len(rep.Phases))
+}

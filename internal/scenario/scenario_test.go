@@ -1,0 +1,282 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ops"
+	"repro/internal/sync7"
+)
+
+// engines is the full strategy set scenarios are exercised on: both lock
+// baselines plus every registered STM engine (ostm, tl2, norec, ...).
+func engines() []string {
+	return append([]string{"coarse", "medium"}, sync7.STMStrategies()...)
+}
+
+func TestBuiltinLibrary(t *testing.T) {
+	for _, want := range []string{
+		"steady", "ramp-up", "spike", "read-burst-write-storm",
+		"hotspot-migration", "engine-sweep", "smoke",
+	} {
+		sc, ok := Builtin(want)
+		if !ok {
+			t.Fatalf("builtin %q missing", want)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("builtin %q invalid: %v", want, err)
+		}
+	}
+	if len(Names()) < 6 {
+		t.Errorf("builtin library has %d scenarios, want >= 6", len(Names()))
+	}
+}
+
+// TestBuiltinsOnEveryEngine runs every built-in scenario on every engine
+// (time-scaled way down) and checks each phase did work — the subsystem's
+// end-to-end smoke across the whole strategy matrix.
+func TestBuiltinsOnEveryEngine(t *testing.T) {
+	scale := 0.02
+	if testing.Short() {
+		scale = 0.01
+	}
+	for _, eng := range engines() {
+		for _, name := range Names() {
+			t.Run(eng+"/"+name, func(t *testing.T) {
+				sc, _ := Builtin(name)
+				rep, err := Run(sc, RunOptions{
+					Strategy:  eng,
+					Threads:   2,
+					TimeScale: scale,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rep.Phases) != len(sc.Phases) {
+					t.Fatalf("ran %d phases, want %d", len(rep.Phases), len(sc.Phases))
+				}
+				for _, pr := range rep.Phases {
+					if pr.Result.TotalAttempted() == 0 {
+						t.Errorf("phase %q attempted nothing", pr.Phase.Name)
+					}
+					if pr.Phase.OpenLoop {
+						if pr.Result.Arrivals != pr.Result.TotalAttempted() {
+							t.Errorf("phase %q: arrivals %d != attempted %d",
+								pr.Phase.Name, pr.Result.Arrivals, pr.Result.TotalAttempted())
+						}
+						if _, ok := pr.Result.ResponseLatency(); !ok {
+							t.Errorf("phase %q: open loop without response summary", pr.Phase.Name)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDeterministicMaxOpsScheduling covers the satellite requirement:
+// with MaxOps phases, two runs of the same scenario draw the identical
+// multiset of operations in every phase. The closed loop is deterministic
+// single-threaded (one fixed stream); the open loop is deterministic even
+// multi-threaded, because arrival i always runs on rng.New(seeds[i]) no
+// matter which worker serves it.
+func TestDeterministicMaxOpsScheduling(t *testing.T) {
+	sc := &Scenario{
+		Name: "det",
+		Phases: []Phase{
+			{Name: "closed", MaxOps: 150, Threads: 1, Workload: ops.ReadWrite, StructureMods: true, SkewTheta: 0.9},
+			{Name: "open", MaxOps: 150, Threads: 2, Workload: ops.WriteDominated, StructureMods: true, OpenLoop: true, ArrivalRate: 100000},
+		},
+	}
+	run := func() *Report {
+		rep, err := Run(sc, RunOptions{Strategy: "tl2", Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	wantAttempts := []int64{150, 300} // MaxOps * phase threads
+	for i := range a.Phases {
+		ra, rb := a.Phases[i].Result, b.Phases[i].Result
+		if ra.TotalAttempted() != wantAttempts[i] {
+			t.Errorf("phase %d attempted %d, want %d", i, ra.TotalAttempted(), wantAttempts[i])
+		}
+		for name, opA := range ra.PerOp {
+			opB := rb.PerOp[name]
+			if opB == nil || opA.Attempted() != opB.Attempted() {
+				t.Errorf("phase %d op %s: attempts differ between identical runs", i, name)
+			}
+		}
+	}
+}
+
+// TestPhaseEngineStatsReset checks phases report their own engine
+// activity, not cumulative totals: a long phase followed by a short one
+// must show MORE commits in the long phase.
+func TestPhaseEngineStatsReset(t *testing.T) {
+	sc := &Scenario{
+		Name: "reset",
+		Phases: []Phase{
+			{Name: "long", MaxOps: 500, Workload: ops.ReadWrite, StructureMods: true},
+			{Name: "short", MaxOps: 50, Workload: ops.ReadWrite, StructureMods: true},
+		},
+	}
+	rep, err := Run(sc, RunOptions{Strategy: "tl2", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, short := rep.Phases[0].Result.EngineStats, rep.Phases[1].Result.EngineStats
+	if long.Commits == 0 || short.Commits == 0 {
+		t.Fatalf("phases without commits: %d, %d", long.Commits, short.Commits)
+	}
+	if short.Commits >= long.Commits {
+		t.Errorf("short phase reports %d commits >= long phase's %d — stats look cumulative",
+			short.Commits, long.Commits)
+	}
+}
+
+// TestScenarioSharesStructureAcrossPhases: phase 2 must observe the
+// structure (not a rebuild): the scenario's structure is built once, so
+// repeated scenarios with the same seed start identically.
+func TestScenarioRunsAreReproducible(t *testing.T) {
+	sc, _ := Builtin("smoke")
+	// Only the closed MaxOps conversion is deterministic; here we just
+	// assert the run succeeds twice with CheckInvariants on, proving
+	// phase transitions leave a consistent structure.
+	for i := 0; i < 2; i++ {
+		if _, err := Run(sc, RunOptions{Strategy: "ostm", Threads: 2, TimeScale: 0.05, CheckInvariants: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := func() *Scenario {
+		return &Scenario{Name: "v", Phases: []Phase{
+			{Name: "p", Duration: time.Second, StructureMods: true},
+		}}
+	}
+	cases := []struct {
+		name string
+		mod  func(*Scenario)
+		want string
+	}{
+		{"empty name", func(sc *Scenario) { sc.Name = "" }, "empty name"},
+		{"no phases", func(sc *Scenario) { sc.Phases = nil }, "no phases"},
+		{"unnamed phase", func(sc *Scenario) { sc.Phases[0].Name = "" }, "no name"},
+		{"zero duration", func(sc *Scenario) { sc.Phases[0].Duration = 0 }, "positive duration or max_ops"},
+		{"both lengths", func(sc *Scenario) { sc.Phases[0].MaxOps = 10 }, "exactly one of duration and max_ops"},
+		{"negative duration", func(sc *Scenario) { sc.Phases[0].Duration = -time.Second }, "negative duration"},
+		{"skew too big", func(sc *Scenario) { sc.Phases[0].SkewTheta = 1 }, "outside [0, 1)"},
+		{"shift too big", func(sc *Scenario) { sc.Phases[0].SkewShift = 1.5 }, "outside [0, 1)"},
+		{"open loop without rate", func(sc *Scenario) { sc.Phases[0].OpenLoop = true }, "arrival_rate > 0"},
+		{"rate without open loop", func(sc *Scenario) { sc.Phases[0].ArrivalRate = 100 }, "closed-loop phase"},
+		{"negative weight", func(sc *Scenario) {
+			sc.Phases[0].Weights = map[ops.Category]float64{ops.ShortOperation: -1}
+		}, "negative weight"},
+		{"zero-sum weights", func(sc *Scenario) {
+			sc.Phases[0].Weights = map[ops.Category]float64{ops.ShortOperation: 0}
+		}, "sum to zero"},
+		{"unknown category", func(sc *Scenario) {
+			sc.Phases[0].Weights = map[ops.Category]float64{ops.Category(9): 1}
+		}, "unknown category"},
+	}
+	for _, tc := range cases {
+		sc := base()
+		tc.mod(sc)
+		err := sc.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("spike"); err != nil {
+		t.Errorf("builtin lookup failed: %v", err)
+	}
+	if _, err := Lookup("definitely-not-a-scenario"); err == nil {
+		t.Error("bogus lookup succeeded")
+	}
+}
+
+func TestWriteReportSections(t *testing.T) {
+	sc, _ := Builtin("smoke")
+	rep, err := Run(sc, RunOptions{Strategy: "tl2", Threads: 2, TimeScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteReport(&sb, rep)
+	out := sb.String()
+	for _, want := range []string{
+		`Scenario "smoke"`,
+		"phase", "mode", "ops/s", "p99[ms]",
+		"closed", "open@2000/s", "θ=0.90",
+		"Cross-phase comparison",
+		"throughput:",
+		"response p99:",
+		"elapsed:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestValidateRejectsDisabledWeightMass: weights whose whole mass sits on
+// categories the phase's flags disable would leave the picker empty (a
+// runtime panic); Validate must reject them up front.
+func TestValidateRejectsDisabledWeightMass(t *testing.T) {
+	sc := &Scenario{Name: "w", Phases: []Phase{{
+		Name:     "p",
+		Duration: time.Second,
+		// StructureMods false, but all weight on SM.
+		Weights: map[ops.Category]float64{ops.StructureModification: 1},
+	}}}
+	err := sc.Validate()
+	if err == nil || !strings.Contains(err.Error(), "no enabled category") {
+		t.Errorf("disabled-only weights accepted: %v", err)
+	}
+	// The same weights are fine once the category is enabled.
+	sc.Phases[0].StructureMods = true
+	if err := sc.Validate(); err != nil {
+		t.Errorf("enabled weights rejected: %v", err)
+	}
+	// Long traversals: enabled flag is not enough under Reduced.
+	sc.Phases[0].Weights = map[ops.Category]float64{ops.LongTraversal: 1}
+	sc.Phases[0].LongTraversals = true
+	sc.Phases[0].Reduced = true
+	if err := sc.Validate(); err == nil {
+		t.Error("reduced profile with long-traversal-only weights accepted")
+	}
+}
+
+// TestRunOptionsCarryOSTMKnobs: the -cm / ablation flags must reach the
+// executor (visible-reads mode performs zero validations, the default
+// invisible-reads mode performs many).
+func TestRunOptionsCarryOSTMKnobs(t *testing.T) {
+	sc := &Scenario{Name: "knobs", Phases: []Phase{
+		{Name: "p", MaxOps: 200, Workload: ops.ReadWrite, StructureMods: true},
+	}}
+	def, err := Run(sc, RunOptions{Strategy: "ostm", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vis, err := Run(sc, RunOptions{Strategy: "ostm", Threads: 2, VisibleReads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Phases[0].Result.EngineStats.Validations == 0 {
+		t.Error("default OSTM run performed no validations")
+	}
+	if got := vis.Phases[0].Result.EngineStats.Validations; got != 0 {
+		t.Errorf("visible-reads run performed %d validations, want 0 — knob not plumbed", got)
+	}
+}

@@ -133,3 +133,22 @@ func (s Stats) AbortRate() float64 {
 	}
 	return float64(s.ConflictAborts) / float64(a)
 }
+
+// Delta returns the counter increments from prev to s, fieldwise. Stats
+// are cumulative over an engine's lifetime; callers that share one engine
+// across several measurement windows (scenario phases, thread sweeps)
+// snapshot before and after and subtract, so each window reports only its
+// own activity. prev must be an earlier snapshot of the same engine.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Commits:        s.Commits - prev.Commits,
+		UserAborts:     s.UserAborts - prev.UserAborts,
+		ConflictAborts: s.ConflictAborts - prev.ConflictAborts,
+		Reads:          s.Reads - prev.Reads,
+		Writes:         s.Writes - prev.Writes,
+		Validations:    s.Validations - prev.Validations,
+		Clones:         s.Clones - prev.Clones,
+		EnemyAborts:    s.EnemyAborts - prev.EnemyAborts,
+		LockFailures:   s.LockFailures - prev.LockFailures,
+	}
+}

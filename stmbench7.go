@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/ops"
+	"repro/internal/scenario"
 	"repro/internal/sync7"
 )
 
@@ -91,6 +92,54 @@ func Run(o Options) (*Result, error) { return harness.Run(o) }
 
 // WriteReport prints the Appendix-A report for a run.
 func WriteReport(w io.Writer, r *Result) { harness.WriteReport(w, r) }
+
+// --- scenario engine ------------------------------------------------------
+
+// Scenario is a declarative multi-phase workload; see the scenario
+// package for the phase model, the JSON file format and the built-in
+// library.
+type Scenario = scenario.Scenario
+
+// ScenarioPhase is one phase of a scenario.
+type ScenarioPhase = scenario.Phase
+
+// ScenarioRunOptions configures one scenario execution.
+type ScenarioRunOptions = scenario.RunOptions
+
+// ScenarioReport is a completed scenario run.
+type ScenarioReport = scenario.Report
+
+// OperationCategory classifies operations (§3); scenario phase weights
+// are keyed by it.
+type OperationCategory = ops.Category
+
+// Operation categories, re-exported for scenario weight maps.
+const (
+	LongTraversal         = ops.LongTraversal
+	ShortTraversal        = ops.ShortTraversal
+	ShortOperation        = ops.ShortOperation
+	StructureModification = ops.StructureModification
+)
+
+// Scenarios lists the built-in scenario names (sorted).
+func Scenarios() []string { return scenario.Names() }
+
+// LookupScenario resolves a built-in scenario name or a JSON scenario
+// file path.
+func LookupScenario(nameOrPath string) (*Scenario, error) { return scenario.Lookup(nameOrPath) }
+
+// ParseScenario decodes and validates a JSON scenario document.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }
+
+// RunScenario executes a scenario: all phases back to back on one shared
+// structure and engine.
+func RunScenario(sc *Scenario, o ScenarioRunOptions) (*ScenarioReport, error) {
+	return scenario.Run(sc, o)
+}
+
+// WriteScenarioReport prints the per-phase table and cross-phase
+// comparison for a completed scenario run.
+func WriteScenarioReport(w io.Writer, rep *ScenarioReport) { scenario.WriteReport(w, rep) }
 
 // OperationNames returns the 45 operation names in the paper's order.
 func OperationNames() []string {
