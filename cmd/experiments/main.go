@@ -17,6 +17,14 @@
 // conflict-storm and long-traversal shapes) via testing.Benchmark — the
 // same shapes the stm package's BenchmarkTxOverhead* report under go test.
 //
+// The orecs experiment sweeps the conflict-detection metadata axes:
+// orec granularity (object vs striped tables of two sizes) crossed with
+// commit-clock sharding for TL2, plus granularity for OSTM — reporting
+// throughput, abort rate, the false-conflict share of aborts and the
+// clock-shard spread per point. Checked in as BENCH_pr4.json. The other
+// throughput experiments accept -granularity/-orec-stripes/-clock-shards
+// to run the paper's tables under a chosen metadata layout.
+//
 // The scenarios experiment sweeps the built-in multi-phase scenario
 // library (steady, ramp-up, spike, read-burst-write-storm,
 // hotspot-migration, engine-sweep; the CI smoke scenario is skipped)
@@ -66,6 +74,12 @@ type config struct {
 	seconds float64
 	threads []int
 	seed    uint64
+	// Metadata axes (-granularity / -orec-stripes / -clock-shards),
+	// applied to every throughput experiment and the scenario sweep; the
+	// orecs experiment sweeps its own grid and ignores them.
+	granularity stm.Granularity
+	orecStripes int
+	clockShards int
 }
 
 // jsonPoint is one measured data point in -json output. Fields that do not
@@ -93,6 +107,16 @@ type jsonPoint struct {
 	Phase         string   `json:"phase,omitempty"`
 	P50ResponseMs *float64 `json:"p50_response_ms,omitempty"`
 	P99ResponseMs *float64 `json:"p99_response_ms,omitempty"`
+	// Orec-sweep fields: the metadata configuration a point ran under and
+	// the striping/clock diagnostics it produced. FalseConflictPct is the
+	// share of conflict aborts attributed to stripe collisions;
+	// ClockShardSpread is the end-of-run gap between the most- and
+	// least-advanced commit-clock shards.
+	Granularity      string   `json:"granularity,omitempty"`
+	OrecStripes      int      `json:"orec_stripes,omitempty"`
+	ClockShards      int      `json:"clock_shards,omitempty"`
+	FalseConflictPct *float64 `json:"false_conflict_pct,omitempty"`
+	ClockShardSpread uint64   `json:"clock_shard_spread,omitempty"`
 }
 
 // jsonReport is the -json document. Size/Seconds/Threads echo the driver
@@ -100,14 +124,20 @@ type jsonPoint struct {
 // ignore them (testing.Benchmark budgets its own ~1s) and carry the thread
 // count they actually ran with in their own threads field.
 type jsonReport struct {
-	Size      string  `json:"size"`
-	Seconds   float64 `json:"seconds"`
-	Threads   []int   `json:"threads"`
-	Seed      uint64  `json:"seed"`
-	GoVersion string  `json:"go_version"`
-	GOOS      string  `json:"goos"`
-	GOARCH    string  `json:"goarch"`
-	NumCPU    int     `json:"num_cpu"`
+	Size    string  `json:"size"`
+	Seconds float64 `json:"seconds"`
+	Threads []int   `json:"threads"`
+	Seed    uint64  `json:"seed"`
+	// Granularity/OrecStripes/ClockShards echo the metadata flags the
+	// run-wide experiments used (the orecs experiment sweeps its own grid
+	// and stamps each point instead).
+	Granularity string `json:"granularity,omitempty"`
+	OrecStripes int    `json:"orec_stripes,omitempty"`
+	ClockShards int    `json:"clock_shards,omitempty"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
 	// GoMaxProcs, Engines and Strategies pin down the runtime
 	// configuration the points were measured under, so checked-in
 	// BENCH_*.json files are self-describing across machines and PRs.
@@ -137,13 +167,22 @@ func i64ptr(v int64) *int64     { return &v }
 func f64ptr(v float64) *float64 { return &v }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, table3, fig6, headline, ablations, overhead, scenarios or all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, table3, fig6, headline, ablations, overhead, scenarios, orecs or all")
 	size := flag.String("size", "small", "structure size: tiny, small or medium (paper scale)")
 	seconds := flag.Float64("seconds", 1.0, "measurement duration per data point, in seconds")
 	threadsFlag := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
 	seed := flag.Uint64("seed", 42, "benchmark seed")
+	granularityFlag := flag.String("granularity", "object", "conflict granularity for orec-based engines: object or striped")
+	orecStripes := flag.Int("orec-stripes", 0, "striped orec table size (0 = engine default)")
+	clockShards := flag.Int("clock-shards", 0, "TL2 commit-clock shards (0 or 1 = single clock)")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file (\"-\" for stdout)")
 	flag.Parse()
+
+	granularity, err := stm.ParseGranularity(*granularityFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
 
 	params, ok := core.Named(*size)
 	if !ok {
@@ -159,10 +198,14 @@ func main() {
 		}
 		threads = append(threads, n)
 	}
-	cfg := config{size: *size, params: params, seconds: *seconds, threads: threads, seed: *seed}
+	cfg := config{
+		size: *size, params: params, seconds: *seconds, threads: threads, seed: *seed,
+		granularity: granularity, orecStripes: *orecStripes, clockShards: *clockShards,
+	}
 	if *jsonPath != "" {
 		jsonOut = &jsonReport{
 			Size: cfg.size, Seconds: cfg.seconds, Threads: cfg.threads, Seed: cfg.seed,
+			Granularity: cfg.granularity.String(), OrecStripes: cfg.orecStripes, ClockShards: cfg.clockShards,
 			GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 			NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
 			Engines: stm.Registered(), Strategies: sync7.Strategies(),
@@ -181,8 +224,9 @@ func main() {
 		"ablations": ablations,
 		"overhead":  overhead,
 		"scenarios": scenarioSweep,
+		"orecs":     orecSweep,
 	}
-	order := []string{"fig3", "fig4", "table3", "fig6", "headline", "ablations", "overhead", "scenarios"}
+	order := []string{"fig3", "fig4", "table3", "fig6", "headline", "ablations", "overhead", "scenarios", "orecs"}
 	if *exp == "all" {
 		for _, name := range order {
 			curExp = name
@@ -227,6 +271,9 @@ func measure(cfg config, o stmbench7.Options) *stmbench7.Result {
 	o.Params = cfg.params
 	o.Seed = cfg.seed
 	o.Duration = time.Duration(cfg.seconds * float64(time.Second))
+	o.Granularity = cfg.granularity
+	o.OrecStripes = cfg.orecStripes
+	o.ClockShards = cfg.clockShards
 	res, err := stmbench7.Run(o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
@@ -655,6 +702,100 @@ func overhead(cfg config) {
 	fmt.Println()
 }
 
+// orecSweep sweeps the conflict-detection metadata axes introduced by the
+// orec layer: for TL2, granularity (object vs striped at two table sizes)
+// crossed with commit-clock sharding; for OSTM, granularity alone (it has
+// no global clock). Rows report throughput, abort rate, the share of
+// aborts that were stripe-collision artifacts, and the clock-shard spread
+// — the Synchrobench-style point that protocol behavior diverges once
+// lock-table shape and clock contention vary. The object/1-shard TL2 row
+// is the pre-orec baseline: it must stay competitive with earlier PRs'
+// BENCH numbers.
+func orecSweep(cfg config) {
+	type variant struct {
+		strategy    string
+		granularity stm.Granularity
+		stripes     int
+		shards      int
+	}
+	variants := []variant{
+		{"tl2", stm.ObjectGranularity, 0, 1},
+		{"tl2", stm.ObjectGranularity, 0, 4},
+		{"tl2", stm.ObjectGranularity, 0, 8},
+		{"tl2", stm.StripedGranularity, 4096, 1},
+		{"tl2", stm.StripedGranularity, 4096, 4},
+		{"tl2", stm.StripedGranularity, 256, 4},
+		{"ostm", stm.ObjectGranularity, 0, 0},
+		{"ostm", stm.StripedGranularity, 4096, 0},
+		{"ostm", stm.StripedGranularity, 256, 0},
+	}
+	label := func(v variant) string {
+		s := v.strategy + "/" + v.granularity.String()
+		if v.granularity == stm.StripedGranularity {
+			s += fmt.Sprintf("-%d", v.stripes)
+		}
+		if v.shards > 1 {
+			s += fmt.Sprintf("/c%d", v.shards)
+		}
+		return s
+	}
+
+	fmt.Println("=== Orec metadata sweep: granularity x clock shards, read-write mix ===")
+	fmt.Println("    (object/1-shard tl2 is the pre-orec baseline; striped rows trade false")
+	fmt.Println("     conflicts for a bounded metadata footprint; sharded rows spread the")
+	fmt.Println("     commit clock across cache lines)")
+	fmt.Printf("%-22s %8s %12s %8s %8s %8s %10s\n",
+		"variant", "threads", "ops/s", "abort%", "false%", "shards", "spread")
+	for _, v := range variants {
+		for _, th := range cfg.threads {
+			res := measureOrec(cfg, v.strategy, v.granularity, v.stripes, v.shards, th)
+			es := res.EngineStats
+			fmt.Printf("%-22s %8d %12.0f %8.2f %8.2f %8d %10d\n",
+				label(v), th, res.Throughput(), 100*es.AbortRate(),
+				100*es.FalseConflictRate(), es.ClockShards, es.ClockShardSpread)
+			record(jsonPoint{
+				Variant:          label(v),
+				Workload:         ops.ReadWrite.String(),
+				Threads:          th,
+				OpsPerSec:        res.Throughput(),
+				AbortPct:         f64ptr(100 * es.AbortRate()),
+				Commits:          es.Commits,
+				Aborts:           es.ConflictAborts,
+				Validations:      es.Validations,
+				Granularity:      v.granularity.String(),
+				OrecStripes:      v.stripes,
+				ClockShards:      v.shards,
+				FalseConflictPct: f64ptr(100 * es.FalseConflictRate()),
+				ClockShardSpread: es.ClockShardSpread,
+			})
+		}
+	}
+	fmt.Println()
+}
+
+// measureOrec runs one orec-sweep data point.
+func measureOrec(cfg config, strategy string, g stm.Granularity, stripes, shards, threads int) *stmbench7.Result {
+	o := stmbench7.Options{
+		Params:         cfg.params,
+		Seed:           cfg.seed,
+		Duration:       time.Duration(cfg.seconds * float64(time.Second)),
+		Threads:        threads,
+		Workload:       ops.ReadWrite,
+		LongTraversals: false,
+		StructureMods:  true,
+		Strategy:       strategy,
+		Granularity:    g,
+		OrecStripes:    stripes,
+		ClockShards:    shards,
+	}
+	res, err := stmbench7.Run(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	return res
+}
+
 // scenarioSweep runs every built-in scenario (except the CI smoke one) on
 // every strategy — lock baselines plus all registered STM engines — and
 // prints one row per (strategy, phase). This is the Synchrobench-style
@@ -679,11 +820,14 @@ func scenarioSweep(cfg config) {
 			"engine", "phase", "threads", "mode", "ops/s", "abort%", "p50[ms]", "p99[ms]")
 		for _, strat := range strategies {
 			rep, err := scenario.Run(sc, scenario.RunOptions{
-				Params:    cfg.params,
-				Strategy:  strat,
-				Seed:      cfg.seed,
-				Threads:   threads,
-				TimeScale: cfg.seconds,
+				Params:      cfg.params,
+				Strategy:    strat,
+				Seed:        cfg.seed,
+				Threads:     threads,
+				TimeScale:   cfg.seconds,
+				Granularity: cfg.granularity,
+				OrecStripes: cfg.orecStripes,
+				ClockShards: cfg.clockShards,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -20,6 +20,11 @@
 //	-reduced                  use the §5 reduced operation set (Figure 6)
 //	-cm NAME                  OSTM contention manager: polka, karma, aggressive, timid, backoff
 //	-commit-time-validation   disable OSTM's incremental validation (ablation)
+//	-granularity object|striped  conflict-detection granularity for orec-based
+//	                          engines (tl2, ostm): one orec per Var (default) or
+//	                          Vars hashed onto a fixed striped table
+//	-orec-stripes N           striped orec table size (power of two; 0 = default 4096)
+//	-clock-shards N           shard TL2's commit clock (0/1 = classic single clock)
 //	-check                    verify all structural invariants after the run
 //	-chunks N                 split the manual into N chunks (§5 optimization)
 //	-group-atomic             group atomic-part state per composite part (§5 optimization)
@@ -89,6 +94,9 @@ func run(args []string) error {
 	cmName := fs.String("cm", "polka", "OSTM contention manager")
 	ctv := fs.Bool("commit-time-validation", false, "OSTM: validate only at commit (ablation)")
 	visible := fs.Bool("visible-reads", false, "OSTM: visible reads instead of invisible+validation (ablation)")
+	granularityFlag := fs.String("granularity", "object", "conflict granularity for orec-based engines: object or striped")
+	orecStripes := fs.Int("orec-stripes", 0, "striped orec table size (0 = engine default)")
+	clockShards := fs.Int("clock-shards", 0, "TL2 commit-clock shards (0 or 1 = single clock)")
 	check := fs.Bool("check", false, "check structural invariants after the run")
 	chunks := fs.Int("chunks", 1, "manual chunks (§5 optimization when > 1)")
 	groupAtomic := fs.Bool("group-atomic", false, "group atomic-part state per composite (§5 optimization)")
@@ -106,6 +114,11 @@ func run(args []string) error {
 			fmt.Printf("  %-24s %d phases  %s\n", name, len(sc.Phases), sc.Description)
 		}
 		return nil
+	}
+
+	granularity, err := stm.ParseGranularity(*granularityFlag)
+	if err != nil {
+		return err
 	}
 
 	params, ok := stmbench7.NamedParams(*size)
@@ -138,6 +151,9 @@ func run(args []string) error {
 			CM:                       cm,
 			CommitTimeValidationOnly: *ctv,
 			VisibleReads:             *visible,
+			Granularity:              granularity,
+			OrecStripes:              *orecStripes,
+			ClockShards:              *clockShards,
 		})
 		if err != nil {
 			return err
@@ -169,6 +185,9 @@ func run(args []string) error {
 		CM:                       cm,
 		CommitTimeValidationOnly: *ctv,
 		VisibleReads:             *visible,
+		Granularity:              granularity,
+		OrecStripes:              *orecStripes,
+		ClockShards:              *clockShards,
 		CollectHistograms:        *histograms,
 		CheckInvariants:          *check,
 	}

@@ -53,6 +53,18 @@ type Options struct {
 	CommitTimeValidationOnly bool
 	// VisibleReads switches OSTM to visible-reads mode (ablation).
 	VisibleReads bool
+	// Granularity selects the conflict-detection granularity for
+	// orec-based engines (-granularity): object (one orec per Var,
+	// collision free — the default) or striped (Vars hash onto a fixed
+	// padded orec table, trading false conflicts for a bounded metadata
+	// footprint). Engines without per-location metadata ignore it.
+	Granularity stm.Granularity
+	// OrecStripes sizes the striped orec table (-orec-stripes; 0 = the
+	// engine default, currently 4096; ignored under object granularity).
+	OrecStripes int
+	// ClockShards shards TL2's global commit clock (-clock-shards; 0 or
+	// 1 = the classic single clock). Ignored by engines without one.
+	ClockShards int
 	// CollectHistograms enables TTC histograms (--ttc-histograms).
 	CollectHistograms bool
 	// CheckInvariants runs the full structural invariant checker after
@@ -119,6 +131,12 @@ func (o Options) Profile() ops.Profile {
 
 // validate rejects option combinations the drivers cannot honor.
 func (o Options) validate() error {
+	if o.OrecStripes < 0 {
+		return fmt.Errorf("harness: negative OrecStripes %d", o.OrecStripes)
+	}
+	if o.ClockShards < 0 {
+		return fmt.Errorf("harness: negative ClockShards %d", o.ClockShards)
+	}
 	if o.SkewTheta < 0 || o.SkewTheta >= 1 {
 		return fmt.Errorf("harness: SkewTheta %v outside [0, 1)", o.SkewTheta)
 	}
@@ -229,6 +247,9 @@ func Setup(o Options) (sync7.Executor, *core.Structure, error) {
 		CM:                       o.CM,
 		CommitTimeValidationOnly: o.CommitTimeValidationOnly,
 		VisibleReads:             o.VisibleReads,
+		Granularity:              o.Granularity,
+		OrecStripes:              o.OrecStripes,
+		ClockShards:              o.ClockShards,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ops"
+	"repro/stm"
 )
 
 func baseOpts() Options {
@@ -267,5 +268,43 @@ func TestRunOnPrebuiltStructure(t *testing.T) {
 	}
 	if res.TotalAttempted() == 0 {
 		t.Error("no ops ran")
+	}
+}
+
+// TestMetadataKnobsReachEngine: -granularity/-orec-stripes/-clock-shards
+// flow from Options through sync7 into the engine, for every orec-based
+// strategy, and the run still completes with consistent results.
+func TestMetadataKnobsReachEngine(t *testing.T) {
+	for _, strat := range []string{"tl2", "ostm"} {
+		t.Run(strat, func(t *testing.T) {
+			o := baseOpts()
+			o.Strategy = strat
+			o.Granularity = stm.StripedGranularity
+			o.OrecStripes = 64
+			o.ClockShards = 4
+			res, err := Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalSucceeded() == 0 {
+				t.Error("nothing succeeded under striped metadata")
+			}
+			if strat == "tl2" {
+				if got := res.EngineStats.ClockShards; got != 4 {
+					t.Errorf("ClockShards = %d, want 4", got)
+				}
+			}
+		})
+	}
+	// Invalid values are rejected up front.
+	o := baseOpts()
+	o.ClockShards = -1
+	if _, err := Run(o); err == nil {
+		t.Error("negative ClockShards accepted")
+	}
+	o = baseOpts()
+	o.OrecStripes = -2
+	if _, err := Run(o); err == nil {
+		t.Error("negative OrecStripes accepted")
 	}
 }

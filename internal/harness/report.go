@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/ops"
+	"repro/stm"
 )
 
 // sortedOps returns the per-op results in canonical (registry) order.
@@ -121,5 +122,12 @@ func WriteReport(w io.Writer, r *Result) {
 	if es.Attempts() > 0 && o.Strategy != "coarse" && o.Strategy != "medium" && o.Strategy != "direct" {
 		fmt.Fprintf(w, "  stm: commits %d, conflict aborts %d (%.1f%%), validations %d, clones %d, enemy aborts %d\n",
 			es.Commits, es.ConflictAborts, 100*es.AbortRate(), es.Validations, es.Clones, es.EnemyAborts)
+		if o.Granularity == stm.StripedGranularity {
+			fmt.Fprintf(w, "  orec striping: %d false conflicts (%.1f%% of conflict aborts)\n",
+				es.FalseConflicts, 100*es.FalseConflictRate())
+		}
+		if es.ClockShards > 1 {
+			fmt.Fprintf(w, "  commit clock: %d shards, spread %d\n", es.ClockShards, es.ClockShardSpread)
+		}
 	}
 }

@@ -146,6 +146,35 @@ func init() {
 		},
 	})
 
+	// orec-pressure: a zipfian hotspot hammering a deliberately small
+	// striped orec table with a sharded commit clock — the end-to-end
+	// exercise of the metadata axes. The read phase shows striping's
+	// read-side false conflicts (stripe version bumps under TL2, stripe
+	// ownership under visible-reads OSTM), the write storm its
+	// write-write collisions; compare the same scenario per engine and
+	// against a -granularity object run to price the metadata footprint.
+	RegisterBuiltin(&Scenario{
+		Name:        "orec-pressure",
+		Description: "skewed load on a small striped orec table (256 stripes, 4 clock shards): false-conflict pressure",
+		Granularity: "striped",
+		OrecStripes: 256,
+		ClockShards: 4,
+		Phases: []Phase{
+			{Name: "warm", Duration: 300 * time.Millisecond, Workload: ops.ReadDominated, StructureMods: true, SkewTheta: 0.9},
+			{
+				Name: "hot-read", Duration: 500 * time.Millisecond,
+				Workload: ops.ReadDominated, StructureMods: true, SkewTheta: 0.95,
+				Weights: map[ops.Category]float64{ops.ShortTraversal: 6, ops.ShortOperation: 4},
+			},
+			{
+				Name: "hot-write", Duration: 500 * time.Millisecond,
+				Workload: ops.WriteDominated, StructureMods: true, SkewTheta: 0.95,
+				Weights: map[ops.Category]float64{ops.ShortOperation: 6, ops.StructureModification: 4},
+			},
+			{Name: "migrated", Duration: 400 * time.Millisecond, Workload: ops.ReadWrite, StructureMods: true, SkewTheta: 0.95, SkewShift: 0.5},
+		},
+	})
+
 	// smoke: the CI scenario — one closed and one skewed open-loop
 	// phase, short enough to run per engine on every push.
 	RegisterBuiltin(&Scenario{

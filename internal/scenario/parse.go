@@ -30,9 +30,19 @@ import (
 // Durations use Go syntax ("300ms", "2s"). Weight keys are the category
 // names ("long-traversal", "short-traversal", "short-operation",
 // "structure-modification") or the short aliases lt, st, op, sm.
+// Engine-metadata knobs (granularity, orec_stripes, clock_shards) are
+// top-level, not per phase: the orec table and commit clock are built with
+// the engine before the first phase runs, so they are a property of the
+// whole scenario. Unset values inherit the run's (CLI) settings:
+//
+//	{"name": "hot", "granularity": "striped", "orec_stripes": 256,
+//	 "clock_shards": 4, "phases": [...]}
 type fileScenario struct {
 	Name        string      `json:"name"`
 	Description string      `json:"description"`
+	Granularity string      `json:"granularity,omitempty"`
+	OrecStripes int         `json:"orec_stripes,omitempty"`
+	ClockShards int         `json:"clock_shards,omitempty"`
 	Defaults    *filePhase  `json:"defaults,omitempty"`
 	Phases      []filePhase `json:"phases"`
 }
@@ -190,7 +200,13 @@ func Parse(data []byte) (*Scenario, error) {
 	if err := dec.Decode(&fs); err != nil {
 		return nil, fmt.Errorf("scenario: parse: %w", err)
 	}
-	sc := &Scenario{Name: fs.Name, Description: fs.Description}
+	sc := &Scenario{
+		Name:        fs.Name,
+		Description: fs.Description,
+		Granularity: fs.Granularity,
+		OrecStripes: fs.OrecStripes,
+		ClockShards: fs.ClockShards,
+	}
 	for i, fp := range fs.Phases {
 		merged := filePhase{}
 		overlay(&merged, fs.Defaults)

@@ -155,3 +155,35 @@ func TestParsePhaseOverridesDefaultPairs(t *testing.T) {
 		t.Errorf("defaults not inherited by timed phase: %+v", timed)
 	}
 }
+
+func TestParseMetadataKnobs(t *testing.T) {
+	sc, err := Parse([]byte(`{
+		"name": "meta",
+		"granularity": "striped",
+		"orec_stripes": 128,
+		"clock_shards": 4,
+		"phases": [{"name": "p", "duration": "10ms"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Granularity != "striped" || sc.OrecStripes != 128 || sc.ClockShards != 4 {
+		t.Errorf("metadata knobs not parsed: %+v", sc)
+	}
+
+	if _, err := Parse([]byte(`{
+		"name": "meta",
+		"granularity": "word",
+		"phases": [{"name": "p", "duration": "10ms"}]
+	}`)); err == nil || !strings.Contains(err.Error(), "granularity") {
+		t.Errorf("bad granularity not rejected: %v", err)
+	}
+
+	// Per-phase metadata knobs are a design error, not a silent no-op.
+	if _, err := Parse([]byte(`{
+		"name": "meta",
+		"phases": [{"name": "p", "duration": "10ms", "granularity": "striped"}]
+	}`)); err == nil {
+		t.Error("per-phase granularity accepted (metadata is run-level)")
+	}
+}

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"cmp"
 	"fmt"
 	"io"
 	"time"
@@ -48,6 +49,8 @@ func phaseLatency(pr PhaseResult) (harness.LatencySummary, bool) {
 // WriteReport prints the per-phase table and the cross-phase comparison.
 // Open-loop rows report p50/p99 response time (queueing included);
 // closed-loop rows report p50/p99 TTC when histograms were collected.
+// false% is the share of conflict aborts attributed to orec striping
+// (always 0 under object granularity).
 func WriteReport(w io.Writer, rep *Report) {
 	sc := rep.Scenario
 	fmt.Fprintf(w, "Scenario %q — %d phases, strategy %s, %d composite parts, seed %d\n",
@@ -55,10 +58,20 @@ func WriteReport(w io.Writer, rep *Report) {
 	if sc.Description != "" {
 		fmt.Fprintf(w, "  %s\n", sc.Description)
 	}
+	if sc.Granularity != "" || sc.OrecStripes > 0 || sc.ClockShards > 0 {
+		fmt.Fprintf(w, "  metadata: granularity %s", cmp.Or(sc.Granularity, "inherited"))
+		if sc.OrecStripes > 0 {
+			fmt.Fprintf(w, ", %d orec stripes", sc.OrecStripes)
+		}
+		if sc.ClockShards > 0 {
+			fmt.Fprintf(w, ", %d clock shards", sc.ClockShards)
+		}
+		fmt.Fprintln(w)
+	}
 	fmt.Fprintln(w)
 
-	fmt.Fprintf(w, "  %-14s %7s %-12s %-15s %-12s %8s %10s %8s %9s %9s\n",
-		"phase", "threads", "mode", "workload", "skew", "length", "ops/s", "abort%", "p50[ms]", "p99[ms]")
+	fmt.Fprintf(w, "  %-14s %7s %-12s %-15s %-12s %8s %10s %8s %7s %9s %9s\n",
+		"phase", "threads", "mode", "workload", "skew", "length", "ops/s", "abort%", "false%", "p50[ms]", "p99[ms]")
 	for _, pr := range rep.Phases {
 		ph, res := pr.Phase, pr.Result
 		p50, p99 := "-", "-"
@@ -66,9 +79,10 @@ func WriteReport(w io.Writer, rep *Report) {
 			p50 = fmt.Sprintf("%.3f", ls.P50Ms)
 			p99 = fmt.Sprintf("%.3f", ls.P99Ms)
 		}
-		fmt.Fprintf(w, "  %-14s %7d %-12s %-15s %-12s %8s %10.0f %8.1f %9s %9s\n",
+		fmt.Fprintf(w, "  %-14s %7d %-12s %-15s %-12s %8s %10.0f %8.1f %7.1f %9s %9s\n",
 			ph.Name, ph.Threads, phaseMode(ph), ph.Workload.String(), phaseSkew(ph),
-			phaseLength(ph), res.Throughput(), 100*res.EngineStats.AbortRate(), p50, p99)
+			phaseLength(ph), res.Throughput(), 100*res.EngineStats.AbortRate(),
+			100*res.EngineStats.FalseConflictRate(), p50, p99)
 	}
 	fmt.Fprintln(w)
 
@@ -138,6 +152,30 @@ func writeComparison(w io.Writer, rep *Report) {
 	}
 	if minAbort >= 0 {
 		fmt.Fprintf(w, "  abort rate:   %.1f%% to %.1f%% across phases\n", minAbort, maxAbort)
+	}
+	var falseTotal, conflictTotal uint64
+	var lastStats *PhaseResult
+	for i := range rep.Phases {
+		falseTotal += rep.Phases[i].Result.EngineStats.FalseConflicts
+		conflictTotal += rep.Phases[i].Result.EngineStats.ConflictAborts
+		lastStats = &rep.Phases[i]
+	}
+	if falseTotal > 0 {
+		// Attribution is best-effort and both parties of one episode can
+		// book the same kill, so clamp like Stats.FalseConflictRate does
+		// (and a kill flushed outside the phase windows can even leave
+		// conflictTotal at 0).
+		pct := 100.0
+		if conflictTotal > falseTotal {
+			pct = 100 * float64(falseTotal) / float64(conflictTotal)
+		}
+		fmt.Fprintf(w, "  striping:     %d of %d conflict aborts were false (%.1f%% — orec collisions, not data)\n",
+			falseTotal, conflictTotal, pct)
+	}
+	if lastStats != nil && lastStats.Result.EngineStats.ClockShards > 1 {
+		es := lastStats.Result.EngineStats
+		fmt.Fprintf(w, "  commit clock: %d shards, spread %d at end of run (small spread = even commit traffic)\n",
+			es.ClockShards, es.ClockShardSpread)
 	}
 	fmt.Fprintf(w, "  elapsed:      %.3f s over %d phases\n", rep.Elapsed.Seconds(), len(rep.Phases))
 }

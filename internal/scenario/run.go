@@ -40,6 +40,14 @@ type RunOptions struct {
 	CM                       stm.ContentionManager
 	CommitTimeValidationOnly bool
 	VisibleReads             bool
+	// Granularity, OrecStripes and ClockShards tune the engine's
+	// conflict-detection metadata exactly like the harness options of the
+	// same names. They are run-level (the orec table and commit clock are
+	// built with the engine, before the first phase); a scenario that
+	// sets its own values overrides these.
+	Granularity stm.Granularity
+	OrecStripes int
+	ClockShards int
 }
 
 // PhaseResult pairs a resolved phase (defaults applied, durations scaled)
@@ -108,6 +116,24 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 		o.TimeScale = 1
 	}
 
+	// The scenario's engine-metadata knobs override the run's: a scenario
+	// built around a metadata shape (orec-pressure) must get that shape
+	// regardless of the CLI defaults.
+	granularity, orecStripes, clockShards := o.Granularity, o.OrecStripes, o.ClockShards
+	if sc.Granularity != "" {
+		g, err := stm.ParseGranularity(sc.Granularity)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		granularity = g
+	}
+	if sc.OrecStripes > 0 {
+		orecStripes = sc.OrecStripes
+	}
+	if sc.ClockShards > 0 {
+		clockShards = sc.ClockShards
+	}
+
 	ex, s, err := harness.Setup(harness.Options{
 		Params:                   o.Params,
 		Seed:                     o.Seed,
@@ -115,6 +141,9 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 		CM:                       o.CM,
 		CommitTimeValidationOnly: o.CommitTimeValidationOnly,
 		VisibleReads:             o.VisibleReads,
+		Granularity:              granularity,
+		OrecStripes:              orecStripes,
+		ClockShards:              clockShards,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/ops"
+	"repro/stm"
 )
 
 // Phase is one segment of a scenario. The zero value of most fields means
@@ -83,9 +84,24 @@ func (ph Phase) categoryEnabled(cat ops.Category) bool {
 }
 
 // Scenario is a named, ordered sequence of phases over one structure.
+//
+// Granularity, OrecStripes and ClockShards are run-level engine-metadata
+// knobs: the orec table and the commit clock are built with the engine,
+// before the first phase runs, so unlike the per-phase workload fields
+// they apply to the whole scenario. Zero values ("" / 0) inherit whatever
+// the RunOptions (i.e. the CLI flags) selected; a scenario that sets them
+// overrides the run, which is how a built-in like orec-pressure pins its
+// metadata shape.
 type Scenario struct {
 	Name        string
 	Description string
+	// Granularity is "" (inherit), "object" or "striped".
+	Granularity string
+	// OrecStripes sizes the striped orec table (0 = inherit/engine
+	// default).
+	OrecStripes int
+	// ClockShards shards TL2's commit clock (0 = inherit/single clock).
+	ClockShards int
 	Phases      []Phase
 }
 
@@ -99,6 +115,15 @@ func (sc *Scenario) Validate() error {
 	}
 	if len(sc.Phases) == 0 {
 		return fmt.Errorf("scenario %q: no phases", sc.Name)
+	}
+	if _, err := stm.ParseGranularity(sc.Granularity); err != nil {
+		return fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+	if sc.OrecStripes < 0 {
+		return fmt.Errorf("scenario %q: negative orec_stripes %d", sc.Name, sc.OrecStripes)
+	}
+	if sc.ClockShards < 0 {
+		return fmt.Errorf("scenario %q: negative clock_shards %d", sc.Name, sc.ClockShards)
 	}
 	for i, ph := range sc.Phases {
 		label := ph.Name

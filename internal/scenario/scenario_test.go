@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ops"
 	"repro/internal/sync7"
+	"repro/stm"
 )
 
 // engines is the full strategy set scenarios are exercised on: both lock
@@ -278,5 +279,82 @@ func TestRunOptionsCarryOSTMKnobs(t *testing.T) {
 	}
 	if got := vis.Phases[0].Result.EngineStats.Validations; got != 0 {
 		t.Errorf("visible-reads run performed %d validations, want 0 — knob not plumbed", got)
+	}
+}
+
+// TestRunOptionsCarryMetadataKnobs: the granularity/clock axes must reach
+// the engine — a TL2 run with sharded clocks reports the shard count in
+// its per-phase stats, and a scenario-level granularity overrides the
+// run's.
+func TestRunOptionsCarryMetadataKnobs(t *testing.T) {
+	sc := &Scenario{Name: "meta", Phases: []Phase{
+		{Name: "p", MaxOps: 100, Workload: ops.ReadWrite, StructureMods: true},
+	}}
+	rep, err := Run(sc, RunOptions{Strategy: "tl2", Threads: 2, ClockShards: 4,
+		Granularity: stm.StripedGranularity, OrecStripes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Phases[0].Result.EngineStats.ClockShards; got != 4 {
+		t.Errorf("ClockShards = %d, want 4 — knob not plumbed", got)
+	}
+
+	// A scenario that pins its own metadata shape overrides the run.
+	pinned := &Scenario{Name: "meta-pinned", ClockShards: 2, Granularity: "striped", OrecStripes: 32,
+		Phases: sc.Phases}
+	rep2, err := Run(pinned, RunOptions{Strategy: "tl2", Threads: 2, ClockShards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep2.Phases[0].Result.EngineStats.ClockShards; got != 2 {
+		t.Errorf("scenario override: ClockShards = %d, want 2", got)
+	}
+}
+
+// TestOrecPressureBuiltin: the metadata-axis scenario runs end to end and
+// its striped/sharded shape is visible in the stats.
+func TestOrecPressureBuiltin(t *testing.T) {
+	sc, ok := Builtin("orec-pressure")
+	if !ok {
+		t.Fatal("orec-pressure not registered")
+	}
+	if sc.Granularity != "striped" || sc.OrecStripes == 0 || sc.ClockShards < 2 {
+		t.Fatalf("orec-pressure metadata shape: %+v", sc)
+	}
+	rep, err := Run(sc, RunOptions{Strategy: "tl2", Threads: 2, TimeScale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Phases[0].Result.EngineStats.ClockShards; got != uint64(sc.ClockShards) {
+		t.Errorf("ClockShards = %d, want %d", got, sc.ClockShards)
+	}
+	var buf strings.Builder
+	WriteReport(&buf, rep)
+	out := buf.String()
+	for _, want := range []string{"metadata: granularity striped", "false%", "commit clock:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateRejectsBadMetadata(t *testing.T) {
+	base := func() *Scenario {
+		return &Scenario{Name: "m", Phases: []Phase{{Name: "p", MaxOps: 1}}}
+	}
+	sc := base()
+	sc.Granularity = "word"
+	if err := sc.Validate(); err == nil {
+		t.Error("bad granularity accepted")
+	}
+	sc = base()
+	sc.OrecStripes = -1
+	if err := sc.Validate(); err == nil {
+		t.Error("negative orec_stripes accepted")
+	}
+	sc = base()
+	sc.ClockShards = -1
+	if err := sc.Validate(); err == nil {
+		t.Error("negative clock_shards accepted")
 	}
 }

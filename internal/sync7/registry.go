@@ -68,11 +68,13 @@ func Register(name string, kind Kind, factory Factory) {
 	strategyRegistry.m[name] = registration{kind: kind, factory: factory}
 }
 
-// genericSTM wraps a registered stm engine as a default-configuration
-// STM strategy.
+// genericSTM wraps a registered stm engine as an STM strategy, passing
+// the cross-engine metadata knobs (granularity, stripes, clock shards)
+// through to the engine registry — engines outside those axes ignore
+// them, so the same Config sweeps every engine.
 func genericSTM(name string) registration {
-	return registration{kind: KindSTM, factory: func(Config) (Executor, error) {
-		eng, err := stm.New(name)
+	return registration{kind: KindSTM, factory: func(cfg Config) (Executor, error) {
+		eng, err := stm.NewWith(name, cfg.engineOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -176,12 +178,15 @@ func init() {
 	})
 	// OSTM has strategy-level configuration (contention manager,
 	// validation and read-visibility ablations), so it gets a dedicated
-	// factory rather than the generic default-configuration wrapper.
+	// factory rather than the generic wrapper; the metadata axes ride
+	// along next to its own knobs.
 	Register("ostm", KindSTM, func(cfg Config) (Executor, error) {
 		return &STMExec{eng: stm.NewOSTMWith(stm.OSTMConfig{
 			CM:                       cfg.CM,
 			CommitTimeValidationOnly: cfg.CommitTimeValidationOnly,
 			VisibleReads:             cfg.VisibleReads,
+			Granularity:              cfg.Granularity,
+			OrecStripes:              cfg.OrecStripes,
 		}), name: "ostm"}, nil
 	})
 }

@@ -62,8 +62,28 @@ type Config struct {
 	// CommitTimeValidationOnly disables OSTM's incremental validation.
 	CommitTimeValidationOnly bool
 	// VisibleReads switches OSTM to visible-reads mode (no validation;
-	// readers register on Vars and writers arbitrate with them).
+	// readers register on orecs and writers arbitrate with them).
 	VisibleReads bool
+	// Granularity selects the Var-to-orec mapping for orec-based engines
+	// (TL2, OSTM): object (collision-free, the default) or striped.
+	// Engines without per-location metadata (norec, the lock strategies)
+	// ignore it.
+	Granularity stm.Granularity
+	// OrecStripes sizes the striped orec table (0 = engine default;
+	// ignored under object granularity).
+	OrecStripes int
+	// ClockShards shards TL2's commit clock (0 or 1 = single clock;
+	// ignored by engines without a global version clock).
+	ClockShards int
+}
+
+// engineOptions extracts the cross-engine metadata knobs.
+func (c Config) engineOptions() stm.EngineOptions {
+	return stm.EngineOptions{
+		Granularity: c.Granularity,
+		OrecStripes: c.OrecStripes,
+		ClockShards: c.ClockShards,
+	}
 }
 
 // New builds the executor for cfg by looking Config.Strategy up in the

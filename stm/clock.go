@@ -1,0 +1,120 @@
+package stm
+
+// gvClock is TL2's global version clock, optionally sharded.
+//
+// The classic TL2 clock is a single fetch-and-add word; every committing
+// writer bounces that one cache line across cores, which caps commit
+// throughput well before the lock table does. A sharded gvClock spreads
+// the commits over several padded counters in the GV5 spirit (Dice &
+// Shavit's "pay on abort" family): the logical time is the MAXIMUM over
+// all shards, and a committer stamps with max-seen + 2, publishing the
+// stamp only to its own shard with a CAS-to-max. Commit stamps are not
+// unique across shards — two concurrent committers may both stamp m+2 —
+// which is safe because their write sets are disjoint (both hold their
+// commit locks) and because of the ordering argument below.
+//
+// Correctness (the two properties TL2 needs):
+//
+//  1. A committer's stamp exceeds every snapshot sampled before it locked
+//     its write set: wv = max(shards)+2 read after locking, and the max is
+//     monotone, so any earlier sample is <= max < wv.
+//
+//  2. A reader that samples rv >= wv sampled after the committer locked:
+//     for the reader to see some shard >= wv, that value must have been
+//     published after the committer read that same shard (the committer
+//     saw it <= wv-2 and shards are monotone), which is after the
+//     committer acquired its locks — so the reader can no longer observe
+//     any pre-commit value of the write set.
+//
+// What sharding gives up is the "wv == rv+2 implies nobody else committed"
+// inference: with more than one shard, an interleaved commit on another
+// shard can reuse the same stamp, so TL2 must always validate a non-empty
+// read set at commit when the clock is sharded (see tl2Tx.commit).
+type gvClock struct {
+	shards []padUint64
+	mask   uint64
+}
+
+// maxClockShards bounds the shard array: more shards than cores buys
+// nothing (each commit touches one shard, each clock read scans all of
+// them), so anything beyond a generous core count clamps here.
+const maxClockShards = 1024
+
+// init sizes the clock; n <= 1 is the classic single global clock, larger
+// values are rounded up to a power of two (clamped to maxClockShards).
+func (c *gvClock) init(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxClockShards {
+		n = maxClockShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	c.shards = make([]padUint64, p)
+	c.mask = uint64(p - 1)
+}
+
+// sharded reports whether the commit-quiescence shortcut must be disabled.
+func (c *gvClock) sharded() bool { return len(c.shards) > 1 }
+
+// read returns the current logical time: the maximum over all shards. With
+// one shard this is a single load, the classic TL2 clock sample.
+func (c *gvClock) read() uint64 {
+	if len(c.shards) == 1 {
+		return c.shards[0].Load()
+	}
+	var m uint64
+	for i := range c.shards {
+		if v := c.shards[i].Load(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// tick issues a commit stamp: max-seen + 2, published to the hint's shard
+// by raising it to the stamp (never lowering). Callers must hold their
+// commit locks before ticking.
+func (c *gvClock) tick(hint uint64) uint64 {
+	if len(c.shards) == 1 {
+		return c.shards[0].Add(2)
+	}
+	wv := c.read() + 2
+	sh := &c.shards[hint&c.mask].Uint64
+	for {
+		cur := sh.Load()
+		if cur >= wv {
+			// The shard already advanced past our stamp (a same-shard
+			// committer raced us). The stamp is still valid — see the
+			// type comment — and the shard already publishes a value
+			// that covers it.
+			return wv
+		}
+		if sh.CompareAndSwap(cur, wv) {
+			return wv
+		}
+	}
+}
+
+// spread returns the number of shards and the instantaneous gap between
+// the most- and least-advanced shard — a cheap view of how evenly commit
+// traffic lands on the shards (reported through Stats).
+func (c *gvClock) spread() (shards uint64, gap uint64) {
+	if len(c.shards) == 0 {
+		return 0, 0
+	}
+	mn, mx := c.shards[0].Load(), c.shards[0].Load()
+	for i := range c.shards {
+		v := c.shards[i].Load()
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return uint64(len(c.shards)), mx - mn
+}

@@ -30,7 +30,9 @@
 //     only an interface call per access.
 //
 // Engines self-register in an engine registry: New("norec") returns a fresh
-// default-configuration engine by name and Registered lists the names. The
+// default-configuration engine by name and Registered lists the names;
+// NewWith additionally threads the cross-engine metadata knobs
+// (EngineOptions) through engines registered with RegisterTunable. The
 // benchmark's strategy layer and the engine test suites enumerate the
 // registry, so a new engine in this package is automatically picked up by
 // the conformance/stress/property tests, the comparison benchmarks, and
@@ -149,9 +151,63 @@
 // engine counters once per attempt, so the hot path performs no shared
 // atomic read-modify-writes (see stats.go).
 //
+// # The metadata layer: Vars, orecs and the granularity axis
+//
+// A Var holds only its identity, its clone function and its committed
+// value. Every piece of conflict-detection metadata lives in an ownership
+// record (orec) that the Var resolves to through a single pointer assigned
+// at creation (see orec.go):
+//
+//   - TL2's versioned lock word (orec.meta) and, for striped tables, the
+//     last-writer attribution word behind Stats.FalseConflicts;
+//   - OSTM's locator slot (orec.loc) and the writeback lock that striped
+//     mode uses to retire locators;
+//   - the visible-reads reader registry (orec.readers).
+//
+// The Var-to-orec mapping is the granularity axis every orec-based engine
+// exposes (Granularity in TL2Config/OSTMConfig, EngineOptions in the
+// registry, -granularity in the CLIs):
+//
+//   - ObjectGranularity allocates one orec per Var, so conflict detection
+//     is per object and collision free — semantically identical to the
+//     pre-orec inline layout, at one padded cache line of metadata per
+//     Var.
+//
+//   - StripedGranularity hashes Var ids onto a fixed power-of-two table
+//     of padded orecs (OrecStripes). Metadata footprint becomes O(table),
+//     independent of the heap; the price is false conflicts between
+//     transactions whose footprints only share a hash bucket.
+//     Stats.FalseConflicts/FalseConflictRate estimate that price.
+//
+// The metadata contract for engines:
+//
+//   - Engines configure their VarSpace's mapping exactly once, in the
+//     constructor, via VarSpace.ConfigureOrecs — before any Var exists.
+//   - Hot paths resolve metadata as v.orc (one pointer load); no hashing
+//     happens per access.
+//   - Under striping an engine must stay correct when several of its own
+//     (or several transactions') Vars share an orec: TL2 deduplicates
+//     commit locks per orec and orders them by orec id; striped OSTM
+//     installs locators only over an empty slot, appends same-stripe
+//     write slots to its own locator, and retires finished locators by
+//     writing committed values back under the orec's writeback lock.
+//   - False conflicts may cost throughput, never correctness: the
+//     conformance, stress and property suites run every engine in both
+//     granularity modes (with deliberately tiny stripe tables) to enforce
+//     exactly that.
+//
+// TL2's commit clock is a second, related axis: ClockShards spreads the
+// global version clock over padded per-shard counters (GV5-style: stamps
+// are max-seen-plus-increment, published to the committer's own shard) so
+// commits stop serializing on one cache line; see clock.go for the
+// correctness argument and Stats.ClockShards/ClockShardSpread for the
+// diagnostics. NOrec deliberately has no per-location metadata and no
+// shardable clock — its single sequence lock is the design — and the
+// direct engine has no conflict detection, so both ignore the axis.
+//
 // Vars are allocated from a VarSpace (one per engine; see
 // Engine.VarSpace). All Vars that participate in one transaction must come
 // from the same space: their ids order commit-time lock acquisition in
-// TL2, and the data structure under test must be built from the space of
-// the engine that will run it.
+// TL2 (through their orecs), and the data structure under test must be
+// built from the space of the engine that will run it.
 package stm

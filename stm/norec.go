@@ -43,6 +43,12 @@ type NOrecConfig struct {
 //   - Write commits are serialized by the single lock: disjoint-access
 //     writers do not scale. The benchmark's write-dominated workloads
 //     make the cost visible.
+//
+// NOrec sits outside the orec metadata axis by definition — "no ownership
+// records" is the design — so the Granularity/OrecStripes/ClockShards
+// engine options do not apply to it (NewWith hands it a default engine):
+// its metadata footprint is already a single word, which is exactly the
+// extreme point the striped orec table trades toward.
 type NOrec struct {
 	space  VarSpace
 	cfg    NOrecConfig

@@ -1,0 +1,191 @@
+package stm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Ownership-record (orec) metadata layer.
+//
+// Conflict-detection metadata — TL2's versioned lock word, OSTM's locator
+// slot, the visible-reads reader registry — does not live inline in the Var
+// anymore: every Var resolves to an orec, and the mapping from Vars to
+// orecs is an engine-configuration axis (STMBench7's point is that STM
+// scalability is decided by exactly this kind of mechanics, so it should be
+// a benchmark knob, not a constant):
+//
+//   - ObjectGranularity (the default) allocates one orec per Var at NewVar
+//     time. The mapping is collision free, so conflict detection behaves
+//     exactly like the previous inline layout: one lock word / locator slot
+//     / reader set per object. Metadata cost is one cache line per Var.
+//
+//   - StripedGranularity hashes Var ids onto a fixed power-of-two table of
+//     cache-line-padded orecs. Many Vars share one orec, so the metadata
+//     footprint is the table size regardless of how many Vars exist — at
+//     the price of false conflicts: transactions with disjoint Var
+//     footprints can still collide when their Vars hash to the same stripe
+//     (Stats.FalseConflicts estimates how often that decides an abort).
+//
+// The resolution is a single pointer load (Var.orc), assigned when the Var
+// is created; no per-access hashing happens on transaction hot paths.
+//
+// NOrec deliberately has no per-location metadata (that is its design), and
+// the direct engine has no conflict detection at all, so both ignore this
+// axis entirely.
+
+// Granularity selects the mapping from Vars to ownership records.
+type Granularity int
+
+const (
+	// ObjectGranularity gives every Var its own orec (collision-free,
+	// today's per-object conflict detection). This is the default.
+	ObjectGranularity Granularity = iota
+	// StripedGranularity hashes Vars onto a fixed table of padded orecs,
+	// trading false conflicts for a bounded metadata footprint.
+	StripedGranularity
+)
+
+func (g Granularity) String() string {
+	switch g {
+	case ObjectGranularity:
+		return "object"
+	case StripedGranularity:
+		return "striped"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseGranularity resolves a -granularity flag or scenario-file value.
+func ParseGranularity(s string) (Granularity, error) {
+	switch s {
+	case "", "object":
+		return ObjectGranularity, nil
+	case "striped":
+		return StripedGranularity, nil
+	default:
+		return 0, fmt.Errorf("stm: unknown granularity %q (want object or striped)", s)
+	}
+}
+
+// DefaultOrecStripes is the striped-table size used when OrecStripes is
+// left zero: 4096 padded orecs = 256 KiB of metadata, independent of the
+// number of Vars.
+const DefaultOrecStripes = 4096
+
+// maxOrecStripes bounds the striped table against accidental huge
+// allocations (2^22 padded orecs = 256 MiB of metadata, already far past
+// the point of striping — a table that large approximates object
+// granularity); larger requests clamp here.
+const maxOrecStripes = 1 << 22
+
+// orec is one ownership record. Every field is engine-specific metadata
+// for the Vars that map here; a padded orec occupies its own cache line so
+// neighboring stripes never false-share.
+type orec struct {
+	// id orders commit-time lock acquisition across orecs (TL2 locks its
+	// write set in id order to avoid deadlock). It is the Var id under
+	// object granularity and the stripe index under striped granularity —
+	// unique within one engine either way.
+	id uint64
+
+	// meta is TL2's versioned lock word: bit 0 is the lock bit, the
+	// remaining bits hold the version of the last committed write.
+	meta atomic.Uint64
+
+	// lastWriter is the id of the Var on whose behalf this orec's meta was
+	// last locked for commit. Maintained only by striped-mode TL2, it lets
+	// a conflicting reader classify the conflict as false (different Var,
+	// same stripe) for Stats.FalseConflicts. Best-effort attribution: a
+	// commit writing several Vars of one stripe records only the first.
+	lastWriter atomic.Uint64
+
+	// loc is OSTM's ownership slot. Object granularity runs the classic
+	// DSTM locator chain through it; striped granularity installs over nil
+	// only and writes committed values back before clearing (see ostm.go).
+	loc atomic.Pointer[locator]
+
+	// readers is the visible-reads registry for the Vars mapping here.
+	readers atomic.Pointer[readerSet]
+
+	// wb serializes striped-mode writeback of finished locators (see
+	// ostmTx.cleanOrec).
+	wb atomic.Uint32
+
+	_ [20]byte // pad to 64 bytes
+}
+
+// orecTable maps Var ids to orecs for one VarSpace. The zero value is
+// object granularity.
+type orecTable struct {
+	granularity Granularity
+	stripes     []orec // striped mode only; power-of-two length
+	mask        uint64
+}
+
+// normalizeStripes resolves a requested stripe count to the table size
+// actually built: defaulted, clamped, and rounded up to a power of two.
+func normalizeStripes(stripes int) int {
+	if stripes <= 0 {
+		stripes = DefaultOrecStripes
+	}
+	if stripes > maxOrecStripes {
+		stripes = maxOrecStripes
+	}
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	return n
+}
+
+// configure sets the table's granularity and (for striped mode) size.
+func (t *orecTable) configure(g Granularity, stripes int) error {
+	if g == ObjectGranularity {
+		t.granularity = g
+		t.stripes, t.mask = nil, 0
+		return nil
+	}
+	n := normalizeStripes(stripes)
+	t.granularity = StripedGranularity
+	t.stripes = make([]orec, n)
+	for i := range t.stripes {
+		t.stripes[i].id = uint64(i)
+	}
+	t.mask = uint64(n - 1)
+	return nil
+}
+
+// orecFor resolves the orec for a (new) Var id. Called once per Var, at
+// creation.
+func (t *orecTable) orecFor(id uint64) *orec {
+	if t.granularity == StripedGranularity {
+		return &t.stripes[orecHash(id)&t.mask]
+	}
+	return &orec{id: id}
+}
+
+// orecHash mixes sequentially assigned Var ids into well-distributed stripe
+// indexes (Fibonacci hashing, like varIndex's probe hash).
+func orecHash(id uint64) uint64 {
+	h := id * 0x9e3779b97f4a7c15
+	return h ^ h>>29
+}
+
+// EngineOptions carries the cross-engine metadata knobs that the registry,
+// the harness and both CLIs plumb through by name. Engines consume the
+// fields that apply to their design and ignore the rest (NOrec has no
+// per-location metadata and no commit clock to shard; direct has neither):
+//
+//   - Granularity / OrecStripes: TL2 and OSTM.
+//   - ClockShards: TL2 (the only engine with a global version clock).
+type EngineOptions struct {
+	// Granularity selects the Var-to-orec mapping (object or striped).
+	Granularity Granularity
+	// OrecStripes sizes the striped orec table (rounded up to a power of
+	// two; 0 means DefaultOrecStripes; ignored under object granularity).
+	OrecStripes int
+	// ClockShards shards TL2's commit clock (0 or 1 = the classic single
+	// global clock; rounded up to a power of two).
+	ClockShards int
+}

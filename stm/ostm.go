@@ -36,10 +36,35 @@ func (s *txState) Opens() uint64 { return s.opens.Load() }
 // Retries implements TxInfo.
 func (s *txState) Retries() uint64 { return s.retries }
 
-// locator is OSTM's ownership record, after DSTM's TMObject locator: the
-// Var's current logical value is old or new depending on owner's status.
-// Each locator snapshots its predecessor's resolved value into old, so
-// resolution never chases more than one link.
+// wslot is one write slot: the copy-on-write value pair for a single Var
+// owned by a locator. Under object granularity a locator has exactly its
+// inline slot; under striped granularity the owner appends one more slot
+// per additional stripe-mate it writes.
+type wslot struct {
+	v   *Var
+	old *box
+	new *box
+	// cloned records whether new.val has been detached from old.val (by a
+	// Write replacing it outright or by an Update-triggered clone). Only
+	// the owning transaction touches it, before commit.
+	cloned bool
+}
+
+// locator is OSTM's ownership record payload, after DSTM's TMObject
+// locator: a covered Var's current logical value is old or new depending
+// on owner's status.
+//
+// Under object granularity each orec is private to one Var and locators
+// chain: a new locator snapshots its predecessor's resolved value into
+// old, so resolution never chases more than one link, and committed values
+// are never written back to the Var.
+//
+// Under striped granularity one locator owns the whole stripe: it is only
+// ever installed over an empty slot, covers every stripe Var its owner
+// writes (the inline slot plus the `more` list), and is retired by writing
+// committed values back to the Vars before the slot is cleared (see
+// cleanOrec) — a chain cannot work here, because it would have to carry
+// the values of every Var ever written in the stripe.
 //
 // ownerState is inline storage for the owning transaction's state: the
 // first locator a transaction installs carries the state the rest of its
@@ -50,13 +75,34 @@ func (s *txState) Retries() uint64 { return s.retries }
 // references its owner — exactly the lifetime the status word needs.
 type locator struct {
 	owner *txState
-	old   *box
-	new   *box
-	// cloned records whether new.val has been detached from old.val (by a
-	// Write replacing it outright or by an Update-triggered clone). Only
-	// the owning transaction touches it, before commit.
-	cloned     bool
+	wslot
+	// more holds additional same-stripe slots (striped granularity only).
+	// Appended by the live owner with an atomic head store — fully
+	// initialized entries, single writer — and traversed by concurrent
+	// readers.
+	more       atomic.Pointer[locEntry]
 	ownerState txState
+}
+
+// locEntry is one appended write slot in a striped locator.
+type locEntry struct {
+	wslot
+	next *locEntry
+}
+
+// slotFor returns the write slot covering v, or nil when the locator does
+// not cover v (possible only under striped granularity). The inline-slot
+// comparison is the whole lookup under object granularity.
+func (loc *locator) slotFor(v *Var) *wslot {
+	if loc.v == v {
+		return &loc.wslot
+	}
+	for e := loc.more.Load(); e != nil; e = e.next {
+		if e.v == v {
+			return &e.wslot
+		}
+	}
+	return nil
 }
 
 // AcquireMode selects when OSTM takes ownership of written Vars.
@@ -118,12 +164,24 @@ type OSTMConfig struct {
 	Acquire AcquireMode
 
 	// VisibleReads replaces invisible reads + validation with reader
-	// registration on every Var: writers arbitrate with registered
+	// registration on every orec: writers arbitrate with registered
 	// readers through the contention manager, and no validation is ever
 	// needed (see visible.go). This is the classic alternative the paper
 	// implicitly ablates when it blames invisible reads for the O(k²)
 	// cost.
 	VisibleReads bool
+
+	// Granularity selects the Var-to-orec mapping: ObjectGranularity (one
+	// locator slot per Var — DSTM's per-object ownership, the default) or
+	// StripedGranularity (Vars hash onto a fixed table; one owner per
+	// stripe at a time, so disjoint writers of stripe-mates falsely
+	// conflict, and visible-mode readers falsely arbitrate with writers
+	// of stripe-mates).
+	Granularity Granularity
+
+	// OrecStripes sizes the striped orec table (rounded up to a power of
+	// two; 0 means DefaultOrecStripes; ignored under object granularity).
+	OrecStripes int
 
 	// MaxRetries bounds re-executions; 0 means retry forever. When the
 	// budget is exhausted Atomic returns ErrAborted.
@@ -138,10 +196,11 @@ type OSTMConfig struct {
 // ascribes to ASTM: validation work quadratic in the read-set size, and
 // whole-object copies for every first write to an object.
 type OSTM struct {
-	space  VarSpace
-	cfg    OSTMConfig
-	stats  statCounters
-	txPool txPool[ostmTx]
+	space   VarSpace
+	cfg     OSTMConfig
+	stats   statCounters
+	txPool  txPool[ostmTx]
+	striped bool
 	// commitSerial counts committed WRITE transactions; the commit-counter
 	// validation heuristic compares it against a transaction-local
 	// snapshot to skip provably redundant validation passes.
@@ -152,14 +211,24 @@ type OSTM struct {
 // contention management and incremental validation.
 func NewOSTM() *OSTM { return NewOSTMWith(OSTMConfig{}) }
 
-func init() { Register("ostm", func() Engine { return NewOSTM() }) }
+func init() {
+	RegisterTunable("ostm", func(o EngineOptions) Engine {
+		return NewOSTMWith(OSTMConfig{
+			Granularity: o.Granularity,
+			OrecStripes: o.OrecStripes,
+		})
+	})
+}
 
 // NewOSTMWith returns an OSTM engine with explicit configuration.
 func NewOSTMWith(cfg OSTMConfig) *OSTM {
 	if cfg.CM == nil {
 		cfg.CM = Polka{}
 	}
-	e := &OSTM{cfg: cfg}
+	e := &OSTM{cfg: cfg, striped: cfg.Granularity == StripedGranularity}
+	if err := e.space.ConfigureOrecs(cfg.Granularity, cfg.OrecStripes); err != nil {
+		panic(err) // unreachable: the space is brand new and the size is clamped
+	}
 	e.txPool.init(func() *ostmTx { return &ostmTx{eng: e} })
 	return e
 }
@@ -265,7 +334,7 @@ type ostmTx struct {
 
 	reads     []readEntry
 	readIdx   varIndex // *Var -> index into reads
-	writeLocs []*locator
+	writeLocs []*wslot
 	writeIdx  varIndex // *Var -> index into writeLocs
 
 	// Lazy-acquire state.
@@ -348,15 +417,22 @@ func (tx *ostmTx) checkAlive() {
 // owner is treated like an Active one (its new value is not yet committed);
 // the sound gate against the cross-validation race is in validate(final).
 func (tx *ostmTx) resolveRead(v *Var) *box {
-	loc := v.loc.Load()
+	loc := v.orc.loc.Load()
 	if loc == nil {
+		return v.cur.Load()
+	}
+	s := loc.slotFor(v)
+	if s == nil {
+		// Striped only: the stripe's locator covers other Vars. The
+		// install-over-nil + writeback protocol keeps v.cur current
+		// whenever no slot covers v.
 		return v.cur.Load()
 	}
 	switch loc.owner.status.Load() {
 	case statusCommitted:
-		return loc.new
+		return s.new
 	default: // active, validating, aborted
-		return loc.old
+		return s.old
 	}
 }
 
@@ -390,18 +466,63 @@ func (tx *ostmTx) Read(v *Var) any {
 	return b.val
 }
 
-// acquire opens v for writing: it installs a locator owned by this
-// transaction, arbitrating with any live current owner through the
+// prepareLocator builds a locator for v whose pre-acquisition value is
+// oldBox, relocating the still-private transaction state into the locator
+// allocation on first publication (nothing outside this descriptor has
+// seen the old state, so moving it is invisible; all of this transaction's
+// locators will share the relocated state).
+func (tx *ostmTx) prepareLocator(v *Var, oldBox *box) *locator {
+	newLoc := &locator{wslot: wslot{v: v, old: oldBox, new: &box{val: oldBox.val}}}
+	if !tx.stateShared && !tx.eng.cfg.VisibleReads {
+		st := &newLoc.ownerState
+		st.retries = tx.state.retries
+		st.opens.Store(tx.state.opens.Load())
+		st.status.Store(statusActive) // private ⇒ nobody could have aborted us
+		tx.state = st
+	}
+	newLoc.owner = tx.state
+	return newLoc
+}
+
+// finishAcquire books a freshly owned slot into the transaction: read-set
+// consistency check, reader arbitration (visible mode) or incremental
+// validation (invisible mode).
+func (tx *ostmTx) finishAcquire(o *orec, s *wslot) *wslot {
+	tx.stateShared = true
+	tx.state.opens.Add(1)
+	tx.writeIdx.put(s.v, int32(len(tx.writeLocs)))
+	tx.writeLocs = append(tx.writeLocs, s)
+	// If we previously read the Var, the value we took ownership of must
+	// be the one we read.
+	if i, ok := tx.readIdx.get(s.v); ok && tx.reads[i].seen != s.old {
+		throwConflict("acquired var changed since read")
+	}
+	if tx.eng.cfg.VisibleReads {
+		// Symmetric eager conflict detection: every live registered
+		// reader of the orec must lose or we must.
+		tx.arbitrateReaders(o)
+	} else if !tx.eng.cfg.CommitTimeValidationOnly {
+		tx.validate(false)
+	}
+	return s
+}
+
+// acquire opens v for writing: it installs (or extends) a locator owned by
+// this transaction, arbitrating with any live current owner through the
 // contention manager.
-func (tx *ostmTx) acquire(v *Var) *locator {
+func (tx *ostmTx) acquire(v *Var) *wslot {
 	if i, ok := tx.writeIdx.get(v); ok {
 		return tx.writeLocs[i]
 	}
+	if tx.eng.striped {
+		return tx.acquireStriped(v)
+	}
+	o := v.orc
 	cm := tx.eng.cfg.CM
 	attempt := 0
 	for {
 		tx.checkAlive()
-		cur := v.loc.Load()
+		cur := o.loc.Load()
 		var oldBox *box
 		if cur == nil {
 			oldBox = v.cur.Load()
@@ -424,40 +545,108 @@ func (tx *ostmTx) acquire(v *Var) *locator {
 				continue
 			}
 		}
-		newLoc := &locator{old: oldBox, new: &box{val: oldBox.val}}
-		if !tx.stateShared && !tx.eng.cfg.VisibleReads {
-			// First publication: relocate the still-private state into the
-			// locator allocation. Nothing outside this descriptor has seen
-			// the old state, so moving it is invisible; all of this
-			// transaction's locators will share the relocated state.
-			st := &newLoc.ownerState
-			st.retries = tx.state.retries
-			st.opens.Store(tx.state.opens.Load())
-			st.status.Store(statusActive) // private ⇒ nobody could have aborted us
-			tx.state = st
-		}
-		newLoc.owner = tx.state
-		if v.loc.CompareAndSwap(cur, newLoc) {
-			tx.stateShared = true
-			tx.state.opens.Add(1)
-			tx.writeIdx.put(v, int32(len(tx.writeLocs)))
-			tx.writeLocs = append(tx.writeLocs, newLoc)
-			// If we previously read v, the value we took ownership of must
-			// be the one we read.
-			if i, ok := tx.readIdx.get(v); ok && tx.reads[i].seen != oldBox {
-				throwConflict("acquired var changed since read")
-			}
-			if tx.eng.cfg.VisibleReads {
-				// Symmetric eager conflict detection: every live
-				// registered reader must lose or we must.
-				tx.arbitrateReaders(v)
-			} else if !tx.eng.cfg.CommitTimeValidationOnly {
-				tx.validate(false)
-			}
-			return newLoc
+		newLoc := tx.prepareLocator(v, oldBox)
+		if o.loc.CompareAndSwap(cur, newLoc) {
+			return tx.finishAcquire(o, &newLoc.wslot)
 		}
 		attempt = 0 // ownership changed under us; fresh conflict episode
 	}
+}
+
+// acquireStriped opens v for writing under striped granularity: one owner
+// per stripe at a time. A transaction that already owns the stripe appends
+// a slot for v; otherwise it retires any finished locator (cleanOrec) and
+// installs its own over the empty slot — the install runs under the
+// orec's writeback lock so the pre-acquisition snapshot of v.cur cannot be
+// invalidated by a concurrent writeback between snapshot and install.
+func (tx *ostmTx) acquireStriped(v *Var) *wslot {
+	o := v.orc
+	cm := tx.eng.cfg.CM
+	attempt := 0
+	for {
+		tx.checkAlive()
+		cur := o.loc.Load()
+		if cur != nil {
+			if cur.owner == tx.state {
+				// We own the stripe: append a slot for v. No writeback can
+				// run while the owner is live, so v.cur is stable and
+				// current (the locator does not cover v yet).
+				oldBox := v.cur.Load()
+				e := &locEntry{wslot: wslot{v: v, old: oldBox, new: &box{val: oldBox.val}}}
+				e.next = cur.more.Load()
+				cur.more.Store(e)
+				return tx.finishAcquire(o, &e.wslot)
+			}
+			switch cur.owner.status.Load() {
+			case statusCommitted, statusAborted:
+				tx.cleanOrec(o, cur)
+				continue
+			default: // live enemy owns the stripe
+				// A stripe owner whose locator does not cover v is a false
+				// conflict: the transactions' footprints are disjoint and
+				// only the hash collided. Attributed when the episode kills
+				// somebody (either direction), not on waits.
+				falseHit := cur.slotFor(v) == nil
+				switch cm.OnConflict(tx.state, cur.owner, attempt) {
+				case Wait:
+					spinWait(cm.WaitDuration(tx.state, attempt))
+					attempt++
+				case AbortEnemy:
+					if falseHit {
+						tx.st.falseConflicts++
+					}
+					tx.abortEnemy(cur.owner)
+				case AbortSelf:
+					if falseHit {
+						tx.st.falseConflicts++
+					}
+					throwConflict("write-write conflict (striped)")
+				}
+				continue
+			}
+		}
+		// Empty slot: install under the writeback lock. Holding wb while
+		// loc is nil guarantees no writeback is in flight, so the v.cur
+		// snapshot taken here is the stripe's current committed value —
+		// without the lock, a full install/commit/writeback cycle could
+		// slip between the snapshot and a bare CAS on the nil slot (ABA on
+		// nil) and leave a stale `old` visible to readers.
+		if !o.wb.CompareAndSwap(0, 1) {
+			yield()
+			continue
+		}
+		if o.loc.Load() != nil {
+			o.wb.Store(0)
+			continue // someone installed while we took the lock
+		}
+		newLoc := tx.prepareLocator(v, v.cur.Load())
+		o.loc.Store(newLoc)
+		o.wb.Store(0)
+		return tx.finishAcquire(o, &newLoc.wslot)
+	}
+}
+
+// cleanOrec retires a finished striped locator: a committed owner's values
+// are written back to their Vars, then the slot is cleared. The orec's
+// writeback lock serializes retirement against installs and other helpers,
+// so a delayed helper can never clobber a newer committed value.
+func (tx *ostmTx) cleanOrec(o *orec, target *locator) {
+	if !o.wb.CompareAndSwap(0, 1) {
+		yield() // another helper or installer holds the lock; let it finish
+		return
+	}
+	if o.loc.Load() == target {
+		if target.owner.status.Load() == statusCommitted {
+			target.v.cur.Store(target.new)
+			for e := target.more.Load(); e != nil; e = e.next {
+				e.v.cur.Store(e.new)
+			}
+		}
+		// Aborted owners never made their values visible: every covered
+		// Var's cur still holds the value snapshotted at install time.
+		o.loc.Store(nil)
+	}
+	o.wb.Store(0)
 }
 
 // Write implements Tx.
@@ -473,9 +662,9 @@ func (tx *ostmTx) Write(v *Var, val any) {
 		tx.pending = append(tx.pending, pendingWrite{v: v, val: val, cloned: true})
 		return
 	}
-	l := tx.acquire(v)
-	l.new.val = val
-	l.cloned = true
+	s := tx.acquire(v)
+	s.new.val = val
+	s.cloned = true
 }
 
 // Update implements Tx. The first Update on a freshly acquired Var clones
@@ -506,15 +695,15 @@ func (tx *ostmTx) Update(v *Var, f func(val any) any) {
 		tx.pending = append(tx.pending, pendingWrite{v: v, val: f(cur), cloned: true})
 		return
 	}
-	l := tx.acquire(v)
-	if !l.cloned {
+	s := tx.acquire(v)
+	if !s.cloned {
 		if v.clone != nil {
-			l.new.val = v.clone(l.new.val)
+			s.new.val = v.clone(s.new.val)
 			tx.st.clones++
 		}
-		l.cloned = true
+		s.cloned = true
 	}
-	l.new.val = f(l.new.val)
+	s.new.val = f(s.new.val)
 }
 
 // resolveValidate recomputes the box this transaction should be seeing for
@@ -524,24 +713,30 @@ func (tx *ostmTx) Update(v *Var, f func(val any) any) {
 // commit (the classic invisible-read validation race).
 func (tx *ostmTx) resolveValidate(v *Var, final bool) *box {
 	for {
-		loc := v.loc.Load()
+		loc := v.orc.loc.Load()
 		if loc == nil {
+			return v.cur.Load()
+		}
+		s := loc.slotFor(v)
+		if s == nil {
+			// Striped only: stripe-mate ownership cannot move v's value;
+			// v.cur stays current until a slot covers v.
 			return v.cur.Load()
 		}
 		if loc.owner == tx.state {
 			// We own it; our read (if any) saw the pre-acquisition value.
-			return loc.old
+			return s.old
 		}
 		switch loc.owner.status.Load() {
 		case statusCommitted:
-			return loc.new
+			return s.new
 		case statusAborted:
-			return loc.old
+			return s.old
 		case statusActive:
-			return loc.old
+			return s.old
 		case statusValidating:
 			if !final {
-				return loc.old
+				return s.old
 			}
 			// Arbitrate: either the enemy dies (its value stays old) or we
 			// do. Waiting for the enemy to finish is also acceptable.
@@ -550,10 +745,10 @@ func (tx *ostmTx) resolveValidate(v *Var, final bool) *box {
 				throwConflict("validating enemy")
 			default:
 				if tx.abortEnemy(loc.owner) {
-					return loc.old
+					return s.old
 				}
 				// Enemy committed while we argued.
-				return loc.new
+				return s.new
 			}
 		}
 	}
@@ -592,9 +787,9 @@ func (tx *ostmTx) commit() bool {
 	// Lazy mode: take ownership of the buffered writes now.
 	for i := range tx.pending {
 		p := &tx.pending[i]
-		l := tx.acquire(p.v)
-		l.new.val = p.val
-		l.cloned = true
+		s := tx.acquire(p.v)
+		s.new.val = p.val
+		s.cloned = true
 	}
 	if tx.eng.cfg.VisibleReads {
 		// Visible mode needs no validation: a writer that invalidated any

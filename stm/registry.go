@@ -14,15 +14,29 @@ import (
 // New rather than hard-coded lists.
 var engineRegistry = struct {
 	mu        sync.RWMutex
-	factories map[string]func() Engine
-}{factories: map[string]func() Engine{}}
+	factories map[string]func(EngineOptions) Engine
+}{factories: map[string]func(EngineOptions) Engine{}}
 
 // Register adds an engine factory under name. The factory must return a
 // fresh, independent engine on every call, and the engine's Name method
 // must return the same name it was registered under. Register panics on
 // an empty name, a nil factory, or a duplicate registration — all are
 // programming errors, caught at init time.
+//
+// Engines registered this way ignore the cross-engine EngineOptions knobs
+// (NewWith hands them a default-configuration engine); engines for which
+// the metadata axes are meaningful register with RegisterTunable instead.
 func Register(name string, factory func() Engine) {
+	if factory == nil {
+		panic("stm: Register with nil factory for " + name)
+	}
+	RegisterTunable(name, func(EngineOptions) Engine { return factory() })
+}
+
+// RegisterTunable adds an engine factory that honors the cross-engine
+// EngineOptions knobs (orec granularity, stripe count, clock shards). New
+// resolves it with zero options; NewWith passes the caller's through.
+func RegisterTunable(name string, factory func(EngineOptions) Engine) {
 	if name == "" {
 		panic("stm: Register with empty engine name")
 	}
@@ -40,13 +54,22 @@ func Register(name string, factory func() Engine) {
 // New returns a fresh engine with default configuration by registered
 // name, or an error naming the valid choices.
 func New(name string) (Engine, error) {
+	return NewWith(name, EngineOptions{})
+}
+
+// NewWith returns a fresh engine by registered name, configured with the
+// cross-engine metadata options. Engines for which an option does not
+// apply (NOrec has no per-location metadata to stripe and no commit clock
+// to shard; direct has neither) ignore it — the knobs are benchmark axes,
+// not hard requirements, so a sweep can hold them fixed across engines.
+func NewWith(name string, opts EngineOptions) (Engine, error) {
 	engineRegistry.mu.RLock()
 	factory, ok := engineRegistry.factories[name]
 	engineRegistry.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("stm: unknown engine %q (registered: %v)", name, Registered())
 	}
-	return factory(), nil
+	return factory(opts), nil
 }
 
 // Registered lists the registered engine names, sorted.

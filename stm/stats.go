@@ -26,6 +26,23 @@ type Stats struct {
 	EnemyAborts uint64
 	// LockFailures counts TL2 commit-time lock acquisition failures.
 	LockFailures uint64
+	// FalseConflicts estimates how many conflicts were artifacts of
+	// striped orec granularity: the conflicting metadata belonged to a
+	// different Var that shares the stripe. Attribution is best-effort
+	// (TL2 records one writer Var per locked orec; OSTM counts
+	// stripe-owner collisions whose locator does not cover the contended
+	// Var) and always 0 under object granularity, where the mapping is
+	// collision free.
+	FalseConflicts uint64
+	// ClockShards is the number of commit-clock shards (TL2: 1 for the
+	// classic global clock; 0 for engines without a commit clock). A
+	// snapshot property, not a counter: Delta carries the newer value.
+	ClockShards uint64
+	// ClockShardSpread is the instantaneous gap between the most- and
+	// least-advanced commit-clock shard at snapshot time — small spread
+	// means commit traffic lands evenly. Snapshot property, like
+	// ClockShards.
+	ClockShardSpread uint64
 }
 
 // padUint64 is an atomic counter padded out to its own cache line so that
@@ -52,6 +69,7 @@ type statCounters struct {
 	clones         padUint64
 	enemyAborts    padUint64
 	lockFailures   padUint64
+	falseConflicts padUint64
 }
 
 // txStats is the per-transaction accumulator for the high-frequency
@@ -59,12 +77,13 @@ type statCounters struct {
 // descriptor — only the owning goroutine touches it — and is drained into
 // the engine's shared statCounters by flushTx at the end of every attempt.
 type txStats struct {
-	reads        uint64
-	writes       uint64
-	validations  uint64
-	clones       uint64
-	enemyAborts  uint64
-	lockFailures uint64
+	reads          uint64
+	writes         uint64
+	validations    uint64
+	clones         uint64
+	enemyAborts    uint64
+	lockFailures   uint64
+	falseConflicts uint64
 }
 
 // flushTx adds a transaction's locally accumulated counters to the shared
@@ -95,10 +114,14 @@ func (c *statCounters) flushTx(s *txStats) {
 		c.lockFailures.Add(s.lockFailures)
 		s.lockFailures = 0
 	}
+	if s.falseConflicts != 0 {
+		c.falseConflicts.Add(s.falseConflicts)
+		s.falseConflicts = 0
+	}
 }
 
 // snapshot returns the current totals. Each counter is loaded atomically,
-// but the nine loads are not one atomic group: a snapshot taken while
+// but the loads are not one atomic group: a snapshot taken while
 // transactions are in flight can pair, say, a commit with only part of that
 // commit's reads, and per-access counters batched in transaction-local
 // txStats accumulators are invisible until their attempt flushes. Callers
@@ -116,6 +139,7 @@ func (c *statCounters) snapshot() Stats {
 		Clones:         c.clones.Load(),
 		EnemyAborts:    c.enemyAborts.Load(),
 		LockFailures:   c.lockFailures.Load(),
+		FalseConflicts: c.falseConflicts.Load(),
 	}
 }
 
@@ -134,6 +158,21 @@ func (s Stats) AbortRate() float64 {
 	return float64(s.ConflictAborts) / float64(a)
 }
 
+// FalseConflictRate returns the fraction of conflict aborts attributed to
+// orec striping rather than a genuine data conflict (0 when there were no
+// conflict aborts; always 0 under object granularity). Attribution is
+// best-effort — see the FalseConflicts field.
+func (s Stats) FalseConflictRate() float64 {
+	if s.ConflictAborts == 0 {
+		return 0
+	}
+	r := float64(s.FalseConflicts) / float64(s.ConflictAborts)
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
 // Delta returns the counter increments from prev to s, fieldwise. Stats
 // are cumulative over an engine's lifetime; callers that share one engine
 // across several measurement windows (scenario phases, thread sweeps)
@@ -150,5 +189,9 @@ func (s Stats) Delta(prev Stats) Stats {
 		Clones:         s.Clones - prev.Clones,
 		EnemyAborts:    s.EnemyAborts - prev.EnemyAborts,
 		LockFailures:   s.LockFailures - prev.LockFailures,
+		FalseConflicts: s.FalseConflicts - prev.FalseConflicts,
+		// Snapshot properties, not counters: the newer snapshot's view.
+		ClockShards:      s.ClockShards,
+		ClockShardSpread: s.ClockShardSpread,
 	}
 }

@@ -22,37 +22,33 @@ type CloneFunc func(any) any
 // Var is one STM-managed memory location. A Var holds a single value of any
 // type; object-based designs (like the STMBench7 data structure) store a
 // whole object's mutable state in one Var, making the Var the unit of
-// conflict detection and of copy-on-write logging.
+// copy-on-write logging.
+//
+// A Var carries no conflict-detection metadata of its own: it resolves to
+// an ownership record (orec) assigned at creation by its VarSpace, and the
+// Var-to-orec mapping — one orec per Var, or many Vars striped onto a
+// fixed table — is an engine-configuration axis (see Granularity). Under
+// object granularity the orec is private to the Var, so the unit of
+// conflict detection is still the object; under striped granularity it is
+// the stripe.
 //
 // Create Vars with VarSpace.NewVar so they receive unique ids; ids order
-// commit-time lock acquisition in TL2.
+// commit-time lock acquisition in TL2 (through their orecs).
 type Var struct {
 	id    uint64
 	name  string
 	clone CloneFunc
 
-	// meta is TL2's versioned lock word: bit 0 is the lock bit, the
-	// remaining bits hold the version of the last committed write. The
-	// direct and OSTM engines ignore it.
-	meta atomic.Uint64
+	// orc is the Var's ownership record, resolved once at creation. All
+	// engine conflict metadata (TL2 lock word, OSTM locator slot, the
+	// visible-reads registry) lives there.
+	orc *orec
 
-	// cur is the committed value used by the direct and TL2 engines, and
-	// the pre-first-write value for OSTM.
+	// cur is the committed value used by the direct, TL2 and NOrec
+	// engines. For OSTM it is the committed value whenever the Var's orec
+	// has no locator covering the Var (object mode: the pre-first-write
+	// value; striped mode: maintained by commit writeback).
 	cur atomic.Pointer[box]
-
-	// loc is OSTM's ownership record. nil means "no OSTM writer has ever
-	// acquired this Var; the committed value is in cur". Once an OSTM
-	// writer acquires the Var, the current value is always resolved
-	// through the locator chain (each locator snapshots its predecessor's
-	// resolved value, so the chain never grows beyond one link).
-	loc atomic.Pointer[locator]
-
-	// readers is OSTM's visible-reads registry (nil unless the engine
-	// runs in visible-reads mode): an immutable snapshot of the
-	// transactions currently reading this Var, replaced by CAS. Writers
-	// must arbitrate with every live registered reader before their
-	// commit can invalidate it.
-	readers atomic.Pointer[readerSet]
 }
 
 // readerSet is an immutable set of reader transactions.
@@ -60,23 +56,36 @@ type readerSet struct {
 	list []*txState
 }
 
-// VarSpace allocates Vars with unique ids. All Vars that may participate in
-// the same transaction must come from the same space (or at least have
-// globally unique ids); engines embed a space, so Engine.NewVarSpace is the
-// usual source.
+// VarSpace allocates Vars with unique ids and assigns each its ownership
+// record. All Vars that may participate in the same transaction must come
+// from the same space (or at least have globally unique ids); engines
+// embed a space, so Engine.VarSpace is the usual source.
 type VarSpace struct {
 	nextID atomic.Uint64
+	orecs  orecTable
 }
 
-// NewVarSpace returns a standalone id space. Most callers use
-// Engine.VarSpace instead.
+// NewVarSpace returns a standalone id space with the default object
+// granularity. Most callers use Engine.VarSpace instead.
 func NewVarSpace() *VarSpace { return &VarSpace{} }
+
+// ConfigureOrecs selects the space's Var-to-orec mapping. It must be
+// called before the first NewVar (engines call it from their
+// constructors); reconfiguring a space that already allocated Vars would
+// strand their metadata, so that is rejected.
+func (s *VarSpace) ConfigureOrecs(g Granularity, stripes int) error {
+	if s.nextID.Load() != 0 {
+		return errors.New("stm: ConfigureOrecs after Vars were allocated")
+	}
+	return s.orecs.configure(g, stripes)
+}
 
 // NewVar returns a Var initialized to val. clone may be nil when val (and
 // all future values) have value semantics or are never mutated through
 // Update.
 func (s *VarSpace) NewVar(val any, clone CloneFunc) *Var {
 	v := &Var{id: s.nextID.Add(1), clone: clone}
+	v.orc = s.orecs.orecFor(v.id)
 	v.cur.Store(&box{val: val})
 	return v
 }

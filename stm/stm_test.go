@@ -35,6 +35,29 @@ var txEngineMakers = map[string]func() Engine{
 	"ostm-commitserial": func() Engine { return NewOSTMWith(OSTMConfig{CommitCounterHeuristic: true}) },
 	"tl2-extend":        func() Engine { return NewTL2With(TL2Config{TimestampExtension: true}) },
 	"norec-refvalidate": func() Engine { return NewNOrecWith(NOrecConfig{ReferenceValidation: true}) },
+
+	// Granularity/clock variants: the same suites that iterate engines
+	// iterate the metadata axes. The stripe counts are deliberately tiny
+	// (16 orecs) so the stress tests hammer stripe collisions — false
+	// conflicts must cost throughput, never correctness.
+	"tl2-striped": func() Engine { return NewTL2With(TL2Config{Granularity: StripedGranularity, OrecStripes: 16}) },
+	"tl2-striped-extend": func() Engine {
+		return NewTL2With(TL2Config{Granularity: StripedGranularity, OrecStripes: 16, TimestampExtension: true})
+	},
+	"tl2-sharded": func() Engine { return NewTL2With(TL2Config{ClockShards: 4}) },
+	"tl2-striped-sharded": func() Engine {
+		return NewTL2With(TL2Config{Granularity: StripedGranularity, OrecStripes: 16, ClockShards: 4})
+	},
+	"ostm-striped": func() Engine { return NewOSTMWith(OSTMConfig{Granularity: StripedGranularity, OrecStripes: 16}) },
+	"ostm-striped-lazy": func() Engine {
+		return NewOSTMWith(OSTMConfig{Granularity: StripedGranularity, OrecStripes: 16, Acquire: LazyAcquire})
+	},
+	"ostm-striped-visible": func() Engine {
+		return NewOSTMWith(OSTMConfig{Granularity: StripedGranularity, OrecStripes: 16, VisibleReads: true})
+	},
+	"ostm-striped-ctv": func() Engine {
+		return NewOSTMWith(OSTMConfig{Granularity: StripedGranularity, OrecStripes: 16, CommitTimeValidationOnly: true})
+	},
 }
 
 // init adds every registered engine (except the non-transactional direct

@@ -23,31 +23,60 @@ type TL2Config struct {
 	// MaxRetries bounds re-executions; 0 means retry forever. When the
 	// budget is exhausted Atomic returns ErrAborted.
 	MaxRetries int
+	// Granularity selects the Var-to-orec mapping: ObjectGranularity (one
+	// lock word per Var, collision free — the default and the classic TL2
+	// layout) or StripedGranularity (Vars hash onto a fixed padded table;
+	// disjoint transactions can falsely conflict on shared stripes, but
+	// the metadata footprint is bounded by the table).
+	Granularity Granularity
+	// OrecStripes sizes the striped orec table (rounded up to a power of
+	// two; 0 means DefaultOrecStripes; ignored under object granularity).
+	OrecStripes int
+	// ClockShards shards the global commit clock GV5-style: commit stamps
+	// are max-seen-plus-increment published to the committer's own shard,
+	// so hot commit paths stop bouncing a single clock cache line across
+	// cores. 0 or 1 keeps the classic single fetch-and-add clock. Sharding
+	// disables the "nobody committed since my snapshot" validation
+	// shortcut (stamps are no longer unique), so lightly contended
+	// read-write transactions validate slightly more; see gvClock.
+	ClockShards int
 }
 
 // TL2 implements Transactional Locking II (Dice, Shalev, Shavit; DISC
-// 2006): a global version clock, a versioned lock word per Var, invisible
+// 2006): a global version clock, a versioned lock word per orec, invisible
 // reads validated against the clock at read time, lazy write buffering, and
-// commit-time locking in Var-id order.
+// commit-time locking in orec-id order.
 //
 // TL2 is the representative of the "solutions already proposed" the
 // STMBench7 paper cites for ASTM's O(k²) validation cost: a TL2 read
 // validates in O(1) against the snapshot clock, so a k-read traversal costs
 // O(k), not O(k²).
 type TL2 struct {
-	space  VarSpace
-	cfg    TL2Config
-	stats  statCounters
-	txPool txPool[tl2Tx]
-	// clock is the global version clock. It advances by 2 so that version
-	// numbers are always even; bit 0 of a Var's meta word is its lock bit.
-	clock atomic.Uint64
+	space   VarSpace
+	cfg     TL2Config
+	stats   statCounters
+	txPool  txPool[tl2Tx]
+	striped bool
+	// clock is the global version clock (optionally sharded; see
+	// clock.go). It advances by 2 so that version numbers are always
+	// even; bit 0 of an orec's meta word is its lock bit.
+	clock gvClock
+	// txSeq hands each new descriptor a distinct clock-shard affinity.
+	txSeq atomic.Uint64
 }
 
 // NewTL2 returns a TL2 engine with default configuration.
 func NewTL2() *TL2 { return NewTL2With(TL2Config{}) }
 
-func init() { Register("tl2", func() Engine { return NewTL2() }) }
+func init() {
+	RegisterTunable("tl2", func(o EngineOptions) Engine {
+		return NewTL2With(TL2Config{
+			Granularity: o.Granularity,
+			OrecStripes: o.OrecStripes,
+			ClockShards: o.ClockShards,
+		})
+	})
+}
 
 // NewTL2With returns a TL2 engine with explicit configuration.
 func NewTL2With(cfg TL2Config) *TL2 {
@@ -57,8 +86,12 @@ func NewTL2With(cfg TL2Config) *TL2 {
 	if cfg.CommitLockSpins <= 0 {
 		cfg.CommitLockSpins = 64
 	}
-	e := &TL2{cfg: cfg}
-	e.txPool.init(func() *tl2Tx { return &tl2Tx{eng: e} })
+	e := &TL2{cfg: cfg, striped: cfg.Granularity == StripedGranularity}
+	if err := e.space.ConfigureOrecs(cfg.Granularity, cfg.OrecStripes); err != nil {
+		panic(err) // unreachable: the space is brand new and the size is clamped
+	}
+	e.clock.init(cfg.ClockShards)
+	e.txPool.init(func() *tl2Tx { return &tl2Tx{eng: e, shardHint: e.txSeq.Add(1)} })
 	return e
 }
 
@@ -69,7 +102,11 @@ func (e *TL2) Name() string { return "tl2" }
 func (e *TL2) VarSpace() *VarSpace { return &e.space }
 
 // Stats implements Engine.
-func (e *TL2) Stats() Stats { return e.stats.snapshot() }
+func (e *TL2) Stats() Stats {
+	s := e.stats.snapshot()
+	s.ClockShards, s.ClockShardSpread = e.clock.spread()
+	return s
+}
 
 // Atomic implements Engine.
 func (e *TL2) Atomic(fn func(tx Tx) error) error {
@@ -126,14 +163,22 @@ type tl2Write struct {
 	val any
 }
 
+// dupMeta marks a write-set entry whose orec was already locked by an
+// earlier entry of the same (sorted) write set — only possible under
+// striped granularity, where several written Vars can share one orec. It
+// is odd, so it can never collide with a saved pre-lock meta (those are
+// sampled unlocked, i.e. even).
+const dupMeta = ^uint64(0)
+
 // tl2Tx is the pooled per-transaction descriptor. reset reuses all of its
 // storage — slices are truncated, the indexes generation-cleared, the
 // commit scratch kept at capacity — so steady-state attempts allocate
 // nothing.
 type tl2Tx struct {
-	eng *TL2
-	rv  uint64  // read version: clock snapshot at attempt start
-	st  txStats // per-attempt counters, flushed by Atomic
+	eng       *TL2
+	rv        uint64  // read version: clock snapshot at attempt start
+	shardHint uint64  // commit-clock shard affinity, fixed per descriptor
+	st        txStats // per-attempt counters, flushed by Atomic
 
 	reads   []*Var
 	readIdx varIndex // *Var -> index into reads
@@ -141,33 +186,45 @@ type tl2Tx struct {
 	writes   []tl2Write
 	writeIdx varIndex // *Var -> index into writes
 
-	lockedMeta []uint64 // commit scratch: pre-lock meta per write-set entry
+	lockedMeta []uint64 // commit scratch: pre-lock meta per write-set entry (dupMeta for same-orec duplicates)
 }
 
 func (tx *tl2Tx) reset() {
-	tx.rv = tx.eng.clock.Load()
+	tx.rv = tx.eng.clock.read()
 	tx.reads = tx.reads[:0]
 	tx.readIdx.reset()
 	tx.writes = tx.writes[:0]
 	tx.writeIdx.reset()
 }
 
+// noteFalseConflict classifies a conflict on o, hit while accessing v, as
+// false when the metadata was last locked on behalf of a different Var —
+// only possible under striped granularity.
+func (tx *tl2Tx) noteFalseConflict(o *orec, v *Var) {
+	if tx.eng.striped && o.lastWriter.Load() != v.id {
+		tx.st.falseConflicts++
+	}
+}
+
 // readVar performs TL2's sampled-meta read: meta, value, meta again; the
-// read is consistent iff meta was stable, unlocked, and not newer than rv.
+// read is consistent iff the Var's orec was stable, unlocked, and not
+// newer than rv.
 func (tx *tl2Tx) readVar(v *Var) any {
+	o := v.orc
 	spins := 0
 	for {
-		m1 := v.meta.Load()
+		m1 := o.meta.Load()
 		if m1&1 == 1 {
 			spins++
 			if spins > tx.eng.cfg.ReadLockSpins {
+				tx.noteFalseConflict(o, v)
 				throwConflict("read of locked var")
 			}
 			spinHint()
 			continue
 		}
 		b := v.cur.Load()
-		m2 := v.meta.Load()
+		m2 := o.meta.Load()
 		if m1 != m2 {
 			continue
 		}
@@ -175,6 +232,7 @@ func (tx *tl2Tx) readVar(v *Var) any {
 			if tx.eng.cfg.TimestampExtension && tx.extendSnapshot() {
 				continue // snapshot slid forward; re-read the var
 			}
+			tx.noteFalseConflict(o, v)
 			throwConflict("read version too new")
 		}
 		if _, ok := tx.readIdx.getOrPut(v, int32(len(tx.reads))); !ok {
@@ -189,13 +247,13 @@ func (tx *tl2Tx) readVar(v *Var) any {
 // overwritten since). On success later reads may observe newer versions
 // without breaking snapshot consistency.
 func (tx *tl2Tx) extendSnapshot() bool {
-	newRv := tx.eng.clock.Load()
+	newRv := tx.eng.clock.read()
 	if newRv == tx.rv {
 		return false
 	}
 	tx.st.validations += uint64(len(tx.reads))
 	for _, v := range tx.reads {
-		m := v.meta.Load()
+		m := v.orc.meta.Load()
 		if m&1 == 1 || m > tx.rv {
 			return false
 		}
@@ -243,16 +301,45 @@ func (tx *tl2Tx) Update(v *Var, f func(val any) any) {
 	tx.writes = append(tx.writes, tl2Write{v: v, val: f(cur)})
 }
 
-// releaseLocks restores the saved meta of the first `locked` write-set
-// entries, undoing a failed commit's lock acquisitions.
-func (tx *tl2Tx) releaseLocks(locked int) {
-	for i := 0; i < locked; i++ {
-		tx.writes[i].v.meta.Store(tx.lockedMeta[i])
+// releaseLocks restores the saved meta of the first `entries` write-set
+// entries' orecs, undoing a failed commit's lock acquisitions (same-orec
+// duplicates carry dupMeta and are skipped).
+func (tx *tl2Tx) releaseLocks(entries int) {
+	for i := 0; i < entries; i++ {
+		if tx.lockedMeta[i] == dupMeta {
+			continue
+		}
+		tx.writes[i].v.orc.meta.Store(tx.lockedMeta[i])
 	}
 }
 
-// commit implements TL2's commit protocol: lock the write set in id order,
-// advance the clock, validate the read set, write back, unlock.
+// heldMetaAt returns the saved pre-lock meta for the write-set entry at
+// index i, following same-orec duplicates back to their group leader (the
+// write set is sorted by orec at this point, so a duplicate's leader is
+// adjacent below it).
+func (tx *tl2Tx) heldMetaAt(i int) uint64 {
+	for tx.lockedMeta[i] == dupMeta {
+		i--
+	}
+	return tx.lockedMeta[i]
+}
+
+// heldMetaFor reports whether this transaction holds the commit lock on o
+// and, if so, the orec's pre-lock meta. Only reachable under striped
+// granularity (a read Var sharing a locked stripe with a written one
+// without being written itself); the scan is O(write set), on the
+// already-contended path.
+func (tx *tl2Tx) heldMetaFor(o *orec) (uint64, bool) {
+	for i := range tx.writes {
+		if tx.writes[i].v.orc == o {
+			return tx.heldMetaAt(i), true
+		}
+	}
+	return 0, false
+}
+
+// commit implements TL2's commit protocol: lock the write set's orecs in
+// id order, advance the clock, validate the read set, write back, unlock.
 func (tx *tl2Tx) commit() bool {
 	if len(tx.writes) == 0 {
 		// Read-only transactions validated every read against rv at read
@@ -260,9 +347,11 @@ func (tx *tl2Tx) commit() bool {
 		return true
 	}
 
-	// Lock the write set in Var-id order so concurrent committers cannot
+	// Lock the write set in orec-id order so concurrent committers cannot
 	// deadlock (we spin-bound anyway, but ordering avoids wasted work).
-	sortWritesByID(tx.writes)
+	// Under striped granularity several writes may share an orec; sorting
+	// makes them adjacent, and each orec is locked exactly once.
+	sortWritesByOrec(tx.writes)
 	for i := range tx.writes {
 		tx.writeIdx.put(tx.writes[i].v, int32(i)) // reindex after sorting
 	}
@@ -270,20 +359,26 @@ func (tx *tl2Tx) commit() bool {
 		tx.lockedMeta = make([]uint64, len(tx.writes))
 	}
 	tx.lockedMeta = tx.lockedMeta[:len(tx.writes)]
-	locked := 0
 	for i := range tx.writes {
 		v := tx.writes[i].v
+		o := v.orc
+		if i > 0 && tx.writes[i-1].v.orc == o {
+			tx.lockedMeta[i] = dupMeta
+			continue
+		}
 		spins := 0
 		for {
-			m := v.meta.Load()
-			if m&1 == 0 && v.meta.CompareAndSwap(m, m|1) {
+			m := o.meta.Load()
+			if m&1 == 0 && o.meta.CompareAndSwap(m, m|1) {
 				tx.lockedMeta[i] = m
-				locked++
+				if tx.eng.striped {
+					o.lastWriter.Store(v.id)
+				}
 				break
 			}
 			spins++
 			if spins > tx.eng.cfg.CommitLockSpins {
-				tx.releaseLocks(locked)
+				tx.releaseLocks(i)
 				tx.st.lockFailures++
 				return false
 			}
@@ -291,60 +386,98 @@ func (tx *tl2Tx) commit() bool {
 		}
 	}
 
-	wv := tx.eng.clock.Add(2)
+	wv := tx.eng.clock.tick(tx.shardHint)
 
 	// Validate the read set unless nobody else committed since we started
-	// (wv == rv+2 means the clock moved only by our own increment).
-	if wv != tx.rv+2 {
+	// (wv == rv+2 proves that only for the unsharded clock, whose stamps
+	// are unique; a sharded clock always validates — see gvClock).
+	if wv != tx.rv+2 || tx.eng.clock.sharded() {
 		tx.st.validations += uint64(len(tx.reads))
 		for _, v := range tx.reads {
-			m := v.meta.Load()
+			o := v.orc
+			m := o.meta.Load()
 			if m&1 == 1 {
 				// Locked: only fine if we hold the lock, in which case the
 				// pre-lock version must not exceed rv.
 				if i, ok := tx.writeIdx.get(v); ok {
-					if tx.lockedMeta[i] > tx.rv {
-						tx.releaseLocks(locked)
+					if tx.heldMetaAt(int(i)) > tx.rv {
+						tx.releaseLocks(len(tx.writes))
 						return false
 					}
 					continue
 				}
-				tx.releaseLocks(locked)
+				if tx.eng.striped {
+					// The Var itself was not written, but its stripe may be
+					// locked by one of our writes to a stripe-mate.
+					if saved, ok := tx.heldMetaFor(o); ok {
+						if saved > tx.rv {
+							tx.releaseLocks(len(tx.writes))
+							return false
+						}
+						continue
+					}
+				}
+				tx.noteFalseConflict(o, v)
+				tx.releaseLocks(len(tx.writes))
 				return false
 			}
 			if m > tx.rv {
-				tx.releaseLocks(locked)
+				tx.noteFalseConflict(o, v)
+				tx.releaseLocks(len(tx.writes))
 				return false
 			}
 		}
 	}
 
-	// Write back and unlock by publishing the new version. The box per
-	// written Var is the one unavoidable commit allocation: published boxes
-	// are immutable snapshots that concurrent readers may hold
-	// indefinitely, so they can never be recycled from the descriptor.
+	// Write back, then unlock each orec by publishing the new version. The
+	// box per written Var is the one unavoidable commit allocation:
+	// published boxes are immutable snapshots that concurrent readers may
+	// hold indefinitely, so they can never be recycled from the
+	// descriptor. All boxes land before any orec unlocks so that a reader
+	// of one stripe-mate can never observe a mix of old and new values
+	// under an unlocked meta word.
 	for i := range tx.writes {
 		w := &tx.writes[i]
 		w.v.cur.Store(&box{val: w.val})
-		w.v.meta.Store(wv)
+	}
+	for i := range tx.writes {
+		if tx.lockedMeta[i] == dupMeta {
+			continue
+		}
+		tx.writes[i].v.orc.meta.Store(wv)
 	}
 	return true
 }
 
-// sortWritesByID sorts in place by Var id. Small write sets (almost every
+// sortWritesByOrec sorts in place by (orec id, Var id) — orec order is
+// what commit-time locking needs; the Var-id tiebreak makes same-orec
+// groups deterministic. Under object granularity orec id equals Var id, so
+// this is the classic sort by Var id. Small write sets (almost every
 // STMBench7 operation) use an insertion sort — no closure, no reflection;
 // structural-modification transactions with large write sets fall back to
 // the standard-library sort to avoid the O(n²) blowup.
-func sortWritesByID(ws []tl2Write) {
+func sortWritesByOrec(ws []tl2Write) {
 	if len(ws) > 32 {
-		slices.SortFunc(ws, func(a, b tl2Write) int { return cmp.Compare(a.v.id, b.v.id) })
+		slices.SortFunc(ws, func(a, b tl2Write) int {
+			if c := cmp.Compare(a.v.orc.id, b.v.orc.id); c != 0 {
+				return c
+			}
+			return cmp.Compare(a.v.id, b.v.id)
+		})
 		return
 	}
 	for i := 1; i < len(ws); i++ {
-		for j := i; j > 0 && ws[j].v.id < ws[j-1].v.id; j-- {
+		for j := i; j > 0 && writeOrder(ws[j], ws[j-1]); j-- {
 			ws[j], ws[j-1] = ws[j-1], ws[j]
 		}
 	}
+}
+
+func writeOrder(a, b tl2Write) bool {
+	if a.v.orc.id != b.v.orc.id {
+		return a.v.orc.id < b.v.orc.id
+	}
+	return a.v.id < b.v.id
 }
 
 var (

@@ -5,20 +5,25 @@ package stm
 // The paper's §5 diagnosis is that ASTM's *invisible* reads force a
 // transaction to re-validate its whole read set on every open — O(k²) work
 // for k reads. The classic alternative (present in DSTM and ASTM's design
-// space) makes readers visible: a reader registers itself on the Var, and a
-// writer that wants the Var must first win an arbitration against every
-// live registered reader. Validation disappears entirely; the price is a
-// CAS (and its cache-line ping-pong) per first read of every Var, and
-// writer/reader contention that the contention manager must now arbitrate
-// explicitly. This file implements that mode (OSTMConfig.VisibleReads);
-// BenchmarkAblationVisibleReads measures both sides of the trade.
+// space) makes readers visible: a reader registers itself on the Var's
+// ownership record, and a writer that wants the orec must first win an
+// arbitration against every live registered reader. Validation disappears
+// entirely; the price is a CAS (and its cache-line ping-pong) per first
+// read of every orec, and writer/reader contention that the contention
+// manager must now arbitrate explicitly. This file implements that mode
+// (OSTMConfig.VisibleReads); BenchmarkAblationVisibleReads measures both
+// sides of the trade.
+//
+// Under striped granularity the registry is per stripe, so a reader of one
+// Var arbitrates with writers of any stripe-mate — visible reads are where
+// striping's false read-write conflicts surface.
 //
 // Protocol invariants:
 //
 //   - A reader may hold a Var's value only while it is registered on the
-//     Var and the Var has no live owner. Registration therefore re-checks
-//     ownership after the CAS: if a writer slipped in, the reader backs
-//     out and arbitrates.
+//     Var's orec and the orec has no live owner. Registration therefore
+//     re-checks ownership after the CAS: if a writer slipped in, the
+//     reader backs out and arbitrates.
 //   - A writer, after installing its locator, arbitrates with every
 //     registered live reader (abort them or itself, per the contention
 //     manager). Readers that register later observe the live locator and
@@ -28,15 +33,15 @@ package stm
 //     The cross-validation race of invisible mode cannot occur because
 //     read-write conflicts are symmetric and eager here.
 
-// registerReader adds tx to v's reader set, pruning entries of finished
+// registerReader adds tx to o's reader set, pruning entries of finished
 // transactions while copying (the set is immutable; replacement is by CAS).
 // Registration publishes tx.state: reader-set entries may survive the
 // attempt, so a registered state must never be recycled (reset allocates a
 // fresh state per attempt in visible mode).
-func (tx *ostmTx) registerReader(v *Var) {
+func (tx *ostmTx) registerReader(o *orec) {
 	tx.stateShared = true
 	for {
-		old := v.readers.Load()
+		old := o.readers.Load()
 		var list []*txState
 		if old != nil {
 			list = make([]*txState, 0, len(old.list)+1)
@@ -50,17 +55,17 @@ func (tx *ostmTx) registerReader(v *Var) {
 			}
 		}
 		list = append(list, tx.state)
-		if v.readers.CompareAndSwap(old, &readerSet{list: list}) {
+		if o.readers.CompareAndSwap(old, &readerSet{list: list}) {
 			return
 		}
 	}
 }
 
-// unregisterReader removes tx from v's reader set (used when a registration
+// unregisterReader removes tx from o's reader set (used when a registration
 // raced with a writer and must be rolled back).
-func (tx *ostmTx) unregisterReader(v *Var) {
+func (tx *ostmTx) unregisterReader(o *orec) {
 	for {
-		old := v.readers.Load()
+		old := o.readers.Load()
 		if old == nil {
 			return
 		}
@@ -76,7 +81,7 @@ func (tx *ostmTx) unregisterReader(v *Var) {
 		if len(list) == len(old.list) {
 			return // we were not in it
 		}
-		if v.readers.CompareAndSwap(old, &readerSet{list: list}) {
+		if o.readers.CompareAndSwap(old, &readerSet{list: list}) {
 			return
 		}
 	}
@@ -97,31 +102,41 @@ func (tx *ostmTx) visibleRead(v *Var) any {
 	if i, ok := tx.readIdx.get(v); ok {
 		return tx.reads[i].seen.val
 	}
+	o := v.orc
 	cm := tx.eng.cfg.CM
 	attempt := 0
 	for {
 		tx.checkAlive()
 		// Arbitrate with a live owner before registering.
-		if loc := v.loc.Load(); loc != nil && loc.owner != tx.state {
+		if loc := o.loc.Load(); loc != nil && loc.owner != tx.state {
 			if s := loc.owner.status.Load(); s == statusActive || s == statusValidating {
+				// A live owner holding the stripe for other Vars only is a
+				// false read-write conflict (striped granularity).
+				falseHit := tx.eng.striped && loc.slotFor(v) == nil
 				switch cm.OnConflict(tx.state, loc.owner, attempt) {
 				case Wait:
 					spinWait(cm.WaitDuration(tx.state, attempt))
 					attempt++
 				case AbortEnemy:
+					if falseHit {
+						tx.st.falseConflicts++
+					}
 					tx.abortEnemy(loc.owner)
 				case AbortSelf:
+					if falseHit {
+						tx.st.falseConflicts++
+					}
 					throwConflict("read-write conflict (visible)")
 				}
 				continue
 			}
 		}
-		tx.registerReader(v)
+		tx.registerReader(o)
 		// Re-check: a writer may have acquired between our ownership check
 		// and the registration becoming visible to its reader scan.
-		if loc := v.loc.Load(); loc != nil && loc.owner != tx.state {
+		if loc := o.loc.Load(); loc != nil && loc.owner != tx.state {
 			if s := loc.owner.status.Load(); s == statusActive || s == statusValidating {
-				tx.unregisterReader(v)
+				tx.unregisterReader(o)
 				continue
 			}
 		}
@@ -140,12 +155,16 @@ func (tx *ostmTx) visibleRead(v *Var) any {
 }
 
 // arbitrateReaders is called by a visible-mode writer right after acquiring
-// v: every live registered reader other than ourselves must die or we must.
-func (tx *ostmTx) arbitrateReaders(v *Var) {
+// a slot on o: every live registered reader other than ourselves must die
+// or we must.
+func (tx *ostmTx) arbitrateReaders(o *orec) {
+	if !tx.eng.cfg.VisibleReads {
+		return
+	}
 	cm := tx.eng.cfg.CM
 	attempt := 0
 	for {
-		rs := v.readers.Load()
+		rs := o.readers.Load()
 		if rs == nil {
 			return
 		}

@@ -125,7 +125,7 @@ func TestVisibleReaderSetPruning(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rs := c.Var().readers.Load()
+	rs := c.Var().orc.readers.Load()
 	if rs == nil {
 		t.Fatal("no reader set")
 	}

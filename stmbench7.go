@@ -33,6 +33,7 @@ import (
 	"repro/internal/ops"
 	"repro/internal/scenario"
 	"repro/internal/sync7"
+	"repro/stm"
 )
 
 // Options configures a benchmark run. See harness.Options for field
@@ -63,6 +64,20 @@ const (
 
 // ParseWorkload accepts the paper's CLI notation: "r", "rw", "w".
 func ParseWorkload(s string) (Workload, error) { return ops.ParseWorkload(s) }
+
+// Granularity selects the conflict-detection granularity of orec-based
+// engines (Options.Granularity): one ownership record per Var, or many
+// Vars striped onto a fixed metadata table.
+type Granularity = stm.Granularity
+
+// Conflict-detection granularities.
+const (
+	ObjectGranularity  = stm.ObjectGranularity
+	StripedGranularity = stm.StripedGranularity
+)
+
+// ParseGranularity accepts the CLI notation: "object", "striped".
+func ParseGranularity(s string) (Granularity, error) { return stm.ParseGranularity(s) }
 
 // TinyParams returns the unit-test-scale structure preset.
 func TinyParams() Params { return core.Tiny() }
