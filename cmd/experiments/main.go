@@ -25,6 +25,12 @@
 // throughput experiments accept -granularity/-orec-stripes/-clock-shards
 // to run the paper's tables under a chosen metadata layout.
 //
+// The snapshot experiment measures the read-only snapshot fast path of
+// PR 5: a T1/T6-only read-only long-traversal loop plus full-mix and
+// write-path controls, every STM engine, snapshot mode on vs off —
+// checked in as BENCH_pr5.json. The other throughput experiments accept
+// -ro-snapshot to run under a chosen dispatch mode.
+//
 // The scenarios experiment sweeps the built-in multi-phase scenario
 // library (steady, ramp-up, spike, read-burst-write-storm,
 // hotspot-migration, engine-sweep; the CI smoke scenario is skipped)
@@ -80,6 +86,10 @@ type config struct {
 	granularity stm.Granularity
 	orecStripes int
 	clockShards int
+	// disableSnap (-ro-snapshot=off) turns the read-only snapshot fast
+	// path off for every throughput experiment; the snapshot experiment
+	// sweeps both modes itself and ignores it.
+	disableSnap bool
 }
 
 // jsonPoint is one measured data point in -json output. Fields that do not
@@ -117,6 +127,12 @@ type jsonPoint struct {
 	ClockShards      int      `json:"clock_shards,omitempty"`
 	FalseConflictPct *float64 `json:"false_conflict_pct,omitempty"`
 	ClockShardSpread uint64   `json:"clock_shard_spread,omitempty"`
+	// Snapshot-sweep fields: whether the read-only snapshot fast path
+	// was enabled for the point, how many commits it served and how many
+	// snapshot restarts (rv refreshes / epoch retries) it paid.
+	ROSnapshot       string `json:"ro_snapshot,omitempty"`
+	SnapshotTxs      uint64 `json:"snapshot_txs,omitempty"`
+	SnapshotRestarts uint64 `json:"snapshot_restarts,omitempty"`
 }
 
 // jsonReport is the -json document. Size/Seconds/Threads echo the driver
@@ -128,12 +144,13 @@ type jsonReport struct {
 	Seconds float64 `json:"seconds"`
 	Threads []int   `json:"threads"`
 	Seed    uint64  `json:"seed"`
-	// Granularity/OrecStripes/ClockShards echo the metadata flags the
-	// run-wide experiments used (the orecs experiment sweeps its own grid
-	// and stamps each point instead).
+	// Granularity/OrecStripes/ClockShards/ROSnapshot echo the engine
+	// flags the run-wide experiments used (the orecs and snapshot
+	// experiments sweep their own grids and stamp each point instead).
 	Granularity string `json:"granularity,omitempty"`
 	OrecStripes int    `json:"orec_stripes,omitempty"`
 	ClockShards int    `json:"clock_shards,omitempty"`
+	ROSnapshot  string `json:"ro_snapshot,omitempty"`
 	GoVersion   string `json:"go_version"`
 	GOOS        string `json:"goos"`
 	GOARCH      string `json:"goarch"`
@@ -167,7 +184,7 @@ func i64ptr(v int64) *int64     { return &v }
 func f64ptr(v float64) *float64 { return &v }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, table3, fig6, headline, ablations, overhead, scenarios, orecs or all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, table3, fig6, headline, ablations, overhead, scenarios, orecs, snapshot or all")
 	size := flag.String("size", "small", "structure size: tiny, small or medium (paper scale)")
 	seconds := flag.Float64("seconds", 1.0, "measurement duration per data point, in seconds")
 	threadsFlag := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
@@ -175,6 +192,7 @@ func main() {
 	granularityFlag := flag.String("granularity", "object", "conflict granularity for orec-based engines: object or striped")
 	orecStripes := flag.Int("orec-stripes", 0, "striped orec table size (0 = engine default)")
 	clockShards := flag.Int("clock-shards", 0, "TL2 commit-clock shards (0 or 1 = single clock)")
+	roSnapshot := flag.String("ro-snapshot", "on", "read-only snapshot fast path: on or off")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file (\"-\" for stdout)")
 	flag.Parse()
 
@@ -198,15 +216,26 @@ func main() {
 		}
 		threads = append(threads, n)
 	}
+	var disableSnap bool
+	switch *roSnapshot {
+	case "on":
+	case "off":
+		disableSnap = true
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: bad -ro-snapshot %q (want on or off)\n", *roSnapshot)
+		os.Exit(1)
+	}
 	cfg := config{
 		size: *size, params: params, seconds: *seconds, threads: threads, seed: *seed,
 		granularity: granularity, orecStripes: *orecStripes, clockShards: *clockShards,
+		disableSnap: disableSnap,
 	}
 	if *jsonPath != "" {
 		jsonOut = &jsonReport{
 			Size: cfg.size, Seconds: cfg.seconds, Threads: cfg.threads, Seed: cfg.seed,
 			Granularity: cfg.granularity.String(), OrecStripes: cfg.orecStripes, ClockShards: cfg.clockShards,
-			GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+			ROSnapshot: *roSnapshot,
+			GoVersion:  runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 			NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
 			Engines: stm.Registered(), Strategies: sync7.Strategies(),
 		}
@@ -225,8 +254,9 @@ func main() {
 		"overhead":  overhead,
 		"scenarios": scenarioSweep,
 		"orecs":     orecSweep,
+		"snapshot":  snapshotSweep,
 	}
-	order := []string{"fig3", "fig4", "table3", "fig6", "headline", "ablations", "overhead", "scenarios", "orecs"}
+	order := []string{"fig3", "fig4", "table3", "fig6", "headline", "ablations", "overhead", "scenarios", "orecs", "snapshot"}
 	if *exp == "all" {
 		for _, name := range order {
 			curExp = name
@@ -274,6 +304,7 @@ func measure(cfg config, o stmbench7.Options) *stmbench7.Result {
 	o.Granularity = cfg.granularity
 	o.OrecStripes = cfg.orecStripes
 	o.ClockShards = cfg.clockShards
+	o.DisableROSnapshot = cfg.disableSnap
 	res, err := stmbench7.Run(o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
@@ -574,6 +605,12 @@ func ablations(cfg config) {
 // headline reproduces §5's single-number claim: one execution of T1 under
 // the ASTM-style STM versus under locking (the paper saw ~30 min vs ~1.5 s
 // at full scale; the ratio is the reproduction target).
+//
+// T1 is read-only, so the PR-5 snapshot dispatch — on by default
+// everywhere else — would bypass exactly the validation pathology this
+// experiment exists to reproduce; the faithful rows therefore pin the
+// validating path, and the final rows show the same traversal under the
+// snapshot fast path (the in-repo fix for the pathology).
 func headline(cfg config) {
 	fmt.Println("=== §5 headline: single execution of long traversal T1, 1 thread ===")
 	t1, _ := ops.ByName("T1")
@@ -584,11 +621,13 @@ func headline(cfg config) {
 	points := []point{
 		{"coarse lock", sync7.Config{Strategy: "coarse", NumAssmLevels: cfg.params.NumAssmLevels}},
 		{"medium lock", sync7.Config{Strategy: "medium", NumAssmLevels: cfg.params.NumAssmLevels}},
-		{"tl2", sync7.Config{Strategy: "tl2"}},
-		{"norec", sync7.Config{Strategy: "norec"}},
-		{"ostm (ASTM variant)", sync7.Config{Strategy: "ostm"}},
-		{"ostm, commit-time validation", sync7.Config{Strategy: "ostm", CommitTimeValidationOnly: true}},
-		{"ostm, visible reads", sync7.Config{Strategy: "ostm", VisibleReads: true}},
+		{"tl2", sync7.Config{Strategy: "tl2", DisableROSnapshot: true}},
+		{"norec", sync7.Config{Strategy: "norec", DisableROSnapshot: true}},
+		{"ostm (ASTM variant)", sync7.Config{Strategy: "ostm", DisableROSnapshot: true}},
+		{"ostm, commit-time validation", sync7.Config{Strategy: "ostm", CommitTimeValidationOnly: true, DisableROSnapshot: true}},
+		{"ostm, visible reads", sync7.Config{Strategy: "ostm", VisibleReads: true, DisableROSnapshot: true}},
+		{"tl2, ro-snapshot", sync7.Config{Strategy: "tl2"}},
+		{"ostm, ro-snapshot", sync7.Config{Strategy: "ostm"}},
 	}
 	var baseline time.Duration
 	for _, pt := range points {
@@ -659,12 +698,12 @@ func overhead(cfg config) {
 				if sh.Parallel {
 					b.RunParallel(func(pb *testing.PB) {
 						for pb.Next() {
-							eng.Atomic(fn)
+							sh.Run(eng, fn)
 						}
 					})
 				} else {
 					for i := 0; i < b.N; i++ {
-						eng.Atomic(fn)
+						sh.Run(eng, fn)
 					}
 				}
 				b.StopTimer()
@@ -794,6 +833,232 @@ func measureOrec(cfg config, strategy string, g stm.Granularity, stripes, shards
 		os.Exit(1)
 	}
 	return res
+}
+
+// snapshotSweep measures the read-only snapshot fast path: every STM
+// engine, snapshot mode on vs off, on five shapes —
+//
+//   - traversal-micro: the benchshapes traverse1024/snaptraverse1024 pair
+//     (a 1024-Var read-only transaction) via testing.Benchmark — the
+//     engine-level long-traversal cost with no operation code around it.
+//     This is where the removed per-read work (read-set logging, spill
+//     index, validation) is undiluted.
+//   - t1, t6, t1t6: closed loops over the canonical read-only long
+//     traversals (T1, the full assembly-hierarchy walk with the atomic
+//     graph DFS; T6, its root-skipping variant; and the uniform mix of
+//     both) — the §5 pathology shape at full benchmark scale, where the
+//     operation's own graph walk and the structure's cache footprint
+//     dilute the per-read engine win (T6, nearly pure reads, keeps most
+//     of it; T1 pays the DFS bookkeeping on top).
+//   - fullmix: the paper's read-dominated mix with traversals and SMs
+//     enabled — snapshot dispatch rides along for every ReadOnly op.
+//   - writepath: the read-write mix with long traversals disabled (the
+//     PR-4 orec-sweep shape) — a control: off-mode numbers here are the
+//     PR-4 baseline, and on-mode only moves through the mix's read-only
+//     short operations.
+//
+// Each point records the snapshot counters, so the JSON shows how many
+// commits the fast path served and what it paid in restarts.
+func snapshotSweep(cfg config) {
+	fmt.Println("=== Snapshot sweep: read-only fast path on vs off, every STM engine ===")
+	fmt.Println("    (traversal-micro = 1024-Var read-only tx, engine cost only;")
+	fmt.Println("     t1/t6/t1t6 = closed loops over the read-only long traversals;")
+	fmt.Println("     fullmix = read-dominated Table 2 mix; writepath = rw mix, no traversals)")
+	fmt.Printf("%-8s %-16s %-5s %8s %12s %12s %10s %8s\n",
+		"engine", "shape", "snap", "threads", "ops/s", "snap-txs", "restarts", "abort%")
+	modes := []struct {
+		label   string
+		disable bool
+	}{{"on", false}, {"off", true}}
+
+	// Engine-level long-traversal pair (one point per engine and mode;
+	// testing.Benchmark budgets its own duration, single-threaded).
+	for _, strat := range sync7.STMStrategies() {
+		for _, mode := range modes {
+			shapeName := "snaptraverse1024"
+			if mode.disable {
+				shapeName = "traverse1024"
+			}
+			sh, ok := benchshapes.ByName(shapeName)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown shape %q\n", shapeName)
+				os.Exit(1)
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				eng, err := stm.New(strat)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+				fn, _ := sh.Setup(eng)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := sh.Run(eng, fn); err != nil {
+						fmt.Fprintf(os.Stderr, "experiments: snapshot %s/%s: %v\n", strat, shapeName, err)
+						os.Exit(1)
+					}
+				}
+			})
+			opsPerSec := 0.0
+			if ns := r.NsPerOp(); ns > 0 {
+				opsPerSec = 1e9 / float64(ns)
+			}
+			fmt.Printf("%-8s %-16s %-5s %8d %12.0f %12s %10s %8s\n",
+				strat, "traversal-micro", mode.label, 1, opsPerSec, "-", "-", "-")
+			record(jsonPoint{
+				Variant:    strat + "/traversal-micro",
+				Threads:    1,
+				NsPerOp:    float64(r.NsPerOp()),
+				OpsPerSec:  opsPerSec,
+				ROSnapshot: mode.label,
+			})
+		}
+	}
+
+	// Macro traversal loops at full benchmark scale.
+	macro := []struct {
+		shape string
+		ops   []string
+	}{
+		{"t1", []string{"T1"}},
+		{"t6", []string{"T6"}},
+		{"t1t6", []string{"T1", "T6"}},
+	}
+	for _, strat := range sync7.STMStrategies() {
+		for _, m := range macro {
+			for _, mode := range modes {
+				for _, th := range cfg.threads {
+					opsPerSec, es := traversalThroughput(cfg, strat, mode.disable, th, m.ops)
+					fmt.Printf("%-8s %-16s %-5s %8d %12.0f %12d %10d %8.1f\n",
+						strat, m.shape, mode.label, th, opsPerSec,
+						es.SnapshotTxs, es.SnapshotRestarts, 100*es.AbortRate())
+					record(jsonPoint{
+						Variant:          strat + "/" + m.shape,
+						Threads:          th,
+						OpsPerSec:        opsPerSec,
+						AbortPct:         f64ptr(100 * es.AbortRate()),
+						Commits:          es.Commits,
+						Aborts:           es.ConflictAborts,
+						Validations:      es.Validations,
+						ROSnapshot:       mode.label,
+						SnapshotTxs:      es.SnapshotTxs,
+						SnapshotRestarts: es.SnapshotRestarts,
+					})
+				}
+			}
+		}
+	}
+	controls := []struct {
+		shape          string
+		workload       ops.Workload
+		longTraversals bool
+	}{
+		{"fullmix", ops.ReadDominated, true},
+		{"writepath", ops.ReadWrite, false},
+	}
+	threads := 1
+	if n := len(cfg.threads); n > 0 {
+		threads = cfg.threads[n-1]
+	}
+	for _, strat := range sync7.STMStrategies() {
+		for _, ctl := range controls {
+			for _, mode := range modes {
+				o := stmbench7.Options{
+					Params:            cfg.params,
+					Seed:              cfg.seed,
+					Duration:          time.Duration(cfg.seconds * float64(time.Second)),
+					Threads:           threads,
+					Workload:          ctl.workload,
+					LongTraversals:    ctl.longTraversals,
+					StructureMods:     true,
+					Strategy:          strat,
+					Granularity:       cfg.granularity,
+					OrecStripes:       cfg.orecStripes,
+					ClockShards:       cfg.clockShards,
+					DisableROSnapshot: mode.disable,
+				}
+				res, err := stmbench7.Run(o)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+					os.Exit(1)
+				}
+				es := res.EngineStats
+				fmt.Printf("%-8s %-16s %-5s %8d %12.0f %12d %10d %8.1f\n",
+					strat, ctl.shape, mode.label, threads, res.Throughput(),
+					es.SnapshotTxs, es.SnapshotRestarts, 100*es.AbortRate())
+				record(jsonPoint{
+					Variant:          strat + "/" + ctl.shape,
+					Workload:         ctl.workload.String(),
+					Threads:          threads,
+					OpsPerSec:        res.Throughput(),
+					AbortPct:         f64ptr(100 * es.AbortRate()),
+					Commits:          es.Commits,
+					Aborts:           es.ConflictAborts,
+					Validations:      es.Validations,
+					ROSnapshot:       mode.label,
+					SnapshotTxs:      es.SnapshotTxs,
+					SnapshotRestarts: es.SnapshotRestarts,
+				})
+			}
+		}
+	}
+	fmt.Println()
+}
+
+// traversalThroughput runs `threads` workers drawing uniformly from the
+// named operations for the configured duration and returns the throughput
+// plus the engine-stat delta of the window.
+func traversalThroughput(cfg config, strategy string, disableSnap bool, threads int, opNames []string) (float64, stm.Stats) {
+	ex, err := sync7.New(sync7.Config{
+		Strategy:          strategy,
+		NumAssmLevels:     cfg.params.NumAssmLevels,
+		Granularity:       cfg.granularity,
+		OrecStripes:       cfg.orecStripes,
+		ClockShards:       cfg.clockShards,
+		DisableROSnapshot: disableSnap,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	s, err := core.Build(cfg.params, cfg.seed, ex.Engine().VarSpace())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	drawn := make([]*ops.Op, len(opNames))
+	for i, name := range opNames {
+		op, ok := ops.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown op %q\n", name)
+			os.Exit(1)
+		}
+		drawn[i] = op
+	}
+	before := ex.Engine().Stats()
+	var stop atomic.Bool
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			r := rng.New(cfg.seed + uint64(t)*7919)
+			for !stop.Load() {
+				op := drawn[r.Uint64n(uint64(len(drawn)))]
+				if _, err := ex.Execute(op, s, r); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+				done.Add(1)
+			}
+		}(t)
+	}
+	dur := time.Duration(cfg.seconds * float64(time.Second))
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return float64(done.Load()) / dur.Seconds(), ex.Engine().Stats().Delta(before)
 }
 
 // scenarioSweep runs every built-in scenario (except the CI smoke one) on

@@ -25,6 +25,10 @@
 //	                          Vars hashed onto a fixed striped table
 //	-orec-stripes N           striped orec table size (power of two; 0 = default 4096)
 //	-clock-shards N           shard TL2's commit clock (0/1 = classic single clock)
+//	-ro-snapshot on|off       read-only snapshot fast path: serve read-only
+//	                          operations from the engine's validation-free
+//	                          snapshot mode (default on; off restores the
+//	                          plain Atomic path for every operation)
 //	-check                    verify all structural invariants after the run
 //	-chunks N                 split the manual into N chunks (§5 optimization)
 //	-group-atomic             group atomic-part state per composite part (§5 optimization)
@@ -97,6 +101,7 @@ func run(args []string) error {
 	granularityFlag := fs.String("granularity", "object", "conflict granularity for orec-based engines: object or striped")
 	orecStripes := fs.Int("orec-stripes", 0, "striped orec table size (0 = engine default)")
 	clockShards := fs.Int("clock-shards", 0, "TL2 commit-clock shards (0 or 1 = single clock)")
+	roSnapshot := fs.String("ro-snapshot", "on", "read-only snapshot fast path: on or off")
 	check := fs.Bool("check", false, "check structural invariants after the run")
 	chunks := fs.Int("chunks", 1, "manual chunks (§5 optimization when > 1)")
 	groupAtomic := fs.Bool("group-atomic", false, "group atomic-part state per composite (§5 optimization)")
@@ -119,6 +124,14 @@ func run(args []string) error {
 	granularity, err := stm.ParseGranularity(*granularityFlag)
 	if err != nil {
 		return err
+	}
+	var disableSnap bool
+	switch *roSnapshot {
+	case "on":
+	case "off":
+		disableSnap = true
+	default:
+		return fmt.Errorf("bad -ro-snapshot %q (want on or off)", *roSnapshot)
 	}
 
 	params, ok := stmbench7.NamedParams(*size)
@@ -154,6 +167,7 @@ func run(args []string) error {
 			Granularity:              granularity,
 			OrecStripes:              *orecStripes,
 			ClockShards:              *clockShards,
+			DisableROSnapshot:        disableSnap,
 		})
 		if err != nil {
 			return err
@@ -188,6 +202,7 @@ func run(args []string) error {
 		Granularity:              granularity,
 		OrecStripes:              *orecStripes,
 		ClockShards:              *clockShards,
+		DisableROSnapshot:        disableSnap,
 		CollectHistograms:        *histograms,
 		CheckInvariants:          *check,
 	}

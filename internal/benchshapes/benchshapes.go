@@ -19,6 +19,10 @@ type Shape struct {
 	// Parallel marks shapes meant to run on concurrent workers (the
 	// conflict storm); sequential shapes run a plain b.N loop.
 	Parallel bool
+	// Snapshot marks read-only shapes to run through the engine's
+	// read-only snapshot mode (stm.RunReadOnly) instead of Atomic — the
+	// before/after pair for the PR-5 validation-free fast path.
+	Snapshot bool
 	// Skip reports whether the shape is meaningless for an engine (the
 	// storm on the conflict-free direct engine).
 	Skip func(engine string) bool
@@ -105,7 +109,31 @@ func All() []Shape {
 			Name:  "traverse1024",
 			Setup: readShape(1024),
 		},
+		// Snapshot twins of the two read-only shapes: same Vars, same
+		// transaction body, dispatched through RunReadOnly. The delta
+		// against read8/traverse1024 is exactly the per-read read-set
+		// logging the snapshot mode drops.
+		{
+			Name:     "snapread8",
+			Snapshot: true,
+			Setup:    readShape(8),
+		},
+		{
+			Name:     "snaptraverse1024",
+			Snapshot: true,
+			Setup:    readShape(1024),
+		},
 	}
+}
+
+// Run executes one transaction of the shape: through the engine's
+// read-only snapshot mode for Snapshot shapes, through Atomic otherwise.
+// Both benchmark runners dispatch through this so they cannot drift.
+func (sh Shape) Run(eng stm.Engine, fn func(stm.Tx) error) error {
+	if sh.Snapshot {
+		return stm.RunReadOnly(eng, fn)
+	}
+	return eng.Atomic(fn)
 }
 
 // ByName returns the named shape.

@@ -65,6 +65,12 @@ type Options struct {
 	// ClockShards shards TL2's global commit clock (-clock-shards; 0 or
 	// 1 = the classic single clock). Ignored by engines without one.
 	ClockShards int
+	// DisableROSnapshot turns off the read-only snapshot fast path
+	// (-ro-snapshot=off): read-only operations then run through the
+	// engine's plain Atomic path, restoring the pre-snapshot behavior.
+	// The default (false) serves every ops.Op.ReadOnly operation from
+	// the engine's validation-free snapshot mode when it has one.
+	DisableROSnapshot bool
 	// CollectHistograms enables TTC histograms (--ttc-histograms).
 	CollectHistograms bool
 	// CheckInvariants runs the full structural invariant checker after
@@ -250,6 +256,7 @@ func Setup(o Options) (sync7.Executor, *core.Structure, error) {
 		Granularity:              o.Granularity,
 		OrecStripes:              o.OrecStripes,
 		ClockShards:              o.ClockShards,
+		DisableROSnapshot:        o.DisableROSnapshot,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -122,6 +122,12 @@ func WriteReport(w io.Writer, r *Result) {
 	if es.Attempts() > 0 && o.Strategy != "coarse" && o.Strategy != "medium" && o.Strategy != "direct" {
 		fmt.Fprintf(w, "  stm: commits %d, conflict aborts %d (%.1f%%), validations %d, clones %d, enemy aborts %d\n",
 			es.Commits, es.ConflictAborts, 100*es.AbortRate(), es.Validations, es.Clones, es.EnemyAborts)
+		if o.DisableROSnapshot {
+			fmt.Fprintf(w, "  ro-snapshot: off (validating read path for read-only operations)\n")
+		} else {
+			fmt.Fprintf(w, "  ro-snapshot: %d snapshot txs (%.1f%% of commits), %d restarts\n",
+				es.SnapshotTxs, 100*es.SnapshotShare(), es.SnapshotRestarts)
+		}
 		if o.Granularity == stm.StripedGranularity {
 			fmt.Fprintf(w, "  orec striping: %d false conflicts (%.1f%% of conflict aborts)\n",
 				es.FalseConflicts, 100*es.FalseConflictRate())

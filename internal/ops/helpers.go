@@ -1,6 +1,8 @@
 package ops
 
 import (
+	"sync"
+
 	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/stm"
@@ -18,22 +20,122 @@ func forEachBaseAssembly(tx stm.Tx, root *core.ComplexAssembly, fn func(*core.Ba
 	}
 }
 
+// dfsScratch is the reusable graphDFS state: a generation-stamped
+// open-addressed id set plus the explicit traversal stack. The long
+// traversals run one DFS per composite part visited — tens of thousands
+// per T1 at paper scale — and a per-call map was the single biggest cost
+// of the whole traversal (hashing plus table growth dwarfed the
+// transactional reads the benchmark exists to measure). The scratch is
+// pooled because operations are pure functions of (tx, structure, rng)
+// with no per-thread home; generation clearing makes reuse O(1).
+type dfsScratch struct {
+	gen   uint32
+	count int
+	slots []dfsSlot // power-of-two open-addressed table
+	mask  uint64
+	stack []*core.AtomicPart
+}
+
+// dfsSlot holds one seen atomic-part id; a slot is live iff its gen
+// matches the scratch's current generation.
+type dfsSlot struct {
+	id  uint64
+	gen uint32
+}
+
+var dfsPool = sync.Pool{New: func() any {
+	s := &dfsScratch{slots: make([]dfsSlot, 256)}
+	s.mask = uint64(len(s.slots) - 1)
+	return s
+}}
+
+// begin starts a fresh traversal: O(1) via a generation bump, with a full
+// clear only on the (rare) uint32 wrap.
+func (s *dfsScratch) begin() {
+	s.gen++
+	if s.gen == 0 {
+		clear(s.slots)
+		s.gen = 1
+	}
+	s.count = 0
+	s.stack = s.stack[:0]
+}
+
+// dfsHash mixes part ids into table indexes (Fibonacci hashing, the same
+// mix the stm package uses for Var ids).
+func dfsHash(id uint64) uint64 {
+	h := id * 0x9e3779b97f4a7c15
+	return h ^ h>>29
+}
+
+// add inserts id into the seen set, reporting whether it was new.
+func (s *dfsScratch) add(id uint64) bool {
+	if s.count*2 >= len(s.slots) {
+		s.grow()
+	}
+	i := dfsHash(id) & s.mask
+	for {
+		sl := &s.slots[i]
+		if sl.gen != s.gen {
+			sl.id, sl.gen = id, s.gen
+			s.count++
+			return true
+		}
+		if sl.id == id {
+			return false
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// grow doubles the table, re-inserting the current generation's entries.
+func (s *dfsScratch) grow() {
+	old := s.slots
+	s.slots = make([]dfsSlot, 2*len(old))
+	s.mask = uint64(len(s.slots) - 1)
+	for _, sl := range old {
+		if sl.gen != s.gen {
+			continue
+		}
+		i := dfsHash(sl.id) & s.mask
+		for s.slots[i].gen == s.gen {
+			i = (i + 1) & s.mask
+		}
+		s.slots[i] = dfsSlot{id: sl.id, gen: s.gen}
+	}
+}
+
 // graphDFS visits every atomic part reachable from rootPart along outgoing
 // connections (the builder's ring edge guarantees that is the whole graph)
 // and calls fn once per part. It returns the number of parts visited.
+// Parts are deduplicated by id, which is unique per live part; the visit
+// order is identical to the original map-based implementation (LIFO, edges
+// pushed in connection order).
 func graphDFS(rootPart *core.AtomicPart, fn func(*core.AtomicPart)) int {
-	seen := map[*core.AtomicPart]bool{rootPart: true}
-	stack := []*core.AtomicPart{rootPart}
+	s := dfsPool.Get().(*dfsScratch)
+	// Scrub and repool via defer: engines abort conflicting (or
+	// snapshot-restarting) attempts by panicking through fn, and losing
+	// the grown scratch on every abort would re-introduce per-retry
+	// allocation in exactly the contended traversals the pool exists
+	// for. The scrub drops retained part pointers so an idle pooled
+	// scratch cannot pin parts deleted by later SM operations.
+	defer func() {
+		clear(s.stack[:cap(s.stack)])
+		s.stack = s.stack[:0]
+		dfsPool.Put(s)
+	}()
+	s.begin()
+	s.add(rootPart.ID)
+	s.stack = append(s.stack, rootPart)
 	visited := 0
-	for len(stack) > 0 {
-		p := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	for len(s.stack) > 0 {
+		p := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
 		visited++
 		fn(p)
 		for _, c := range p.To {
-			if !seen[c.To] {
-				seen[c.To] = true
-				stack = append(stack, c.To)
+			if s.add(c.To.ID) {
+				s.stack = append(s.stack, c.To)
 			}
 		}
 	}

@@ -30,19 +30,21 @@ import (
 // Durations use Go syntax ("300ms", "2s"). Weight keys are the category
 // names ("long-traversal", "short-traversal", "short-operation",
 // "structure-modification") or the short aliases lt, st, op, sm.
-// Engine-metadata knobs (granularity, orec_stripes, clock_shards) are
-// top-level, not per phase: the orec table and commit clock are built with
-// the engine before the first phase runs, so they are a property of the
-// whole scenario. Unset values inherit the run's (CLI) settings:
+// Engine knobs (granularity, orec_stripes, clock_shards, ro_snapshot) are
+// top-level, not per phase: the orec table, commit clock and read-only
+// snapshot dispatch are built into the executor before the first phase
+// runs, so they are a property of the whole scenario. Unset values inherit
+// the run's (CLI) settings; ro_snapshot takes "on" or "off":
 //
 //	{"name": "hot", "granularity": "striped", "orec_stripes": 256,
-//	 "clock_shards": 4, "phases": [...]}
+//	 "clock_shards": 4, "ro_snapshot": "off", "phases": [...]}
 type fileScenario struct {
 	Name        string      `json:"name"`
 	Description string      `json:"description"`
 	Granularity string      `json:"granularity,omitempty"`
 	OrecStripes int         `json:"orec_stripes,omitempty"`
 	ClockShards int         `json:"clock_shards,omitempty"`
+	ROSnapshot  string      `json:"ro_snapshot,omitempty"`
 	Defaults    *filePhase  `json:"defaults,omitempty"`
 	Phases      []filePhase `json:"phases"`
 }
@@ -206,6 +208,7 @@ func Parse(data []byte) (*Scenario, error) {
 		Granularity: fs.Granularity,
 		OrecStripes: fs.OrecStripes,
 		ClockShards: fs.ClockShards,
+		ROSnapshot:  fs.ROSnapshot,
 	}
 	for i, fp := range fs.Phases {
 		merged := filePhase{}

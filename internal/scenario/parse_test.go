@@ -187,3 +187,33 @@ func TestParseMetadataKnobs(t *testing.T) {
 		t.Error("per-phase granularity accepted (metadata is run-level)")
 	}
 }
+
+func TestParseROSnapshotKnob(t *testing.T) {
+	sc, err := Parse([]byte(`{
+		"name": "snap",
+		"ro_snapshot": "off",
+		"phases": [{"name": "p", "duration": "10ms"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.ROSnapshot != "off" {
+		t.Errorf("ROSnapshot = %q, want \"off\"", sc.ROSnapshot)
+	}
+
+	if _, err := Parse([]byte(`{
+		"name": "snap",
+		"ro_snapshot": "maybe",
+		"phases": [{"name": "p", "duration": "10ms"}]
+	}`)); err == nil || !strings.Contains(err.Error(), "ro_snapshot") {
+		t.Errorf("bad ro_snapshot not rejected: %v", err)
+	}
+
+	// Per-phase ro_snapshot is run-level, like the metadata knobs.
+	if _, err := Parse([]byte(`{
+		"name": "snap",
+		"phases": [{"name": "p", "duration": "10ms", "ro_snapshot": "on"}]
+	}`)); err == nil {
+		t.Error("per-phase ro_snapshot accepted (dispatch is run-level)")
+	}
+}

@@ -58,13 +58,16 @@ func WriteReport(w io.Writer, rep *Report) {
 	if sc.Description != "" {
 		fmt.Fprintf(w, "  %s\n", sc.Description)
 	}
-	if sc.Granularity != "" || sc.OrecStripes > 0 || sc.ClockShards > 0 {
+	if sc.Granularity != "" || sc.OrecStripes > 0 || sc.ClockShards > 0 || sc.ROSnapshot != "" {
 		fmt.Fprintf(w, "  metadata: granularity %s", cmp.Or(sc.Granularity, "inherited"))
 		if sc.OrecStripes > 0 {
 			fmt.Fprintf(w, ", %d orec stripes", sc.OrecStripes)
 		}
 		if sc.ClockShards > 0 {
 			fmt.Fprintf(w, ", %d clock shards", sc.ClockShards)
+		}
+		if sc.ROSnapshot != "" {
+			fmt.Fprintf(w, ", ro-snapshot %s", sc.ROSnapshot)
 		}
 		fmt.Fprintln(w)
 	}
@@ -154,11 +157,23 @@ func writeComparison(w io.Writer, rep *Report) {
 		fmt.Fprintf(w, "  abort rate:   %.1f%% to %.1f%% across phases\n", minAbort, maxAbort)
 	}
 	var falseTotal, conflictTotal uint64
+	var snapTotal, snapRestarts, commitTotal uint64
 	var lastStats *PhaseResult
 	for i := range rep.Phases {
 		falseTotal += rep.Phases[i].Result.EngineStats.FalseConflicts
 		conflictTotal += rep.Phases[i].Result.EngineStats.ConflictAborts
+		snapTotal += rep.Phases[i].Result.EngineStats.SnapshotTxs
+		snapRestarts += rep.Phases[i].Result.EngineStats.SnapshotRestarts
+		commitTotal += rep.Phases[i].Result.EngineStats.Commits
 		lastStats = &rep.Phases[i]
+	}
+	if snapTotal > 0 {
+		pct := 0.0
+		if commitTotal > 0 {
+			pct = 100 * float64(snapTotal) / float64(commitTotal)
+		}
+		fmt.Fprintf(w, "  ro-snapshot:  %d of %d commits served validation-free (%.1f%%), %d restarts\n",
+			snapTotal, commitTotal, pct, snapRestarts)
 	}
 	if falseTotal > 0 {
 		// Attribution is best-effort and both parties of one episode can

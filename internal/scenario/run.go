@@ -48,6 +48,10 @@ type RunOptions struct {
 	Granularity stm.Granularity
 	OrecStripes int
 	ClockShards int
+	// DisableROSnapshot turns off the read-only snapshot fast path for
+	// the whole run, exactly like the harness option of the same name. A
+	// scenario that sets its own ROSnapshot overrides this.
+	DisableROSnapshot bool
 }
 
 // PhaseResult pairs a resolved phase (defaults applied, durations scaled)
@@ -133,6 +137,13 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 	if sc.ClockShards > 0 {
 		clockShards = sc.ClockShards
 	}
+	disableSnap := o.DisableROSnapshot
+	switch sc.ROSnapshot {
+	case "on":
+		disableSnap = false
+	case "off":
+		disableSnap = true
+	}
 
 	ex, s, err := harness.Setup(harness.Options{
 		Params:                   o.Params,
@@ -144,6 +155,7 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 		Granularity:              granularity,
 		OrecStripes:              orecStripes,
 		ClockShards:              clockShards,
+		DisableROSnapshot:        disableSnap,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)

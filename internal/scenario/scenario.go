@@ -102,7 +102,13 @@ type Scenario struct {
 	OrecStripes int
 	// ClockShards shards TL2's commit clock (0 = inherit/single clock).
 	ClockShards int
-	Phases      []Phase
+	// ROSnapshot pins the read-only snapshot fast path for the whole
+	// run: "" inherits the RunOptions (i.e. the CLI flag), "on" forces
+	// the snapshot path, "off" forces the validating path. Run-level
+	// like the metadata knobs: the dispatch is a property of the
+	// executor, built before the first phase.
+	ROSnapshot string
+	Phases     []Phase
 }
 
 // Validate checks the scenario for the error classes the parser and the
@@ -124,6 +130,11 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.ClockShards < 0 {
 		return fmt.Errorf("scenario %q: negative clock_shards %d", sc.Name, sc.ClockShards)
+	}
+	switch sc.ROSnapshot {
+	case "", "on", "off":
+	default:
+		return fmt.Errorf("scenario %q: bad ro_snapshot %q (want on or off)", sc.Name, sc.ROSnapshot)
 	}
 	for i, ph := range sc.Phases {
 		label := ph.Name

@@ -78,7 +78,7 @@ func genericSTM(name string) registration {
 		if err != nil {
 			return nil, err
 		}
-		return &STMExec{eng: eng, name: name}, nil
+		return newSTMExec(eng, name, cfg), nil
 	}}
 }
 
@@ -181,12 +181,12 @@ func init() {
 	// factory rather than the generic wrapper; the metadata axes ride
 	// along next to its own knobs.
 	Register("ostm", KindSTM, func(cfg Config) (Executor, error) {
-		return &STMExec{eng: stm.NewOSTMWith(stm.OSTMConfig{
+		return newSTMExec(stm.NewOSTMWith(stm.OSTMConfig{
 			CM:                       cfg.CM,
 			CommitTimeValidationOnly: cfg.CommitTimeValidationOnly,
 			VisibleReads:             cfg.VisibleReads,
 			Granularity:              cfg.Granularity,
 			OrecStripes:              cfg.OrecStripes,
-		}), name: "ostm"}, nil
+		}), "ostm", cfg), nil
 	})
 }

@@ -75,6 +75,13 @@ type Config struct {
 	// ClockShards shards TL2's commit clock (0 or 1 = single clock;
 	// ignored by engines without a global version clock).
 	ClockShards int
+	// DisableROSnapshot turns off the read-only snapshot fast path
+	// (-ro-snapshot=off): operations marked ops.Op.ReadOnly then run
+	// through the engine's plain Atomic path like everything else. The
+	// default (false) routes them through stm.SnapshotReader.RunReadOnly
+	// on engines that support it — no read-set logging, no commit-time
+	// validation.
+	DisableROSnapshot bool
 }
 
 // engineOptions extracts the cross-engine metadata knobs.
@@ -125,10 +132,30 @@ func (d *DirectExec) Execute(op *ops.Op, s *core.Structure, r *rng.Rand) (int, e
 	return runOp(d.eng, op, s, r)
 }
 
-// STMExec runs each operation as a single transaction.
+// STMExec runs each operation as a single transaction. Operations marked
+// ReadOnly are dispatched to the engine's snapshot read mode when snap is
+// set (see newSTMExec) — the validation-free fast path for T1/T6-style
+// traversals.
 type STMExec struct {
 	eng  stm.Engine
 	name string
+	// snap is the engine's read-only snapshot capability; nil when the
+	// engine does not implement stm.SnapshotReader or the config disabled
+	// the fast path (Config.DisableROSnapshot), in which case ReadOnly
+	// operations run through Atomic like everything else.
+	snap stm.SnapshotReader
+}
+
+// newSTMExec wraps an engine as an STM strategy, resolving the read-only
+// snapshot capability per the config.
+func newSTMExec(eng stm.Engine, name string, cfg Config) *STMExec {
+	e := &STMExec{eng: eng, name: name}
+	if !cfg.DisableROSnapshot {
+		if sr, ok := eng.(stm.SnapshotReader); ok {
+			e.snap = sr
+		}
+	}
+	return e
 }
 
 // Name implements Executor.
@@ -139,7 +166,17 @@ func (e *STMExec) Engine() stm.Engine { return e.eng }
 
 // Execute implements Executor.
 func (e *STMExec) Execute(op *ops.Op, s *core.Structure, r *rng.Rand) (int, error) {
-	res, err := runOp(e.eng, op, s, r)
+	var res int
+	var err error
+	if op.ReadOnly && e.snap != nil {
+		err = e.snap.RunReadOnly(func(tx stm.Tx) error {
+			var opErr error
+			res, opErr = op.Run(tx, s, r)
+			return opErr
+		})
+	} else {
+		res, err = runOp(e.eng, op, s, r)
+	}
 	if err != nil && !errors.Is(err, ops.ErrFailed) && !errors.Is(err, stm.ErrAborted) {
 		return res, fmt.Errorf("sync7: %s: %w", op.Name, err)
 	}

@@ -34,6 +34,55 @@ func TestNewStrategies(t *testing.T) {
 	}
 }
 
+// TestReadOnlySnapshotDispatch: STM executors route ReadOnly operations
+// through the engine's snapshot mode by default (SnapshotTxs counts them),
+// update operations stay on the Atomic path, and DisableROSnapshot
+// restores the plain path for everything.
+func TestReadOnlySnapshotDispatch(t *testing.T) {
+	t1, ok := ops.ByName("T1") // ReadOnly
+	if !ok {
+		t.Fatal("missing T1")
+	}
+	st6, ok := ops.ByName("ST6") // update op
+	if !ok {
+		t.Fatal("missing ST6")
+	}
+	for _, name := range STMStrategies() {
+		for _, disable := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/disable=%v", name, disable), func(t *testing.T) {
+				ex, err := New(Config{Strategy: name, DisableROSnapshot: disable})
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := core.Build(core.Tiny(), 42, ex.Engine().VarSpace())
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := rng.New(7)
+				if _, err := ex.Execute(t1, s, r); err != nil {
+					t.Fatalf("T1: %v", err)
+				}
+				snaps := ex.Engine().Stats().SnapshotTxs
+				if disable && snaps != 0 {
+					t.Errorf("SnapshotTxs = %d with DisableROSnapshot, want 0", snaps)
+				}
+				if !disable && snaps != 1 {
+					t.Errorf("SnapshotTxs = %d for a ReadOnly op, want 1", snaps)
+				}
+				// An update op never takes the snapshot path.
+				for seed := uint64(0); seed < 20; seed++ {
+					if _, err := ex.Execute(st6, s, rng.New(seed)); err == nil {
+						break
+					}
+				}
+				if got := ex.Engine().Stats().SnapshotTxs; got != snaps {
+					t.Errorf("SnapshotTxs moved %d -> %d on an update op", snaps, got)
+				}
+			})
+		}
+	}
+}
+
 func TestRegistryKinds(t *testing.T) {
 	want := map[string]Kind{
 		"direct": KindDirect,

@@ -133,6 +133,49 @@ func TestAllocSmallReadWrite(t *testing.T) {
 	}
 }
 
+// TestAllocSnapshotReadOnlySteadyState pins the read-only snapshot path's
+// allocation budget: 0 allocs/op steady-state on every engine, for both a
+// short read and a long traversal. The path drops the read set entirely,
+// so there is even less to allocate than on the Atomic read-only path —
+// this test keeps the budget from regressing while the path is new, and
+// the 200-Var case proves no hidden read-set (or spill-index) storage
+// sneaks back in as reads grow.
+func TestAllocSnapshotReadOnlySteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation skews allocation counts")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for _, name := range Registered() {
+		t.Run(name, func(t *testing.T) {
+			eng, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := eng.(SnapshotReader); !ok {
+				t.Fatalf("%s: engine does not implement SnapshotReader", name)
+			}
+			for _, tc := range []struct {
+				label string
+				n     int
+			}{{"read8", 8}, {"traverse200", 200}} {
+				cells := make([]*Cell[int], tc.n)
+				for i := range cells {
+					cells[i] = NewCell(eng.VarSpace(), i)
+				}
+				fn := func(tx Tx) error {
+					for _, c := range cells {
+						c.Get(tx)
+					}
+					return nil
+				}
+				if got := measureAllocs(func() { RunReadOnly(eng, fn) }); got != 0 {
+					t.Errorf("%s snapshot transaction: %v allocs/op, want 0", tc.label, got)
+				}
+			}
+		})
+	}
+}
+
 // TestAllocLargeReadSetSteadyState pins the other half of the pooling win:
 // transactions past the inline fast path run on the spill index and grown
 // read-set slices, and that storage must be retained by the pooled

@@ -151,6 +151,55 @@
 // engine counters once per attempt, so the hot path performs no shared
 // atomic read-modify-writes (see stats.go).
 //
+// # Read-only snapshot mode
+//
+// RunReadOnly(eng, fn) — or the SnapshotReader interface it dispatches to —
+// executes fn as a read-only transaction served from a consistent committed
+// snapshot, with no read-set logging, no commit-time validation and zero
+// writes to shared metadata. It exists for STMBench7's long read-only
+// traversals (T1/T6/Q6), whose Atomic-path cost is dominated by exactly
+// the bookkeeping a writing transaction needs and a read-only one does
+// not. The contract:
+//
+//   - When an engine MAY serve a snapshot: whenever it can prove, per
+//     read, that the returned value belongs to one committed state. TL2
+//     proves it against a sampled clock (orec unlocked, version <= rv);
+//     NOrec against an unmoved sequence lock; OSTM by resolving locators
+//     to committed values under an unmoved commit serial. An engine that
+//     cannot prove snapshot membership cheaply should simply not
+//     implement SnapshotReader — RunReadOnly falls back to Atomic, and
+//     nothing downstream changes.
+//
+//   - When an engine MAY NOT serve one: if the proof fails mid-attempt
+//     (a concurrent commit moved the clock/sequence/serial past the
+//     sample, or metadata is locked), the attempt must restart rather
+//     than return a possibly-torn value — opacity binds snapshot
+//     transactions exactly as it binds Atomic ones. Restarts are counted
+//     in Stats.SnapshotRestarts (not ConflictAborts) and never attribute
+//     FalseConflicts: there is no conflict episode, just a stale sample.
+//
+//   - Restart semantics and liveness: after a small restart budget the
+//     engine falls back to its validating Atomic path, which tolerates
+//     concurrent commits (NOrec extends, OSTM validates incrementally),
+//     so a snapshot reader racing a steady commit stream degrades to
+//     PR-4 behavior instead of starving. fn may therefore be re-executed
+//     like any Atomic fn, and must be side-effect free the same way.
+//     MaxRetries does not count snapshot restarts — they are snapshot
+//     refreshes, not conflict retries — it binds only the fallback
+//     Atomic execution, so a bounded-retry engine can never fail a
+//     read-only transaction that its validating path would commit.
+//
+//   - fn must not write. The snapshot Tx has no write path; Write/Update
+//     panic with a non-conflict error that propagates to the caller
+//     (panic transparency). The benchmark enforces the matching property
+//     upstream: every operation marked ops.Op.ReadOnly is tested to
+//     perform zero Write/Update calls on every code path.
+//
+//   - Successful snapshot transactions count toward Stats.Commits and
+//     additionally toward Stats.SnapshotTxs, so SnapshotShare reports
+//     how much of the commit stream ran validation-free. The alloc
+//     suite holds the path to 0 allocs/op steady-state on every engine.
+//
 // # The metadata layer: Vars, orecs and the granularity axis
 //
 // A Var holds only its identity, its clone function and its committed

@@ -50,10 +50,11 @@ type NOrecConfig struct {
 // its metadata footprint is already a single word, which is exactly the
 // extreme point the striped orec table trades toward.
 type NOrec struct {
-	space  VarSpace
-	cfg    NOrecConfig
-	stats  statCounters
-	txPool txPool[norecTx]
+	space    VarSpace
+	cfg      NOrecConfig
+	stats    statCounters
+	txPool   txPool[norecTx]
+	snapPool txPool[norecSnapTx] // read-only snapshot descriptors (RunReadOnly)
 	// seq is the global sequence lock: odd while a writer is in its
 	// write-back phase, even otherwise. An even value doubles as the
 	// snapshot time of every committed state.
@@ -69,6 +70,7 @@ func init() { Register("norec", func() Engine { return NewNOrec() }) }
 func NewNOrecWith(cfg NOrecConfig) *NOrec {
 	e := &NOrec{cfg: cfg}
 	e.txPool.init(func() *norecTx { return &norecTx{eng: e} })
+	e.snapPool.init(func() *norecSnapTx { return &norecSnapTx{eng: e} })
 	return e
 }
 

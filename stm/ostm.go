@@ -196,14 +196,22 @@ type OSTMConfig struct {
 // ascribes to ASTM: validation work quadratic in the read-set size, and
 // whole-object copies for every first write to an object.
 type OSTM struct {
-	space   VarSpace
-	cfg     OSTMConfig
-	stats   statCounters
-	txPool  txPool[ostmTx]
-	striped bool
-	// commitSerial counts committed WRITE transactions; the commit-counter
-	// validation heuristic compares it against a transaction-local
-	// snapshot to skip provably redundant validation passes.
+	space    VarSpace
+	cfg      OSTMConfig
+	stats    statCounters
+	txPool   txPool[ostmTx]
+	snapPool txPool[ostmSnapTx] // read-only snapshot descriptors (RunReadOnly)
+	striped  bool
+	// commitSerial counts write transactions that reached their commit
+	// point. It is bumped just before the Committed status flip, so any
+	// observer that sees a Committed owner also sees the bump — which is
+	// what makes it a sound change detector for both consumers: the
+	// commit-counter validation heuristic (an unchanged serial proves no
+	// write became visible since the last pass) and the read-only
+	// snapshot path (an unchanged serial proves a resolved value still
+	// belongs to the sampled snapshot). A transaction killed at the final
+	// CAS leaves a spurious bump behind; both consumers only pay an extra
+	// validation pass or snapshot restart for it, never correctness.
 	commitSerial atomic.Uint64
 }
 
@@ -230,6 +238,7 @@ func NewOSTMWith(cfg OSTMConfig) *OSTM {
 		panic(err) // unreachable: the space is brand new and the size is clamped
 	}
 	e.txPool.init(func() *ostmTx { return &ostmTx{eng: e} })
+	e.snapPool.init(func() *ostmSnapTx { return &ostmSnapTx{eng: e} })
 	return e
 }
 
@@ -795,14 +804,17 @@ func (tx *ostmTx) commit() bool {
 		// Visible mode needs no validation: a writer that invalidated any
 		// of our reads had to abort us first, and read-write conflicts are
 		// arbitrated eagerly on both sides, which also rules out the
-		// cross-validation race.
-		if !tx.state.status.CompareAndSwap(statusActive, statusCommitted) {
+		// cross-validation race. The commit still passes through
+		// Validating so the serial bump precedes the Committed flip (see
+		// commitSerial); every observer treats Validating exactly like
+		// Active, so the extra hop changes no arbitration.
+		if !tx.state.status.CompareAndSwap(statusActive, statusValidating) {
 			return false
 		}
 		if len(tx.writeLocs) > 0 {
 			tx.eng.commitSerial.Add(1)
 		}
-		return true
+		return tx.state.status.CompareAndSwap(statusValidating, statusCommitted)
 	}
 	if len(tx.writeLocs) == 0 {
 		// Invisible read-only transaction: nobody can see or kill it; it
@@ -814,11 +826,11 @@ func (tx *ostmTx) commit() bool {
 		return false // enemy killed us
 	}
 	tx.validate(true)
-	if !tx.state.status.CompareAndSwap(statusValidating, statusCommitted) {
-		return false
-	}
+	// The serial bump precedes the Committed flip (see commitSerial): an
+	// observer that resolves our new values is then guaranteed to also
+	// observe the bump.
 	tx.eng.commitSerial.Add(1)
-	return true
+	return tx.state.status.CompareAndSwap(statusValidating, statusCommitted)
 }
 
 var (

@@ -37,7 +37,7 @@ func benchShape(b *testing.B, shapeName string) {
 			if sh.Parallel {
 				b.RunParallel(func(pb *testing.PB) {
 					for pb.Next() {
-						if err := eng.Atomic(fn); err != nil {
+						if err := sh.Run(eng, fn); err != nil {
 							b.Error(err)
 							return
 						}
@@ -45,7 +45,7 @@ func benchShape(b *testing.B, shapeName string) {
 				})
 			} else {
 				for i := 0; i < b.N; i++ {
-					if err := eng.Atomic(fn); err != nil {
+					if err := sh.Run(eng, fn); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -85,3 +85,14 @@ func BenchmarkTxOverheadConflictStorm(b *testing.B) { benchShape(b, "storm") }
 // past the inline access-set fast path — exercising the spill index the way
 // STMBench7's long traversals do (without the structure around it).
 func BenchmarkTxOverheadLongTraversal(b *testing.B) { benchShape(b, "traverse1024") }
+
+// BenchmarkTxOverheadSnapshotRead: the read8 shape through the read-only
+// snapshot mode (RunReadOnly) — the before/after pair for the short
+// read-only operations under the PR-5 fast path.
+func BenchmarkTxOverheadSnapshotRead(b *testing.B) { benchShape(b, "snapread8") }
+
+// BenchmarkTxOverheadSnapshotTraversal: the traverse1024 shape through the
+// read-only snapshot mode — no read set, no spill index, no validation.
+// The gap to BenchmarkTxOverheadLongTraversal is the per-read bookkeeping
+// the snapshot mode removes from T1/T6-style traversals.
+func BenchmarkTxOverheadSnapshotTraversal(b *testing.B) { benchShape(b, "snaptraverse1024") }

@@ -21,10 +21,23 @@ const propCells = 5
 // from its transaction (and so must have no effect under transactional
 // engines). Returns the final cell values and the sequence of read results
 // from committed batches.
-func runScriptEngine(eng Engine, script []scriptStep, batchLen int) ([propCells]int, []int) {
+//
+// With snapshotReads set, pure-read batches run through the engine's
+// read-only snapshot mode (RunReadOnly) instead of Atomic — the same
+// read-mode split the benchmark's operation dispatch performs — so the
+// property suite iterates the read mode the way it iterates engines.
+func runScriptEngine(eng Engine, script []scriptStep, batchLen int, snapshotReads bool) ([propCells]int, []int) {
 	cells := make([]*Cell[int], propCells)
 	for i := range cells {
 		cells[i] = NewCell(eng.VarSpace(), 0)
+	}
+	readOnlyBatch := func(batch []scriptStep) bool {
+		for _, s := range batch {
+			if s.Kind%4 != 2 {
+				return false
+			}
+		}
+		return true
 	}
 	var reads []int
 	for start := 0; start < len(script); start += batchLen {
@@ -33,8 +46,12 @@ func runScriptEngine(eng Engine, script []scriptStep, batchLen int) ([propCells]
 			end = len(script)
 		}
 		batch := script[start:end]
+		run := eng.Atomic
+		if snapshotReads && readOnlyBatch(batch) {
+			run = func(fn func(tx Tx) error) error { return RunReadOnly(eng, fn) }
+		}
 		var batchReads []int
-		err := eng.Atomic(func(tx Tx) error {
+		err := run(func(tx Tx) error {
 			batchReads = batchReads[:0]
 			for _, s := range batch {
 				c := cells[int(s.Cell)%propCells]
@@ -136,7 +153,36 @@ func TestPropertySequentialEquivalence(t *testing.T) {
 					t.Fatalf("unknown engine %q", name)
 				}
 				e := mk()
-				gotState, gotReads := runScriptEngine(e, script, batchLen)
+				gotState, gotReads := runScriptEngine(e, script, batchLen, false)
+				wantState, wantReads := runScriptOracle(script, batchLen)
+				return gotState == wantState && equalReads(gotReads, wantReads)
+			}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestPropertySnapshotEquivalence: the sequential-equivalence property
+// holds when pure-read batches are served by the read-only snapshot mode —
+// a snapshot read of quiescent state must be indistinguishable from an
+// Atomic read of it, for every engine configuration.
+func TestPropertySnapshotEquivalence(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	for name := range txEngines() {
+		t.Run(name, func(t *testing.T) {
+			f := func(script []scriptStep, batchRaw uint8) bool {
+				batchLen := int(batchRaw%7) + 1
+				mk, ok := txEngineMakers[name]
+				if !ok {
+					t.Fatalf("unknown engine %q", name)
+				}
+				e := mk()
+				gotState, gotReads := runScriptEngine(e, script, batchLen, true)
 				wantState, wantReads := runScriptOracle(script, batchLen)
 				return gotState == wantState && equalReads(gotReads, wantReads)
 			}
@@ -161,7 +207,7 @@ func TestPropertyDirectEquivalence(t *testing.T) {
 			}
 		}
 		batchLen := int(batchRaw%7) + 1
-		gotState, gotReads := runScriptEngine(NewDirect(), script, batchLen)
+		gotState, gotReads := runScriptEngine(NewDirect(), script, batchLen, false)
 		wantState, wantReads := runScriptOracle(script, batchLen)
 		return gotState == wantState && equalReads(gotReads, wantReads)
 	}

@@ -34,6 +34,19 @@ type Stats struct {
 	// Var) and always 0 under object granularity, where the mapping is
 	// collision free.
 	FalseConflicts uint64
+	// SnapshotTxs counts read-only transactions served by the
+	// validation-free snapshot path (RunReadOnly on engines implementing
+	// SnapshotReader). Snapshot transactions also count toward Commits,
+	// so SnapshotTxs/Commits is the share of commits that skipped
+	// read-set logging and validation entirely.
+	SnapshotTxs uint64
+	// SnapshotRestarts counts snapshot-mode attempt restarts — TL2 rv
+	// refreshes, NOrec epoch retries, OSTM commit-serial retries. They
+	// are tracked separately from ConflictAborts: a restart is the
+	// snapshot path re-proving its snapshot, not a conflict episode on
+	// the validating path (and it never involves another transaction's
+	// metadata, so it can never count toward FalseConflicts either).
+	SnapshotRestarts uint64
 	// ClockShards is the number of commit-clock shards (TL2: 1 for the
 	// classic global clock; 0 for engines without a commit clock). A
 	// snapshot property, not a counter: Delta carries the newer value.
@@ -70,6 +83,11 @@ type statCounters struct {
 	enemyAborts    padUint64
 	lockFailures   padUint64
 	falseConflicts padUint64
+	// Snapshot-path counters. Bumped once per RunReadOnly outcome (commit
+	// or restart) directly — same frequency as commits/conflictAborts —
+	// so they need no txStats batching.
+	snapshotTxs      padUint64
+	snapshotRestarts padUint64
 }
 
 // txStats is the per-transaction accumulator for the high-frequency
@@ -130,16 +148,18 @@ func (c *statCounters) flushTx(s *txStats) {
 // quiescent snapshots (no concurrent Atomic calls) are exact.
 func (c *statCounters) snapshot() Stats {
 	return Stats{
-		Commits:        c.commits.Load(),
-		UserAborts:     c.userAborts.Load(),
-		ConflictAborts: c.conflictAborts.Load(),
-		Reads:          c.reads.Load(),
-		Writes:         c.writes.Load(),
-		Validations:    c.validations.Load(),
-		Clones:         c.clones.Load(),
-		EnemyAborts:    c.enemyAborts.Load(),
-		LockFailures:   c.lockFailures.Load(),
-		FalseConflicts: c.falseConflicts.Load(),
+		Commits:          c.commits.Load(),
+		UserAborts:       c.userAborts.Load(),
+		ConflictAborts:   c.conflictAborts.Load(),
+		Reads:            c.reads.Load(),
+		Writes:           c.writes.Load(),
+		Validations:      c.validations.Load(),
+		Clones:           c.clones.Load(),
+		EnemyAborts:      c.enemyAborts.Load(),
+		LockFailures:     c.lockFailures.Load(),
+		FalseConflicts:   c.falseConflicts.Load(),
+		SnapshotTxs:      c.snapshotTxs.Load(),
+		SnapshotRestarts: c.snapshotRestarts.Load(),
 	}
 }
 
@@ -173,6 +193,15 @@ func (s Stats) FalseConflictRate() float64 {
 	return r
 }
 
+// SnapshotShare returns the fraction of commits served by the read-only
+// snapshot path (0 when there were no commits).
+func (s Stats) SnapshotShare() float64 {
+	if s.Commits == 0 {
+		return 0
+	}
+	return float64(s.SnapshotTxs) / float64(s.Commits)
+}
+
 // Delta returns the counter increments from prev to s, fieldwise. Stats
 // are cumulative over an engine's lifetime; callers that share one engine
 // across several measurement windows (scenario phases, thread sweeps)
@@ -180,16 +209,18 @@ func (s Stats) FalseConflictRate() float64 {
 // own activity. prev must be an earlier snapshot of the same engine.
 func (s Stats) Delta(prev Stats) Stats {
 	return Stats{
-		Commits:        s.Commits - prev.Commits,
-		UserAborts:     s.UserAborts - prev.UserAborts,
-		ConflictAborts: s.ConflictAborts - prev.ConflictAborts,
-		Reads:          s.Reads - prev.Reads,
-		Writes:         s.Writes - prev.Writes,
-		Validations:    s.Validations - prev.Validations,
-		Clones:         s.Clones - prev.Clones,
-		EnemyAborts:    s.EnemyAborts - prev.EnemyAborts,
-		LockFailures:   s.LockFailures - prev.LockFailures,
-		FalseConflicts: s.FalseConflicts - prev.FalseConflicts,
+		Commits:          s.Commits - prev.Commits,
+		UserAborts:       s.UserAborts - prev.UserAborts,
+		ConflictAborts:   s.ConflictAborts - prev.ConflictAborts,
+		Reads:            s.Reads - prev.Reads,
+		Writes:           s.Writes - prev.Writes,
+		Validations:      s.Validations - prev.Validations,
+		Clones:           s.Clones - prev.Clones,
+		EnemyAborts:      s.EnemyAborts - prev.EnemyAborts,
+		LockFailures:     s.LockFailures - prev.LockFailures,
+		FalseConflicts:   s.FalseConflicts - prev.FalseConflicts,
+		SnapshotTxs:      s.SnapshotTxs - prev.SnapshotTxs,
+		SnapshotRestarts: s.SnapshotRestarts - prev.SnapshotRestarts,
 		// Snapshot properties, not counters: the newer snapshot's view.
 		ClockShards:      s.ClockShards,
 		ClockShardSpread: s.ClockShardSpread,

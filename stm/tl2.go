@@ -52,11 +52,12 @@ type TL2Config struct {
 // validates in O(1) against the snapshot clock, so a k-read traversal costs
 // O(k), not O(k²).
 type TL2 struct {
-	space   VarSpace
-	cfg     TL2Config
-	stats   statCounters
-	txPool  txPool[tl2Tx]
-	striped bool
+	space    VarSpace
+	cfg      TL2Config
+	stats    statCounters
+	txPool   txPool[tl2Tx]
+	snapPool txPool[tl2SnapTx] // read-only snapshot descriptors (RunReadOnly)
+	striped  bool
 	// clock is the global version clock (optionally sharded; see
 	// clock.go). It advances by 2 so that version numbers are always
 	// even; bit 0 of an orec's meta word is its lock bit.
@@ -92,6 +93,7 @@ func NewTL2With(cfg TL2Config) *TL2 {
 	}
 	e.clock.init(cfg.ClockShards)
 	e.txPool.init(func() *tl2Tx { return &tl2Tx{eng: e, shardHint: e.txSeq.Add(1)} })
+	e.snapPool.init(func() *tl2SnapTx { return &tl2SnapTx{eng: e} })
 	return e
 }
 
