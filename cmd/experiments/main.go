@@ -31,6 +31,14 @@
 // checked in as BENCH_pr5.json. The other throughput experiments accept
 // -ro-snapshot to run under a chosen dispatch mode.
 //
+// The mvcc experiment sweeps the multi-version read path of PR 6:
+// version-chain depth K in {1, 2, 4, 8} crossed with the write-traffic
+// scenarios (read-burst-write-storm, spike, steady) for tl2 and norec,
+// reporting snapshot restarts, version-resolved reads, chain misses and
+// retained version bytes per point — the space vs restarts curve. Checked
+// in as BENCH_pr6.json. The other throughput experiments accept -versions
+// to run under a chosen chain depth.
+//
 // The scenarios experiment sweeps the built-in multi-phase scenario
 // library (steady, ramp-up, spike, read-burst-write-storm,
 // hotspot-migration, engine-sweep; the CI smoke scenario is skipped)
@@ -90,6 +98,10 @@ type config struct {
 	// path off for every throughput experiment; the snapshot experiment
 	// sweeps both modes itself and ignores it.
 	disableSnap bool
+	// versions (-versions) keeps the last K committed versions per Var
+	// for every throughput experiment; the mvcc experiment sweeps its
+	// own K grid and ignores it.
+	versions int
 }
 
 // jsonPoint is one measured data point in -json output. Fields that do not
@@ -133,6 +145,15 @@ type jsonPoint struct {
 	ROSnapshot       string `json:"ro_snapshot,omitempty"`
 	SnapshotTxs      uint64 `json:"snapshot_txs,omitempty"`
 	SnapshotRestarts uint64 `json:"snapshot_restarts,omitempty"`
+	// Mvcc-sweep fields: the version-chain depth a point ran under and
+	// what the multi-version read path did — snapshot reads resolved
+	// from older versions, chain-truncation misses, and the cumulative
+	// bytes of superseded version boxes retained (the space side of the
+	// restarts-for-space trade).
+	Versions      int    `json:"versions,omitempty"`
+	VersionReads  uint64 `json:"version_reads,omitempty"`
+	VersionMisses uint64 `json:"version_misses,omitempty"`
+	VersionBytes  uint64 `json:"version_bytes,omitempty"`
 }
 
 // jsonReport is the -json document. Size/Seconds/Threads echo the driver
@@ -150,6 +171,7 @@ type jsonReport struct {
 	Granularity string `json:"granularity,omitempty"`
 	OrecStripes int    `json:"orec_stripes,omitempty"`
 	ClockShards int    `json:"clock_shards,omitempty"`
+	Versions    int    `json:"versions,omitempty"`
 	ROSnapshot  string `json:"ro_snapshot,omitempty"`
 	GoVersion   string `json:"go_version"`
 	GOOS        string `json:"goos"`
@@ -184,7 +206,7 @@ func i64ptr(v int64) *int64     { return &v }
 func f64ptr(v float64) *float64 { return &v }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, table3, fig6, headline, ablations, overhead, scenarios, orecs, snapshot or all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, table3, fig6, headline, ablations, overhead, scenarios, orecs, snapshot, mvcc or all")
 	size := flag.String("size", "small", "structure size: tiny, small or medium (paper scale)")
 	seconds := flag.Float64("seconds", 1.0, "measurement duration per data point, in seconds")
 	threadsFlag := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
@@ -193,6 +215,7 @@ func main() {
 	orecStripes := flag.Int("orec-stripes", 0, "striped orec table size (0 = engine default)")
 	clockShards := flag.Int("clock-shards", 0, "TL2 commit-clock shards (0 or 1 = single clock)")
 	roSnapshot := flag.String("ro-snapshot", "on", "read-only snapshot fast path: on or off")
+	versions := flag.Int("versions", 0, "committed versions kept per Var for snapshot reads (0 or 1 = single version)")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file (\"-\" for stdout)")
 	flag.Parse()
 
@@ -228,13 +251,13 @@ func main() {
 	cfg := config{
 		size: *size, params: params, seconds: *seconds, threads: threads, seed: *seed,
 		granularity: granularity, orecStripes: *orecStripes, clockShards: *clockShards,
-		disableSnap: disableSnap,
+		disableSnap: disableSnap, versions: *versions,
 	}
 	if *jsonPath != "" {
 		jsonOut = &jsonReport{
 			Size: cfg.size, Seconds: cfg.seconds, Threads: cfg.threads, Seed: cfg.seed,
 			Granularity: cfg.granularity.String(), OrecStripes: cfg.orecStripes, ClockShards: cfg.clockShards,
-			ROSnapshot: *roSnapshot,
+			Versions: cfg.versions, ROSnapshot: *roSnapshot,
 			GoVersion:  runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 			NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
 			Engines: stm.Registered(), Strategies: sync7.Strategies(),
@@ -255,8 +278,9 @@ func main() {
 		"scenarios": scenarioSweep,
 		"orecs":     orecSweep,
 		"snapshot":  snapshotSweep,
+		"mvcc":      mvccSweep,
 	}
-	order := []string{"fig3", "fig4", "table3", "fig6", "headline", "ablations", "overhead", "scenarios", "orecs", "snapshot"}
+	order := []string{"fig3", "fig4", "table3", "fig6", "headline", "ablations", "overhead", "scenarios", "orecs", "snapshot", "mvcc"}
 	if *exp == "all" {
 		for _, name := range order {
 			curExp = name
@@ -304,6 +328,7 @@ func measure(cfg config, o stmbench7.Options) *stmbench7.Result {
 	o.Granularity = cfg.granularity
 	o.OrecStripes = cfg.orecStripes
 	o.ClockShards = cfg.clockShards
+	o.Versions = cfg.versions
 	o.DisableROSnapshot = cfg.disableSnap
 	res, err := stmbench7.Run(o)
 	if err != nil {
@@ -687,7 +712,7 @@ func overhead(cfg config) {
 				// Fresh engine per invocation: testing.Benchmark re-runs
 				// this function with growing b.N, and the storm shape's
 				// lost-update check counts commits from zero each time.
-				eng, err := stm.New(name)
+				eng, err := stm.NewWith(name, stm.EngineOptions{Versions: sh.Versions})
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "experiments:", err)
 					os.Exit(1)
@@ -1127,6 +1152,83 @@ func scenarioSweep(cfg config) {
 				fmt.Printf("  %-8s %-14s %7d %-12s %10.0f %8.1f %9s %9s\n",
 					strat, ph.Name, ph.Threads, mode, res.Throughput(),
 					100*res.EngineStats.AbortRate(), p50s, p99s)
+			}
+		}
+	}
+	fmt.Println()
+}
+
+// mvccSweep measures the multi-version read path: version-chain depth
+// K in {1, 2, 4, 8} crossed with the write-traffic scenarios that expose
+// PR 5's snapshot-restart weakness (read-burst-write-storm, spike) plus
+// the steady control, for the two engines with a snapshot timestamp to
+// resolve against (tl2, norec). Each point reports the snapshot restarts
+// the phase paid, how many reads resolved from older versions, chain
+// misses, and the retained version bytes — the space vs restarts curve.
+// K=1 rows are the PR-5 baseline (the chain degenerates to the plain
+// value cell bit-for-bit).
+func mvccSweep(cfg config) {
+	depths := []int{1, 2, 4, 8}
+	scenarios := []string{"read-burst-write-storm", "spike", "steady"}
+	engines := []string{"tl2", "norec"}
+	threads := 4
+	if n := len(cfg.threads); n > 0 {
+		threads = cfg.threads[n-1]
+	}
+	fmt.Printf("=== MVCC sweep: version-chain depth K x write-traffic scenarios, tl2 + norec ===\n")
+	fmt.Printf("    (phase durations x%g via -seconds; %d workers; K=1 = single-version baseline;\n", cfg.seconds, threads)
+	fmt.Printf("     snapRst = snapshot restarts, verRead = reads resolved from older versions,\n")
+	fmt.Printf("     verMiss = truncated-chain restarts, verBytes = retained version bytes)\n")
+	for _, name := range scenarios {
+		sc, ok := scenario.Builtin(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown scenario %q\n", name)
+			os.Exit(1)
+		}
+		fmt.Printf("\n  scenario %q — %s\n", sc.Name, sc.Description)
+		fmt.Printf("  %-8s %3s %-14s %10s %8s %9s %9s %9s %10s\n",
+			"engine", "K", "phase", "ops/s", "abort%", "snapRst", "verRead", "verMiss", "verBytes")
+		for _, strat := range engines {
+			for _, k := range depths {
+				rep, err := scenario.Run(sc, scenario.RunOptions{
+					Params:      cfg.params,
+					Strategy:    strat,
+					Seed:        cfg.seed,
+					Threads:     threads,
+					TimeScale:   cfg.seconds,
+					Granularity: cfg.granularity,
+					OrecStripes: cfg.orecStripes,
+					ClockShards: cfg.clockShards,
+					Versions:    k,
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+				for _, pr := range rep.Phases {
+					ph, es := pr.Phase, pr.Result.EngineStats
+					record(jsonPoint{
+						Experiment:       "mvcc",
+						Variant:          strat,
+						Scenario:         sc.Name,
+						Phase:            ph.Name,
+						Workload:         ph.Workload.String(),
+						Threads:          ph.Threads,
+						OpsPerSec:        pr.Result.Throughput(),
+						AbortPct:         f64ptr(100 * es.AbortRate()),
+						Commits:          es.Commits,
+						Aborts:           es.ConflictAborts,
+						SnapshotTxs:      es.SnapshotTxs,
+						SnapshotRestarts: es.SnapshotRestarts,
+						Versions:         k,
+						VersionReads:     es.VersionReads,
+						VersionMisses:    es.VersionMisses,
+						VersionBytes:     es.VersionBytes,
+					})
+					fmt.Printf("  %-8s %3d %-14s %10.0f %8.1f %9d %9d %9d %10d\n",
+						strat, k, ph.Name, pr.Result.Throughput(), 100*es.AbortRate(),
+						es.SnapshotRestarts, es.VersionReads, es.VersionMisses, es.VersionBytes)
+				}
 			}
 		}
 	}

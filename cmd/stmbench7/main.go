@@ -25,6 +25,10 @@
 //	                          Vars hashed onto a fixed striped table
 //	-orec-stripes N           striped orec table size (power of two; 0 = default 4096)
 //	-clock-shards N           shard TL2's commit clock (0/1 = classic single clock)
+//	-versions K               keep the last K committed versions per Var so
+//	                          read-only snapshot transactions resolve older
+//	                          versions instead of restarting (0/1 = single
+//	                          version; tl2 and norec)
 //	-ro-snapshot on|off       read-only snapshot fast path: serve read-only
 //	                          operations from the engine's validation-free
 //	                          snapshot mode (default on; off restores the
@@ -101,6 +105,7 @@ func run(args []string) error {
 	granularityFlag := fs.String("granularity", "object", "conflict granularity for orec-based engines: object or striped")
 	orecStripes := fs.Int("orec-stripes", 0, "striped orec table size (0 = engine default)")
 	clockShards := fs.Int("clock-shards", 0, "TL2 commit-clock shards (0 or 1 = single clock)")
+	versions := fs.Int("versions", 0, "committed versions kept per Var for snapshot reads (0 or 1 = single version)")
 	roSnapshot := fs.String("ro-snapshot", "on", "read-only snapshot fast path: on or off")
 	check := fs.Bool("check", false, "check structural invariants after the run")
 	chunks := fs.Int("chunks", 1, "manual chunks (§5 optimization when > 1)")
@@ -167,6 +172,7 @@ func run(args []string) error {
 			Granularity:              granularity,
 			OrecStripes:              *orecStripes,
 			ClockShards:              *clockShards,
+			Versions:                 *versions,
 			DisableROSnapshot:        disableSnap,
 		})
 		if err != nil {
@@ -202,6 +208,7 @@ func run(args []string) error {
 		Granularity:              granularity,
 		OrecStripes:              *orecStripes,
 		ClockShards:              *clockShards,
+		Versions:                 *versions,
 		DisableROSnapshot:        disableSnap,
 		CollectHistograms:        *histograms,
 		CheckInvariants:          *check,

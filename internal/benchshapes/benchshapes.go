@@ -23,6 +23,11 @@ type Shape struct {
 	// read-only snapshot mode (stm.RunReadOnly) instead of Atomic — the
 	// before/after pair for the PR-5 validation-free fast path.
 	Snapshot bool
+	// Versions is the multi-version chain depth the engine should be
+	// constructed with (stm.EngineOptions.Versions); 0 leaves the
+	// engine's single-version default. Both benchmark runners pass it to
+	// stm.NewWith so the measured engine matches the shape's contract.
+	Versions int
 	// Skip reports whether the shape is meaningless for an engine (the
 	// storm on the conflict-free direct engine).
 	Skip func(engine string) bool
@@ -122,6 +127,43 @@ func All() []Shape {
 			Name:     "snaptraverse1024",
 			Snapshot: true,
 			Setup:    readShape(1024),
+		},
+		// The multi-version walk: every snapshot transaction first commits
+		// a write (after its timestamp sample), so one of its 8 reads is
+		// forced through the version-chain resolution instead of the head
+		// load. On a K=1 engine this is the restarting shape PR 6 removes;
+		// at Versions=8 it must complete restart-free — the check enforces
+		// that, so the ns/op is the genuine walk cost, not retry churn.
+		{
+			Name:     "snapversionwalk8",
+			Snapshot: true,
+			Versions: 8,
+			Skip: func(engine string) bool {
+				// Only the engines with the Versions axis: elsewhere the
+				// self-inflicted commit just forces restart/fallback churn
+				// (or, for ostm's Atomic fallback, a validation livelock).
+				return engine != "tl2" && engine != "norec"
+			},
+			Setup: func(eng stm.Engine) (func(stm.Tx) error, func(int) error) {
+				cs := cells(eng, 8)
+				nested := func(wtx stm.Tx) error { cs[0].Set(wtx, 7); return nil }
+				fn := func(tx stm.Tx) error {
+					if err := eng.Atomic(nested); err != nil {
+						return err
+					}
+					for _, c := range cs {
+						c.Get(tx)
+					}
+					return nil
+				}
+				check := func(int) error {
+					if st := eng.Stats(); st.SnapshotRestarts > 0 {
+						return fmt.Errorf("versioned walk restarted %d times, want 0", st.SnapshotRestarts)
+					}
+					return nil
+				}
+				return fn, check
+			},
 		},
 	}
 }

@@ -65,6 +65,11 @@ type Options struct {
 	// ClockShards shards TL2's global commit clock (-clock-shards; 0 or
 	// 1 = the classic single clock). Ignored by engines without one.
 	ClockShards int
+	// Versions keeps the last K committed versions per Var (-versions; 0
+	// or 1 = single-version) so read-only snapshot transactions resolve
+	// older versions instead of restarting under write traffic. Ignored
+	// by engines without a snapshot timestamp.
+	Versions int
 	// DisableROSnapshot turns off the read-only snapshot fast path
 	// (-ro-snapshot=off): read-only operations then run through the
 	// engine's plain Atomic path, restoring the pre-snapshot behavior.
@@ -142,6 +147,9 @@ func (o Options) validate() error {
 	}
 	if o.ClockShards < 0 {
 		return fmt.Errorf("harness: negative ClockShards %d", o.ClockShards)
+	}
+	if o.Versions < 0 {
+		return fmt.Errorf("harness: negative Versions %d", o.Versions)
 	}
 	if o.SkewTheta < 0 || o.SkewTheta >= 1 {
 		return fmt.Errorf("harness: SkewTheta %v outside [0, 1)", o.SkewTheta)
@@ -256,6 +264,7 @@ func Setup(o Options) (sync7.Executor, *core.Structure, error) {
 		Granularity:              o.Granularity,
 		OrecStripes:              o.OrecStripes,
 		ClockShards:              o.ClockShards,
+		Versions:                 o.Versions,
 		DisableROSnapshot:        o.DisableROSnapshot,
 	})
 	if err != nil {

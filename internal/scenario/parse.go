@@ -30,7 +30,8 @@ import (
 // Durations use Go syntax ("300ms", "2s"). Weight keys are the category
 // names ("long-traversal", "short-traversal", "short-operation",
 // "structure-modification") or the short aliases lt, st, op, sm.
-// Engine knobs (granularity, orec_stripes, clock_shards, ro_snapshot) are
+// Engine knobs (granularity, orec_stripes, clock_shards, versions,
+// ro_snapshot) are
 // top-level, not per phase: the orec table, commit clock and read-only
 // snapshot dispatch are built into the executor before the first phase
 // runs, so they are a property of the whole scenario. Unset values inherit
@@ -44,6 +45,7 @@ type fileScenario struct {
 	Granularity string      `json:"granularity,omitempty"`
 	OrecStripes int         `json:"orec_stripes,omitempty"`
 	ClockShards int         `json:"clock_shards,omitempty"`
+	Versions    int         `json:"versions,omitempty"`
 	ROSnapshot  string      `json:"ro_snapshot,omitempty"`
 	Defaults    *filePhase  `json:"defaults,omitempty"`
 	Phases      []filePhase `json:"phases"`
@@ -208,6 +210,7 @@ func Parse(data []byte) (*Scenario, error) {
 		Granularity: fs.Granularity,
 		OrecStripes: fs.OrecStripes,
 		ClockShards: fs.ClockShards,
+		Versions:    fs.Versions,
 		ROSnapshot:  fs.ROSnapshot,
 	}
 	for i, fp := range fs.Phases {

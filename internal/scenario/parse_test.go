@@ -188,6 +188,28 @@ func TestParseMetadataKnobs(t *testing.T) {
 	}
 }
 
+func TestParseVersionsKnob(t *testing.T) {
+	sc, err := Parse([]byte(`{
+		"name": "mv",
+		"versions": 4,
+		"phases": [{"name": "p", "duration": "10ms"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Versions != 4 {
+		t.Errorf("Versions = %d, want 4", sc.Versions)
+	}
+
+	// Per-phase versions is run-level metadata, like the other knobs.
+	if _, err := Parse([]byte(`{
+		"name": "mv",
+		"phases": [{"name": "p", "duration": "10ms", "versions": 2}]
+	}`)); err == nil {
+		t.Error("per-phase versions accepted (metadata is run-level)")
+	}
+}
+
 func TestParseROSnapshotKnob(t *testing.T) {
 	sc, err := Parse([]byte(`{
 		"name": "snap",

@@ -58,13 +58,16 @@ func WriteReport(w io.Writer, rep *Report) {
 	if sc.Description != "" {
 		fmt.Fprintf(w, "  %s\n", sc.Description)
 	}
-	if sc.Granularity != "" || sc.OrecStripes > 0 || sc.ClockShards > 0 || sc.ROSnapshot != "" {
+	if sc.Granularity != "" || sc.OrecStripes > 0 || sc.ClockShards > 0 || sc.Versions > 0 || sc.ROSnapshot != "" {
 		fmt.Fprintf(w, "  metadata: granularity %s", cmp.Or(sc.Granularity, "inherited"))
 		if sc.OrecStripes > 0 {
 			fmt.Fprintf(w, ", %d orec stripes", sc.OrecStripes)
 		}
 		if sc.ClockShards > 0 {
 			fmt.Fprintf(w, ", %d clock shards", sc.ClockShards)
+		}
+		if sc.Versions > 0 {
+			fmt.Fprintf(w, ", %d versions", sc.Versions)
 		}
 		if sc.ROSnapshot != "" {
 			fmt.Fprintf(w, ", ro-snapshot %s", sc.ROSnapshot)
@@ -73,8 +76,8 @@ func WriteReport(w io.Writer, rep *Report) {
 	}
 	fmt.Fprintln(w)
 
-	fmt.Fprintf(w, "  %-14s %7s %-12s %-15s %-12s %8s %10s %8s %7s %9s %9s\n",
-		"phase", "threads", "mode", "workload", "skew", "length", "ops/s", "abort%", "false%", "p50[ms]", "p99[ms]")
+	fmt.Fprintf(w, "  %-14s %7s %-12s %-15s %-12s %8s %10s %8s %7s %8s %8s %9s %9s\n",
+		"phase", "threads", "mode", "workload", "skew", "length", "ops/s", "abort%", "false%", "snapRst", "verMiss", "p50[ms]", "p99[ms]")
 	for _, pr := range rep.Phases {
 		ph, res := pr.Phase, pr.Result
 		p50, p99 := "-", "-"
@@ -82,10 +85,11 @@ func WriteReport(w io.Writer, rep *Report) {
 			p50 = fmt.Sprintf("%.3f", ls.P50Ms)
 			p99 = fmt.Sprintf("%.3f", ls.P99Ms)
 		}
-		fmt.Fprintf(w, "  %-14s %7d %-12s %-15s %-12s %8s %10.0f %8.1f %7.1f %9s %9s\n",
+		fmt.Fprintf(w, "  %-14s %7d %-12s %-15s %-12s %8s %10.0f %8.1f %7.1f %8d %8d %9s %9s\n",
 			ph.Name, ph.Threads, phaseMode(ph), ph.Workload.String(), phaseSkew(ph),
 			phaseLength(ph), res.Throughput(), 100*res.EngineStats.AbortRate(),
-			100*res.EngineStats.FalseConflictRate(), p50, p99)
+			100*res.EngineStats.FalseConflictRate(),
+			res.EngineStats.SnapshotRestarts, res.EngineStats.VersionMisses, p50, p99)
 	}
 	fmt.Fprintln(w)
 
@@ -158,6 +162,7 @@ func writeComparison(w io.Writer, rep *Report) {
 	}
 	var falseTotal, conflictTotal uint64
 	var snapTotal, snapRestarts, commitTotal uint64
+	var verReads, verMisses, verBytes uint64
 	var lastStats *PhaseResult
 	for i := range rep.Phases {
 		falseTotal += rep.Phases[i].Result.EngineStats.FalseConflicts
@@ -165,6 +170,9 @@ func writeComparison(w io.Writer, rep *Report) {
 		snapTotal += rep.Phases[i].Result.EngineStats.SnapshotTxs
 		snapRestarts += rep.Phases[i].Result.EngineStats.SnapshotRestarts
 		commitTotal += rep.Phases[i].Result.EngineStats.Commits
+		verReads += rep.Phases[i].Result.EngineStats.VersionReads
+		verMisses += rep.Phases[i].Result.EngineStats.VersionMisses
+		verBytes += rep.Phases[i].Result.EngineStats.VersionBytes
 		lastStats = &rep.Phases[i]
 	}
 	if snapTotal > 0 {
@@ -174,6 +182,10 @@ func writeComparison(w io.Writer, rep *Report) {
 		}
 		fmt.Fprintf(w, "  ro-snapshot:  %d of %d commits served validation-free (%.1f%%), %d restarts\n",
 			snapTotal, commitTotal, pct, snapRestarts)
+	}
+	if verReads > 0 || verMisses > 0 || verBytes > 0 {
+		fmt.Fprintf(w, "  multiversion: %d snapshot reads resolved from older versions, %d chain misses, %d version bytes retained\n",
+			verReads, verMisses, verBytes)
 	}
 	if falseTotal > 0 {
 		// Attribution is best-effort and both parties of one episode can

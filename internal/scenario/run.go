@@ -48,6 +48,11 @@ type RunOptions struct {
 	Granularity stm.Granularity
 	OrecStripes int
 	ClockShards int
+	// Versions keeps the last K committed versions per Var exactly like
+	// the harness option of the same name (0 or 1 = single-version).
+	// Run-level like the metadata knobs; a scenario that sets its own
+	// Versions overrides this.
+	Versions int
 	// DisableROSnapshot turns off the read-only snapshot fast path for
 	// the whole run, exactly like the harness option of the same name. A
 	// scenario that sets its own ROSnapshot overrides this.
@@ -137,6 +142,10 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 	if sc.ClockShards > 0 {
 		clockShards = sc.ClockShards
 	}
+	versions := o.Versions
+	if sc.Versions > 0 {
+		versions = sc.Versions
+	}
 	disableSnap := o.DisableROSnapshot
 	switch sc.ROSnapshot {
 	case "on":
@@ -155,6 +164,7 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 		Granularity:              granularity,
 		OrecStripes:              orecStripes,
 		ClockShards:              clockShards,
+		Versions:                 versions,
 		DisableROSnapshot:        disableSnap,
 	})
 	if err != nil {

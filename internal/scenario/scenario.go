@@ -102,6 +102,11 @@ type Scenario struct {
 	OrecStripes int
 	// ClockShards shards TL2's commit clock (0 = inherit/single clock).
 	ClockShards int
+	// Versions keeps the last K committed versions per Var (0 =
+	// inherit/single-version). Run-level like the metadata knobs: the
+	// version-chain depth is an engine configuration, built before the
+	// first phase.
+	Versions int
 	// ROSnapshot pins the read-only snapshot fast path for the whole
 	// run: "" inherits the RunOptions (i.e. the CLI flag), "on" forces
 	// the snapshot path, "off" forces the validating path. Run-level
@@ -130,6 +135,9 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.ClockShards < 0 {
 		return fmt.Errorf("scenario %q: negative clock_shards %d", sc.Name, sc.ClockShards)
+	}
+	if sc.Versions < 0 {
+		return fmt.Errorf("scenario %q: negative versions %d", sc.Name, sc.Versions)
 	}
 	switch sc.ROSnapshot {
 	case "", "on", "off":

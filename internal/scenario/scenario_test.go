@@ -357,4 +357,67 @@ func TestValidateRejectsBadMetadata(t *testing.T) {
 	if err := sc.Validate(); err == nil {
 		t.Error("negative clock_shards accepted")
 	}
+	sc = base()
+	sc.Versions = -1
+	if err := sc.Validate(); err == nil {
+		t.Error("negative versions accepted")
+	}
+}
+
+// TestRunOptionsCarryVersionsKnob: the multi-version depth must reach the
+// engine. VersionBytes is the discriminator — a K>1 engine retains bytes on
+// every write commit, a K=1 engine retains none — so it also proves a
+// scenario-pinned depth overrides the run-level one.
+func TestRunOptionsCarryVersionsKnob(t *testing.T) {
+	phases := []Phase{{Name: "p", MaxOps: 200, Workload: ops.ReadWrite, StructureMods: true}}
+
+	flat, err := Run(&Scenario{Name: "mv", Phases: phases}, RunOptions{Strategy: "tl2", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flat.Phases[0].Result.EngineStats.VersionBytes; got != 0 {
+		t.Errorf("default run: VersionBytes = %d, want 0", got)
+	}
+
+	deep, err := Run(&Scenario{Name: "mv", Phases: phases},
+		RunOptions{Strategy: "tl2", Threads: 2, Versions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := deep.Phases[0].Result.EngineStats.VersionBytes; got == 0 {
+		t.Error("Versions=2 run: VersionBytes = 0 — knob not plumbed")
+	}
+
+	// Scenario-pinned depth beats the run's: K=1 at the run level, but the
+	// scenario says 2, so bytes must be retained.
+	pinned, err := Run(&Scenario{Name: "mv-pinned", Versions: 2, Phases: phases},
+		RunOptions{Strategy: "norec", Threads: 2, Versions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pinned.Phases[0].Result.EngineStats.VersionBytes; got == 0 {
+		t.Error("scenario override: VersionBytes = 0 — scenario Versions did not win")
+	}
+}
+
+// TestWriteReportVersionSections: the per-phase table carries the snapshot
+// restart and version-miss columns, the metadata line echoes the pinned
+// depth, and the comparison grows its multiversion summary once version
+// traffic exists.
+func TestWriteReportVersionSections(t *testing.T) {
+	sc := &Scenario{Name: "mv-report", Versions: 2, Phases: []Phase{
+		{Name: "p", MaxOps: 200, Workload: ops.ReadWrite, StructureMods: true},
+	}}
+	rep, err := Run(sc, RunOptions{Strategy: "tl2", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteReport(&sb, rep)
+	out := sb.String()
+	for _, want := range []string{"2 versions", "snapRst", "verMiss", "multiversion:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
 }

@@ -75,6 +75,11 @@ type Config struct {
 	// ClockShards shards TL2's commit clock (0 or 1 = single clock;
 	// ignored by engines without a global version clock).
 	ClockShards int
+	// Versions keeps the last K committed versions per Var so read-only
+	// snapshot transactions resolve older versions instead of restarting
+	// (0 or 1 = single-version; ignored by engines without a snapshot
+	// timestamp — ostm, the lock strategies).
+	Versions int
 	// DisableROSnapshot turns off the read-only snapshot fast path
 	// (-ro-snapshot=off): operations marked ops.Op.ReadOnly then run
 	// through the engine's plain Atomic path like everything else. The
@@ -90,6 +95,7 @@ func (c Config) engineOptions() stm.EngineOptions {
 		Granularity: c.Granularity,
 		OrecStripes: c.OrecStripes,
 		ClockShards: c.ClockShards,
+		Versions:    c.Versions,
 	}
 }
 

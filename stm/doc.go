@@ -200,6 +200,54 @@
 //     how much of the commit stream ran validation-free. The alloc
 //     suite holds the path to 0 allocs/op steady-state on every engine.
 //
+// # Multi-version snapshot reads
+//
+// The snapshot mode's restarts have one cause: the only committed version
+// of a Var is newer than the reader's sampled timestamp. The Versions
+// axis (EngineOptions.Versions, TL2Config/NOrecConfig, -versions in the
+// CLIs, `versions` in scenario JSON) removes that cause by retention:
+// with Versions = K > 1, commit-time writeback links each newly published
+// value box to its predecessor, keeping the last K committed {value, wv}
+// pairs per Var on an immutable chain (newest first, strictly descending
+// wv — see mvcc.go). A snapshot read that finds the head too new walks
+// the chain for the newest version with wv <= its snapshot timestamp and
+// returns that instead of restarting; the resolution is counted in
+// Stats.VersionReads. The contract:
+//
+//   - What K buys: a snapshot reader only restarts when MORE than K-1
+//     commits hit one of its Vars after its timestamp sample — the walk
+//     fell off the truncated tail (counted in Stats.VersionMisses, then
+//     SnapshotRestarts as usual, with the same budget-then-fallback
+//     liveness). K=1 (the default) links nothing and preserves
+//     single-version behavior bit for bit. Under striped granularity the
+//     chain also absorbs FALSE snapshot invalidations: a stripe-mate's
+//     commit bumps the shared meta word, but the walk re-finds the Var's
+//     own (old) head and completes restart-free.
+//
+//   - Opacity over chains: resolving an older version is only legal
+//     because the chain provably holds every version the reader's
+//     snapshot could need. For TL2, a read that observed a stable,
+//     unlocked orec has a chain containing every box with wv <= rv that
+//     will ever exist (any later commit carries a stamp > rv); for NOrec,
+//     writeback completes before the sequence lock's release-store, so a
+//     reader's even sample acquires every box with wv <= its snapshot.
+//     The full memory-ordering argument lives in mvcc.go; the write-skew
+//     opacity hammer and the property suites run the K axis like they run
+//     engines to enforce it.
+//
+//   - Space bound: retention costs at most (K-1) * liveVars * sizeof(box)
+//     on top of single-version state, reported cumulatively in
+//     Stats.VersionBytes. Truncation happens inline at publish time (the
+//     K-th link is severed); no background reclamation exists or is
+//     needed — unreferenced tails are garbage collected.
+//
+//   - Scope: the axis serves only RunReadOnly's snapshot path on the
+//     engines with a snapshot timestamp to resolve against (TL2's clock
+//     sample, NOrec's sequence sample). Atomic transactions always read
+//     heads; OSTM and the direct engine ignore the option. The versioned
+//     read path stays 0 allocs/op (alloc_test.go) — the chain reuses the
+//     one box each commit already publishes.
+//
 // # The metadata layer: Vars, orecs and the granularity axis
 //
 // A Var holds only its identity, its clone function and its committed

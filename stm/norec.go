@@ -18,6 +18,16 @@ type NOrecConfig struct {
 	// MaxRetries bounds re-executions; 0 means retry forever. When the
 	// budget is exhausted Atomic returns ErrAborted.
 	MaxRetries int
+	// Versions keeps the last K committed versions per Var (an immutable
+	// chain linked during the seqlock write-back phase, each box stamped
+	// with its commit's post-release sequence value) so a read-only
+	// snapshot transaction (RunReadOnly) resolves the version matching
+	// its sampled epoch instead of restarting on every unrelated commit
+	// — the seqlock epoch check is dropped entirely under Versions > 1.
+	// 0 or 1 keeps today's single-version behavior; values above 64
+	// clamp. Only the snapshot read path consults older versions. See
+	// mvcc.go for the opacity argument and the space bound.
+	Versions int
 }
 
 // NOrec implements the "no ownership records" STM of Dalessandro, Spear
@@ -46,9 +56,12 @@ type NOrecConfig struct {
 //
 // NOrec sits outside the orec metadata axis by definition — "no ownership
 // records" is the design — so the Granularity/OrecStripes/ClockShards
-// engine options do not apply to it (NewWith hands it a default engine):
-// its metadata footprint is already a single word, which is exactly the
-// extreme point the striped orec table trades toward.
+// engine options do not apply to it: its metadata footprint is already a
+// single word, which is exactly the extreme point the striped orec table
+// trades toward. The EngineOptions.Versions axis DOES apply (the sequence
+// lock's even values are exactly the snapshot timestamps a version chain
+// resolves against), so NOrec registers as a tunable engine and consumes
+// that one knob.
 type NOrec struct {
 	space    VarSpace
 	cfg      NOrecConfig
@@ -64,10 +77,15 @@ type NOrec struct {
 // NewNOrec returns a NOrec engine with default configuration.
 func NewNOrec() *NOrec { return NewNOrecWith(NOrecConfig{}) }
 
-func init() { Register("norec", func() Engine { return NewNOrec() }) }
+func init() {
+	RegisterTunable("norec", func(o EngineOptions) Engine {
+		return NewNOrecWith(NOrecConfig{Versions: o.Versions})
+	})
+}
 
 // NewNOrecWith returns a NOrec engine with explicit configuration.
 func NewNOrecWith(cfg NOrecConfig) *NOrec {
+	cfg.Versions = normalizeVersions(cfg.Versions)
 	e := &NOrec{cfg: cfg}
 	e.txPool.init(func() *norecTx { return &norecTx{eng: e} })
 	e.snapPool.init(func() *norecSnapTx { return &norecSnapTx{eng: e} })
@@ -312,11 +330,15 @@ func (tx *norecTx) commit() bool {
 		// acquisition at the extended snapshot.
 		tx.snapshot = tx.validate()
 	}
+	// One fresh box per written Var: published snapshots may be held by
+	// concurrent readers forever and cannot come from the pool. Each box
+	// is stamped with this commit's post-release sequence value; under
+	// Versions > 1 the superseded box is linked behind it (same single
+	// allocation) so snapshot readers at older epochs can resolve it.
+	keep := tx.eng.cfg.Versions
 	for i := range tx.writes {
 		w := &tx.writes[i]
-		// One fresh box per written Var: published snapshots may be held
-		// by concurrent readers forever and cannot come from the pool.
-		w.v.cur.Store(&box{val: w.val})
+		publishVersion(w.v, &box{val: w.val, wv: tx.snapshot + 2}, keep, &tx.st)
 	}
 	tx.eng.seq.Store(tx.snapshot + 2)
 	return true

@@ -179,6 +179,8 @@ func orecHash(id uint64) uint64 {
 //
 //   - Granularity / OrecStripes: TL2 and OSTM.
 //   - ClockShards: TL2 (the only engine with a global version clock).
+//   - Versions: TL2 and NOrec (the engines with a snapshot timestamp an
+//     older version can be resolved against; see mvcc.go).
 type EngineOptions struct {
 	// Granularity selects the Var-to-orec mapping (object or striped).
 	Granularity Granularity
@@ -188,4 +190,9 @@ type EngineOptions struct {
 	// ClockShards shards TL2's commit clock (0 or 1 = the classic single
 	// global clock; rounded up to a power of two).
 	ClockShards int
+	// Versions keeps the last K committed versions per Var so read-only
+	// snapshot transactions resolve older versions instead of restarting
+	// under write traffic (0 or 1 = single-version; clamped to 64). See
+	// mvcc.go for the opacity argument and the space bound.
+	Versions int
 }

@@ -26,7 +26,7 @@ func benchShape(b *testing.B, shapeName string) {
 			continue
 		}
 		b.Run(name, func(b *testing.B) {
-			eng, err := stm.New(name)
+			eng, err := stm.NewWith(name, stm.EngineOptions{Versions: sh.Versions})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -96,3 +96,11 @@ func BenchmarkTxOverheadSnapshotRead(b *testing.B) { benchShape(b, "snapread8") 
 // The gap to BenchmarkTxOverheadLongTraversal is the per-read bookkeeping
 // the snapshot mode removes from T1/T6-style traversals.
 func BenchmarkTxOverheadSnapshotTraversal(b *testing.B) { benchShape(b, "snaptraverse1024") }
+
+// BenchmarkTxOverheadVersionedWalk: the snapread8 shape with a commit
+// landing inside every snapshot transaction, on Versions=8 engines — each
+// transaction resolves one read through the version chain. The shape's
+// check asserts zero snapshot restarts, so the measured cost is the walk
+// itself; the gap to BenchmarkTxOverheadSnapshotRead (plus one small-write
+// commit) is the price of restart-freedom under write traffic.
+func BenchmarkTxOverheadVersionedWalk(b *testing.B) { benchShape(b, "snapversionwalk8") }

@@ -59,9 +59,10 @@ func New(name string) (Engine, error) {
 
 // NewWith returns a fresh engine by registered name, configured with the
 // cross-engine metadata options. Engines for which an option does not
-// apply (NOrec has no per-location metadata to stripe and no commit clock
-// to shard; direct has neither) ignore it — the knobs are benchmark axes,
-// not hard requirements, so a sweep can hold them fixed across engines.
+// apply ignore it (NOrec has no per-location metadata to stripe and no
+// commit clock to shard, though it does honor Versions; direct ignores
+// everything) — the knobs are benchmark axes, not hard requirements, so a
+// sweep can hold them fixed across engines.
 func NewWith(name string, opts EngineOptions) (Engine, error) {
 	engineRegistry.mu.RLock()
 	factory, ok := engineRegistry.factories[name]

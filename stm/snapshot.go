@@ -182,6 +182,16 @@ type tl2SnapTx struct {
 // is never called — a stripe-mate's newer version restarts the snapshot
 // but is not attributed to Stats.FalseConflicts (there is no abort episode
 // to attribute; the refreshed snapshot simply includes the new commit).
+//
+// Under Versions > 1 an orec version above rv no longer restarts: the
+// chain loaded under the stable meta sample holds every version with
+// wv <= rv that will ever exist (see mvcc.go), so the read resolves the
+// newest such version — which under striped granularity may be the head
+// itself, when only a stripe-mate moved the shared meta word. Only a
+// truncated chain (timestamp older than the oldest retained version)
+// restarts, as a VersionMiss. Locked orecs are still waited out: the
+// writer holds its whole write set through writeback, so whether its
+// stamp lands at or below rv is not yet decidable from the chain.
 func (tx *tl2SnapTx) Read(v *Var) any {
 	tx.st.reads++
 	o := v.orc
@@ -201,6 +211,14 @@ func (tx *tl2SnapTx) Read(v *Var) any {
 			continue
 		}
 		if m1 > tx.rv {
+			if tx.eng.cfg.Versions > 1 {
+				if rb := resolveVersion(b, tx.rv); rb != nil {
+					tx.st.versionReads++
+					return rb.val
+				}
+				tx.st.versionMisses++
+				throwConflict("snapshot version truncated past rv")
+			}
 			// Newer than the snapshot: with no read set there is nothing
 			// to extend, so the whole attempt restarts at a fresh rv.
 			throwConflict("snapshot version newer than rv")
@@ -244,9 +262,29 @@ type norecSnapTx struct {
 // proves no writer published anything since the snapshot, so the box is
 // part of the snapshot's committed state; a moved sequence restarts the
 // attempt (with no read set there is nothing to revalidate by value).
+//
+// Under Versions > 1 the per-read epoch check is dropped entirely — the
+// whole point of the versioned cell. Commits are totally ordered by the
+// sequence lock and every box carries its commit's sequence value, so the
+// newest chain version with wv <= the sampled epoch IS the Var's value in
+// that epoch's committed state; boxes from later commits (mid-writeback
+// or fully published) carry larger stamps and are skipped by the walk
+// (see mvcc.go). Unrelated commits therefore stop killing traversals;
+// only a truncated chain restarts, as a VersionMiss.
 func (tx *norecSnapTx) Read(v *Var) any {
 	tx.st.reads++
 	b := v.cur.Load()
+	if tx.eng.cfg.Versions > 1 {
+		if b.wv <= tx.snap {
+			return b.val
+		}
+		if rb := resolveVersion(b.prev.Load(), tx.snap); rb != nil {
+			tx.st.versionReads++
+			return rb.val
+		}
+		tx.st.versionMisses++
+		throwConflict("snapshot version truncated past epoch")
+	}
 	if tx.eng.seq.Load() != tx.snap {
 		throwConflict("snapshot epoch moved")
 	}

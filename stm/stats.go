@@ -47,6 +47,22 @@ type Stats struct {
 	// the validating path (and it never involves another transaction's
 	// metadata, so it can never count toward FalseConflicts either).
 	SnapshotRestarts uint64
+	// VersionReads counts snapshot reads served from an older committed
+	// version on a Var's multi-version chain (Versions > 1) — each is a
+	// read that would have restarted the whole attempt under the
+	// single-version configuration. Always 0 at Versions <= 1.
+	VersionReads uint64
+	// VersionMisses counts snapshot chain walks that fell off a truncated
+	// version chain (the reader's timestamp was older than the oldest
+	// retained version); each miss restarts the attempt and so also
+	// counts toward SnapshotRestarts.
+	VersionMisses uint64
+	// VersionBytes is the cumulative size of superseded version boxes
+	// retained by commit-time chain linking (the chain nodes themselves,
+	// not the user values they pin) — the space side of the restarts-for-
+	// space trade. Instantaneous retention is bounded by
+	// (Versions-1) * liveVars * sizeof(box). Always 0 at Versions <= 1.
+	VersionBytes uint64
 	// ClockShards is the number of commit-clock shards (TL2: 1 for the
 	// classic global clock; 0 for engines without a commit clock). A
 	// snapshot property, not a counter: Delta carries the newer value.
@@ -88,6 +104,11 @@ type statCounters struct {
 	// so they need no txStats batching.
 	snapshotTxs      padUint64
 	snapshotRestarts padUint64
+	// Multi-version counters (mvcc.go). Per-read / per-write frequency,
+	// so they batch through txStats like reads and writes do.
+	versionReads  padUint64
+	versionMisses padUint64
+	versionBytes  padUint64
 }
 
 // txStats is the per-transaction accumulator for the high-frequency
@@ -102,6 +123,9 @@ type txStats struct {
 	enemyAborts    uint64
 	lockFailures   uint64
 	falseConflicts uint64
+	versionReads   uint64
+	versionMisses  uint64
+	versionBytes   uint64
 }
 
 // flushTx adds a transaction's locally accumulated counters to the shared
@@ -136,6 +160,18 @@ func (c *statCounters) flushTx(s *txStats) {
 		c.falseConflicts.Add(s.falseConflicts)
 		s.falseConflicts = 0
 	}
+	if s.versionReads != 0 {
+		c.versionReads.Add(s.versionReads)
+		s.versionReads = 0
+	}
+	if s.versionMisses != 0 {
+		c.versionMisses.Add(s.versionMisses)
+		s.versionMisses = 0
+	}
+	if s.versionBytes != 0 {
+		c.versionBytes.Add(s.versionBytes)
+		s.versionBytes = 0
+	}
 }
 
 // snapshot returns the current totals. Each counter is loaded atomically,
@@ -160,6 +196,9 @@ func (c *statCounters) snapshot() Stats {
 		FalseConflicts:   c.falseConflicts.Load(),
 		SnapshotTxs:      c.snapshotTxs.Load(),
 		SnapshotRestarts: c.snapshotRestarts.Load(),
+		VersionReads:     c.versionReads.Load(),
+		VersionMisses:    c.versionMisses.Load(),
+		VersionBytes:     c.versionBytes.Load(),
 	}
 }
 
@@ -221,6 +260,9 @@ func (s Stats) Delta(prev Stats) Stats {
 		FalseConflicts:   s.FalseConflicts - prev.FalseConflicts,
 		SnapshotTxs:      s.SnapshotTxs - prev.SnapshotTxs,
 		SnapshotRestarts: s.SnapshotRestarts - prev.SnapshotRestarts,
+		VersionReads:     s.VersionReads - prev.VersionReads,
+		VersionMisses:    s.VersionMisses - prev.VersionMisses,
+		VersionBytes:     s.VersionBytes - prev.VersionBytes,
 		// Snapshot properties, not counters: the newer snapshot's view.
 		ClockShards:      s.ClockShards,
 		ClockShardSpread: s.ClockShardSpread,

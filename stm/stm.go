@@ -9,8 +9,21 @@ import (
 // box holds one immutable snapshot of a Var's value. Box identity (pointer
 // equality) is what read-set validation compares, so equal values written at
 // different times are still distinguishable.
+//
+// val and wv are immutable once the box is published through Var.cur. prev
+// is the multi-version chain (see mvcc.go): under Versions > 1 a committing
+// writer links the superseded head behind the new box before publishing it,
+// so snapshot readers can resolve older committed versions by walking prev.
+// prev only ever transitions old-head -> nil (retention truncation); under
+// the default single-version configuration it is never set and the box is
+// exactly the value cell it always was.
 type box struct {
 	val any
+	// wv is the commit timestamp of the write that published this box:
+	// TL2's clock stamp, NOrec's post-commit sequence value. 0 for values
+	// installed at NewVar (older than every possible snapshot).
+	wv   uint64
+	prev atomic.Pointer[box]
 }
 
 // CloneFunc produces a deep-enough copy of a value such that mutating the

@@ -58,6 +58,22 @@ var txEngineMakers = map[string]func() Engine{
 	"ostm-striped-ctv": func() Engine {
 		return NewOSTMWith(OSTMConfig{Granularity: StripedGranularity, OrecStripes: 16, CommitTimeValidationOnly: true})
 	},
+
+	// Multi-version variants: the version-chain depth iterates through the
+	// same suites like engines and granularity modes do (K=1 is the base
+	// registry entry). The striped x versioned combinations hammer the
+	// interaction between stripe-shared meta words and per-Var chains —
+	// a stripe-mate's commit must never surface a wrong version.
+	"tl2-mv2":   func() Engine { return NewTL2With(TL2Config{Versions: 2}) },
+	"tl2-mv8":   func() Engine { return NewTL2With(TL2Config{Versions: 8}) },
+	"norec-mv2": func() Engine { return NewNOrecWith(NOrecConfig{Versions: 2}) },
+	"norec-mv8": func() Engine { return NewNOrecWith(NOrecConfig{Versions: 8}) },
+	"tl2-striped-mv2": func() Engine {
+		return NewTL2With(TL2Config{Granularity: StripedGranularity, OrecStripes: 16, Versions: 2})
+	},
+	"tl2-striped-mv8": func() Engine {
+		return NewTL2With(TL2Config{Granularity: StripedGranularity, OrecStripes: 16, Versions: 8})
+	},
 }
 
 // init adds every registered engine (except the non-transactional direct

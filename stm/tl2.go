@@ -40,6 +40,15 @@ type TL2Config struct {
 	// shortcut (stamps are no longer unique), so lightly contended
 	// read-write transactions validate slightly more; see gvClock.
 	ClockShards int
+	// Versions keeps the last K committed versions per Var (an immutable
+	// chain linked at commit-time writeback) so a read-only snapshot
+	// transaction (RunReadOnly) whose sampled rv predates the newest
+	// version resolves the matching older version instead of restarting.
+	// 0 or 1 keeps today's single-version behavior; values above 64
+	// clamp. Only the snapshot read path consults older versions — the
+	// validating Atomic path is unchanged. See mvcc.go for the opacity
+	// argument and the space bound.
+	Versions int
 }
 
 // TL2 implements Transactional Locking II (Dice, Shalev, Shavit; DISC
@@ -75,6 +84,7 @@ func init() {
 			Granularity: o.Granularity,
 			OrecStripes: o.OrecStripes,
 			ClockShards: o.ClockShards,
+			Versions:    o.Versions,
 		})
 	})
 }
@@ -87,6 +97,7 @@ func NewTL2With(cfg TL2Config) *TL2 {
 	if cfg.CommitLockSpins <= 0 {
 		cfg.CommitLockSpins = 64
 	}
+	cfg.Versions = normalizeVersions(cfg.Versions)
 	e := &TL2{cfg: cfg, striped: cfg.Granularity == StripedGranularity}
 	if err := e.space.ConfigureOrecs(cfg.Granularity, cfg.OrecStripes); err != nil {
 		panic(err) // unreachable: the space is brand new and the size is clamped
@@ -437,10 +448,13 @@ func (tx *tl2Tx) commit() bool {
 	// hold indefinitely, so they can never be recycled from the
 	// descriptor. All boxes land before any orec unlocks so that a reader
 	// of one stripe-mate can never observe a mix of old and new values
-	// under an unlocked meta word.
+	// under an unlocked meta word. Under Versions > 1 the superseded box
+	// is linked behind the new one (same single allocation) so snapshot
+	// readers at older rv can resolve it; see mvcc.go.
+	keep := tx.eng.cfg.Versions
 	for i := range tx.writes {
 		w := &tx.writes[i]
-		w.v.cur.Store(&box{val: w.val})
+		publishVersion(w.v, &box{val: w.val, wv: wv}, keep, &tx.st)
 	}
 	for i := range tx.writes {
 		if tx.lockedMeta[i] == dupMeta {
