@@ -39,6 +39,18 @@
 // in as BENCH_pr6.json. The other throughput experiments accept -versions
 // to run under a chosen chain depth.
 //
+// The chaos experiment exercises the robustness subsystem of PR 7 per STM
+// engine: a deterministic fault plan (commit-path stalls plus forced
+// aborts) under a write-dominated storm with a transaction deadline,
+// serial fallback off vs on; a reproducibility pair (two identical seeded
+// fixed-op runs must fire the identical fault count); an acceptance pair
+// under an always-abort plan (fallback off surfaces deadline aborts,
+// fallback on commits every transaction serially); and an open-loop
+// overload point per engine showing the shedding knobs (lateness budget +
+// bounded queue) holding response time under an arrival rate beyond
+// capacity. Checked in as BENCH_pr7.json. The throughput experiments
+// accept no robustness flags — chaos owns that grid.
+//
 // The scenarios experiment sweeps the built-in multi-phase scenario
 // library (steady, ramp-up, spike, read-burst-write-storm,
 // hotspot-migration, engine-sweep; the CI smoke scenario is skipped)
@@ -154,6 +166,21 @@ type jsonPoint struct {
 	VersionReads  uint64 `json:"version_reads,omitempty"`
 	VersionMisses uint64 `json:"version_misses,omitempty"`
 	VersionBytes  uint64 `json:"version_bytes,omitempty"`
+	// Chaos-sweep fields: the robustness configuration a point ran under
+	// (fault plan, transaction deadline, serial fallback on/off) and what
+	// the subsystem did — faults fired, deadline aborts surfaced, serial
+	// escalations taken, operations that failed, and for open-loop points
+	// the arrivals shed by the overload knobs.
+	FaultPlan       string   `json:"fault_plan,omitempty"`
+	TxDeadline      string   `json:"tx_deadline,omitempty"`
+	SerialFallback  string   `json:"serial_fallback,omitempty"`
+	InjectedFaults  uint64   `json:"injected_faults,omitempty"`
+	TimeoutAborts   uint64   `json:"timeout_aborts,omitempty"`
+	SerialFallbacks uint64   `json:"serial_fallbacks,omitempty"`
+	FailedOps       int64    `json:"failed_ops,omitempty"`
+	Arrivals        int64    `json:"arrivals,omitempty"`
+	ShedOps         int64    `json:"shed_ops,omitempty"`
+	ShedPct         *float64 `json:"shed_pct,omitempty"`
 }
 
 // jsonReport is the -json document. Size/Seconds/Threads echo the driver
@@ -206,7 +233,7 @@ func i64ptr(v int64) *int64     { return &v }
 func f64ptr(v float64) *float64 { return &v }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, table3, fig6, headline, ablations, overhead, scenarios, orecs, snapshot, mvcc or all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, table3, fig6, headline, ablations, overhead, scenarios, orecs, snapshot, mvcc, chaos or all")
 	size := flag.String("size", "small", "structure size: tiny, small or medium (paper scale)")
 	seconds := flag.Float64("seconds", 1.0, "measurement duration per data point, in seconds")
 	threadsFlag := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
@@ -279,8 +306,9 @@ func main() {
 		"orecs":     orecSweep,
 		"snapshot":  snapshotSweep,
 		"mvcc":      mvccSweep,
+		"chaos":     chaosSweep,
 	}
-	order := []string{"fig3", "fig4", "table3", "fig6", "headline", "ablations", "overhead", "scenarios", "orecs", "snapshot", "mvcc"}
+	order := []string{"fig3", "fig4", "table3", "fig6", "headline", "ablations", "overhead", "scenarios", "orecs", "snapshot", "mvcc", "chaos"}
 	if *exp == "all" {
 		for _, name := range order {
 			curExp = name
@@ -1231,6 +1259,222 @@ func mvccSweep(cfg config) {
 				}
 			}
 		}
+	}
+	fmt.Println()
+}
+
+// chaosSweep exercises the PR-7 robustness subsystem on every STM engine:
+//
+//   - storm: the write-dominated mix under the chaos-storm fault plan
+//     (seeded commit-path stalls plus a 1-in-24 forced abort) and a 25ms
+//     transaction deadline, serial fallback off vs on — the realistic
+//     "engine under fire" rows.
+//   - determinism: two identical single-threaded fixed-op runs under the
+//     same plan must fire bit-for-bit the same number of faults — the
+//     reproducibility contract that makes chaos runs debuggable.
+//   - acceptance: an always-abort plan (abort:1/1) with a 5ms deadline.
+//     Fallback off surfaces every transaction as a deadline abort
+//     (timeout aborts > 0); fallback on escalates each to irrevocable
+//     serial mode and commits it (serial fallbacks > 0, timeout aborts
+//     and failed ops = 0) — the liveness guarantee as a measurement.
+//   - squall: an open-loop point at an arrival rate far beyond capacity
+//     with a 2ms lateness budget and a 256-deep queue bound — the
+//     shedding knobs keeping the served ops' response time bounded
+//     instead of letting the backlog grow without limit.
+func chaosSweep(cfg config) {
+	const stormPlan = "seed=7,precommit:1/40:80µs,lockhold:1/56:120µs,clocktick:1/72:40µs,abort:1/24"
+	const stormDeadline = 25 * time.Millisecond
+	threads := 4
+	if n := len(cfg.threads); n > 0 {
+		threads = cfg.threads[n-1]
+	}
+	mustPlan := func(s string) *stmbench7.FaultPlan {
+		p, err := stmbench7.ParseFaultPlan(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return p
+	}
+	runChaos := func(o stmbench7.Options) *stmbench7.Result {
+		o.Params = cfg.params
+		o.Seed = cfg.seed
+		o.Granularity = cfg.granularity
+		o.OrecStripes = cfg.orecStripes
+		o.ClockShards = cfg.clockShards
+		o.Versions = cfg.versions
+		o.DisableROSnapshot = cfg.disableSnap
+		res, err := stmbench7.Run(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return res
+	}
+	onOff := func(b bool) string {
+		if b {
+			return "on"
+		}
+		return "off"
+	}
+
+	fmt.Println("=== Chaos sweep: fault injection, deadlines, serial fallback, shedding ===")
+	fmt.Printf("    (storm: write-dominated mix under %q,\n", stormPlan)
+	fmt.Printf("     tx deadline %v, %d threads, %gs per point)\n", stormDeadline, threads, cfg.seconds)
+	fmt.Printf("%-8s %-12s %-9s %12s %8s %9s %9s %10s %9s\n",
+		"engine", "shape", "fallback", "ops/s", "abort%", "faults", "timeouts", "fallbacks", "failed")
+	for _, strat := range sync7.STMStrategies() {
+		for _, fallback := range []bool{false, true} {
+			res := runChaos(stmbench7.Options{
+				Threads:        threads,
+				Duration:       time.Duration(cfg.seconds * float64(time.Second)),
+				Workload:       ops.WriteDominated,
+				LongTraversals: false,
+				StructureMods:  true,
+				Strategy:       strat,
+				TxDeadline:     stormDeadline,
+				SerialFallback: fallback,
+				FaultPlan:      mustPlan(stormPlan),
+			})
+			es := res.EngineStats
+			failed := res.TotalAttempted() - res.TotalSucceeded()
+			fmt.Printf("%-8s %-12s %-9s %12.0f %8.1f %9d %9d %10d %9d\n",
+				strat, "storm", onOff(fallback), res.Throughput(), 100*es.AbortRate(),
+				es.InjectedFaults, es.TimeoutAborts, es.SerialFallbacks, failed)
+			record(jsonPoint{
+				Variant:         strat + "/storm",
+				Workload:        ops.WriteDominated.String(),
+				Threads:         threads,
+				OpsPerSec:       res.Throughput(),
+				AbortPct:        f64ptr(100 * es.AbortRate()),
+				Commits:         es.Commits,
+				Aborts:          es.ConflictAborts,
+				FaultPlan:       stormPlan,
+				TxDeadline:      stormDeadline.String(),
+				SerialFallback:  onOff(fallback),
+				InjectedFaults:  es.InjectedFaults,
+				TimeoutAborts:   es.TimeoutAborts,
+				SerialFallbacks: es.SerialFallbacks,
+				FailedOps:       failed,
+			})
+		}
+	}
+
+	// Reproducibility: same seed, same fixed-op single-threaded run, twice —
+	// the fault counters must match exactly.
+	fmt.Println("\n  determinism (1 thread, 2000 fixed ops, identical seeded runs):")
+	for _, strat := range sync7.STMStrategies() {
+		var faults [2]uint64
+		for i := range faults {
+			res := runChaos(stmbench7.Options{
+				Threads:        1,
+				MaxOps:         2000,
+				Workload:       ops.WriteDominated,
+				LongTraversals: false,
+				StructureMods:  true,
+				Strategy:       strat,
+				FaultPlan:      mustPlan(stormPlan),
+			})
+			faults[i] = res.EngineStats.InjectedFaults
+			record(jsonPoint{
+				Variant:        fmt.Sprintf("%s/determinism-%c", strat, 'a'+i),
+				Workload:       ops.WriteDominated.String(),
+				Threads:        1,
+				OpsPerSec:      res.Throughput(),
+				FaultPlan:      stormPlan,
+				InjectedFaults: res.EngineStats.InjectedFaults,
+			})
+		}
+		verdict := "REPRODUCIBLE"
+		if faults[0] != faults[1] {
+			verdict = "MISMATCH"
+		}
+		fmt.Printf("  %-8s run A %5d faults, run B %5d faults — %s\n", strat, faults[0], faults[1], verdict)
+	}
+
+	// Acceptance: under an always-abort plan, fallback off surfaces every
+	// transaction as a deadline abort; fallback on commits all of them
+	// serially with zero surfaced aborts.
+	fmt.Println("\n  acceptance (abort:1/1 plan, 5ms deadline, 2 threads, 100 ops each):")
+	for _, strat := range sync7.STMStrategies() {
+		for _, fallback := range []bool{false, true} {
+			res := runChaos(stmbench7.Options{
+				Threads:        2,
+				MaxOps:         100,
+				Workload:       ops.WriteDominated,
+				LongTraversals: false,
+				StructureMods:  true,
+				Strategy:       strat,
+				TxDeadline:     5 * time.Millisecond,
+				SerialFallback: fallback,
+				FaultPlan:      mustPlan("seed=7,abort:1/1"),
+			})
+			es := res.EngineStats
+			failed := res.TotalAttempted() - res.TotalSucceeded()
+			fmt.Printf("  %-8s fallback %-3s timeouts %5d  fallbacks %5d  failed %5d\n",
+				strat, onOff(fallback), es.TimeoutAborts, es.SerialFallbacks, failed)
+			record(jsonPoint{
+				Variant:         strat + "/acceptance",
+				Workload:        ops.WriteDominated.String(),
+				Threads:         2,
+				OpsPerSec:       res.Throughput(),
+				Commits:         es.Commits,
+				FaultPlan:       "seed=7,abort:1/1",
+				TxDeadline:      (5 * time.Millisecond).String(),
+				SerialFallback:  onOff(fallback),
+				InjectedFaults:  es.InjectedFaults,
+				TimeoutAborts:   es.TimeoutAborts,
+				SerialFallbacks: es.SerialFallbacks,
+				FailedOps:       failed,
+			})
+		}
+	}
+
+	// Overload shedding: open-loop arrivals far beyond capacity; the
+	// lateness budget and queue bound shed the excess instead of letting
+	// response time diverge with the backlog.
+	fmt.Println("\n  squall (open loop @ 200k/s arrivals, shed_after 2ms, queue_bound 256):")
+	for _, strat := range sync7.STMStrategies() {
+		res := runChaos(stmbench7.Options{
+			Threads:           threads,
+			Duration:          time.Duration(cfg.seconds * float64(time.Second) / 2),
+			Workload:          ops.ReadWrite,
+			LongTraversals:    false,
+			StructureMods:     true,
+			Strategy:          strat,
+			TxDeadline:        stormDeadline,
+			SerialFallback:    true,
+			FaultPlan:         mustPlan(stormPlan),
+			OpenLoop:          true,
+			ArrivalRate:       200_000,
+			ShedAfter:         2 * time.Millisecond,
+			QueueBound:        256,
+			CollectHistograms: true,
+		})
+		p99 := "-"
+		var p99v *float64
+		if ls, ok := res.ResponseLatency(); ok {
+			p99 = fmt.Sprintf("%.3f", ls.P99Ms)
+			p99v = f64ptr(ls.P99Ms)
+		}
+		fmt.Printf("  %-8s served %7d  shed %7d of %7d arrivals (%5.1f%%)  p99 %s ms\n",
+			strat, res.TotalAttempted(), res.ShedOps, res.Arrivals, 100*res.ShedRate(), p99)
+		record(jsonPoint{
+			Variant:         strat + "/squall",
+			Workload:        ops.ReadWrite.String(),
+			Threads:         threads,
+			OpsPerSec:       res.Throughput(),
+			P99ResponseMs:   p99v,
+			FaultPlan:       stormPlan,
+			TxDeadline:      stormDeadline.String(),
+			SerialFallback:  "on",
+			InjectedFaults:  res.EngineStats.InjectedFaults,
+			TimeoutAborts:   res.EngineStats.TimeoutAborts,
+			SerialFallbacks: res.EngineStats.SerialFallbacks,
+			Arrivals:        res.Arrivals,
+			ShedOps:         res.ShedOps,
+			ShedPct:         f64ptr(100 * res.ShedRate()),
+		})
 	}
 	fmt.Println()
 }

@@ -33,6 +33,17 @@
 //	                          operations from the engine's validation-free
 //	                          snapshot mode (default on; off restores the
 //	                          plain Atomic path for every operation)
+//	-deadline D               per-transaction wall-clock retry budget (Go
+//	                          duration; 0 = none); transactions that cannot
+//	                          commit within D abort with a deadline-exceeded
+//	                          cause (stm engines only)
+//	-serial-fallback          escalate transactions that exhaust their retry
+//	                          budget or deadline to irrevocable serial mode
+//	                          instead of surfacing the abort
+//	-fault-plan PLAN          deterministic fault injection at the engines'
+//	                          commit-path probe sites, e.g.
+//	                          "seed=7,precommit:1/40:80us,abort:1/24"
+//	                          (sites: precommit, lockhold, clocktick, abort)
 //	-check                    verify all structural invariants after the run
 //	-chunks N                 split the manual into N chunks (§5 optimization)
 //	-group-atomic             group atomic-part state per composite part (§5 optimization)
@@ -45,6 +56,9 @@
 //	                      instead of a single static mix; -t becomes the
 //	                      default thread count for phases that don't set
 //	                      their own, and -l/-w/--no-* are ignored
+//	                      (-deadline/-serial-fallback/-fault-plan become run
+//	                      defaults a scenario may override; overload-shedding
+//	                      knobs are per-phase in the scenario file)
 //	-scenario-scale F     multiply every phase duration by F (default 1)
 //	-list-scenarios       print the built-in scenario library and exit
 //
@@ -107,6 +121,9 @@ func run(args []string) error {
 	clockShards := fs.Int("clock-shards", 0, "TL2 commit-clock shards (0 or 1 = single clock)")
 	versions := fs.Int("versions", 0, "committed versions kept per Var for snapshot reads (0 or 1 = single version)")
 	roSnapshot := fs.String("ro-snapshot", "on", "read-only snapshot fast path: on or off")
+	deadline := fs.Duration("deadline", 0, "per-transaction wall-clock retry budget (0 = none; stm engines only)")
+	serialFallback := fs.Bool("serial-fallback", false, "escalate transactions that exhaust their retry budget or deadline to irrevocable serial mode")
+	faultPlanFlag := fs.String("fault-plan", "", `deterministic fault-injection plan, e.g. "seed=7,precommit:1/40:80us,abort:1/24"`)
 	check := fs.Bool("check", false, "check structural invariants after the run")
 	chunks := fs.Int("chunks", 1, "manual chunks (§5 optimization when > 1)")
 	groupAtomic := fs.Bool("group-atomic", false, "group atomic-part state per composite (§5 optimization)")
@@ -137,6 +154,13 @@ func run(args []string) error {
 		disableSnap = true
 	default:
 		return fmt.Errorf("bad -ro-snapshot %q (want on or off)", *roSnapshot)
+	}
+	faultPlan, err := stmbench7.ParseFaultPlan(*faultPlanFlag)
+	if err != nil {
+		return fmt.Errorf("bad -fault-plan: %w", err)
+	}
+	if *deadline < 0 {
+		return fmt.Errorf("bad -deadline %v (must be >= 0)", *deadline)
 	}
 
 	params, ok := stmbench7.NamedParams(*size)
@@ -174,6 +198,9 @@ func run(args []string) error {
 			ClockShards:              *clockShards,
 			Versions:                 *versions,
 			DisableROSnapshot:        disableSnap,
+			TxDeadline:               *deadline,
+			SerialFallback:           *serialFallback,
+			FaultPlan:                faultPlan,
 		})
 		if err != nil {
 			return err
@@ -210,6 +237,9 @@ func run(args []string) error {
 		ClockShards:              *clockShards,
 		Versions:                 *versions,
 		DisableROSnapshot:        disableSnap,
+		TxDeadline:               *deadline,
+		SerialFallback:           *serialFallback,
+		FaultPlan:                faultPlan,
 		CollectHistograms:        *histograms,
 		CheckInvariants:          *check,
 	}

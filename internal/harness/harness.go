@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -96,6 +97,31 @@ type Options struct {
 	// of the composite-part id domain, in [0, 1) — successive phases
 	// with different shifts migrate the hotspot across the structure.
 	SkewShift float64
+	// TxDeadline bounds each transaction's wall-clock retry window
+	// (-deadline): an attempt never starts after the deadline passes (the
+	// first always runs); transactions that hit it surface
+	// stm.ErrDeadlineExceeded and are booked as failed operations. Zero =
+	// no deadline. Ignored by lock strategies and direct.
+	TxDeadline time.Duration
+	// SerialFallback (-serial-fallback) escalates transactions that
+	// exhaust their retry budget or deadline to an exclusive irrevocable
+	// serial mode instead of surfacing stm.ErrAborted: with it on, STM
+	// operations never fail with an abort. Ignored by lock strategies.
+	SerialFallback bool
+	// FaultPlan deterministically injects commit-path stalls and forced
+	// aborts (-fault-plan; nil = off; see stm.ParseFaultPlan for the
+	// site:1/N[:stall] syntax). Ignored by lock strategies and direct.
+	FaultPlan *stm.FaultPlan
+	// ShedAfter is the open-loop lateness budget (-shed-after): an
+	// arrival still unserved ShedAfter past its due time is shed —
+	// counted in Result.ShedOps, never executed — instead of stretching
+	// the queue further. Zero = never shed on lateness. Requires
+	// OpenLoop.
+	ShedAfter time.Duration
+	// QueueBound caps the open-loop arrival backlog (-queue-bound): when
+	// more than QueueBound later arrivals are already due, the arrival at
+	// the head is shed. Zero = unbounded. Requires OpenLoop.
+	QueueBound int
 	// OpenLoop replaces the closed per-thread loop with an open-loop
 	// driver: operations arrive on a deterministic Poisson schedule at
 	// ArrivalRate ops/s in total, Threads workers serve the queue, and
@@ -160,6 +186,18 @@ func (o Options) validate() error {
 	if o.OpenLoop && o.ArrivalRate <= 0 {
 		return fmt.Errorf("harness: OpenLoop needs ArrivalRate > 0, got %v", o.ArrivalRate)
 	}
+	if o.TxDeadline < 0 {
+		return fmt.Errorf("harness: negative TxDeadline %v", o.TxDeadline)
+	}
+	if o.ShedAfter < 0 {
+		return fmt.Errorf("harness: negative ShedAfter %v", o.ShedAfter)
+	}
+	if o.QueueBound < 0 {
+		return fmt.Errorf("harness: negative QueueBound %d", o.QueueBound)
+	}
+	if !o.OpenLoop && (o.ShedAfter > 0 || o.QueueBound > 0) {
+		return fmt.Errorf("harness: ShedAfter/QueueBound shed overload from the open-loop queue; set OpenLoop (closed-loop workers have no queue to shed from)")
+	}
 	return nil
 }
 
@@ -195,9 +233,14 @@ type Result struct {
 	// their own activity.
 	EngineStats stm.Stats
 	// Arrivals is the number of scheduled arrivals actually issued by
-	// an open-loop run (0 for closed-loop runs). Every issued arrival
-	// executes exactly once, so Arrivals == TotalAttempted.
+	// an open-loop run (0 for closed-loop runs). Every issued arrival is
+	// either executed exactly once or shed, so
+	// Arrivals == TotalAttempted + ShedOps.
 	Arrivals int64
+	// ShedOps is the number of open-loop arrivals shed by the overload
+	// policy (Options.ShedAfter / Options.QueueBound) instead of
+	// executed. Always 0 for closed-loop runs.
+	ShedOps int64
 	// Response is the open-loop response-time histogram in MICROSECOND
 	// buckets: completion minus scheduled arrival, queueing included.
 	// Nil for closed-loop runs; summarize with ResponseLatency.
@@ -214,6 +257,9 @@ type threadStats struct {
 	// resp is the open-loop response-time histogram (µs buckets); nil
 	// in closed-loop runs.
 	resp map[int64]int64
+	// sheds counts open-loop arrivals this worker shed instead of
+	// executing.
+	sheds int64
 }
 
 func newThreadStats() *threadStats {
@@ -242,7 +288,9 @@ func (st *threadStats) recordOutcome(opName string, ttc time.Duration, collectHi
 			}
 			h[ttc.Milliseconds()]++
 		}
-	case err == ops.ErrFailed || err == stm.ErrAborted:
+	// errors.Is, not ==: stm aborts arrive as cause-wrapped singletons
+	// (ErrRetryExhausted, ErrDeadlineExceeded, ErrInjectedFault).
+	case errors.Is(err, ops.ErrFailed) || errors.Is(err, stm.ErrAborted):
 		st.failed[opName]++
 	default:
 		return fmt.Errorf("harness: %s: %w", opName, err)
@@ -265,6 +313,9 @@ func Setup(o Options) (sync7.Executor, *core.Structure, error) {
 		OrecStripes:              o.OrecStripes,
 		ClockShards:              o.ClockShards,
 		Versions:                 o.Versions,
+		TxDeadline:               o.TxDeadline,
+		SerialFallback:           o.SerialFallback,
+		FaultPlan:                o.FaultPlan,
 		DisableROSnapshot:        o.DisableROSnapshot,
 	})
 	if err != nil {
@@ -450,6 +501,7 @@ func mergeThreadStats(res *Result, perThread []*threadStats, collectHist bool) {
 				res.Response[us] += n
 			}
 		}
+		res.ShedOps += st.sheds
 	}
 }
 
@@ -489,6 +541,18 @@ func (r *Result) AttemptedThroughput() float64 {
 		return 0
 	}
 	return float64(r.TotalAttempted()) / r.Elapsed.Seconds()
+}
+
+// ShedRate returns the fraction of issued open-loop arrivals that were
+// shed by the overload policy (0 when shedding was off or the run was
+// closed-loop). A high shed rate under a given offered load means the
+// system was saturated: the work that did run met its lateness budget
+// only because the rest was refused.
+func (r *Result) ShedRate() float64 {
+	if r.Arrivals <= 0 {
+		return 0
+	}
+	return float64(r.ShedOps) / float64(r.Arrivals)
 }
 
 // MaxTTC returns the maximum time-to-completion observed for the named

@@ -87,6 +87,27 @@ func runOpenLoop(o Options, ex sync7.Executor, s *core.Structure) (*Result, erro
 					return // past the deadline; so is every later arrival
 				}
 				due := start.Add(off)
+				// Overload shedding: refuse arrivals the system is too
+				// far behind on rather than stretching the queue without
+				// bound. Both tests are O(1) against the precomputed
+				// schedule. A shed arrival still counts as issued — the
+				// offered load happened — but is never executed and
+				// contributes no response sample.
+				if o.ShedAfter > 0 && time.Since(due) > o.ShedAfter {
+					// Lateness budget: this arrival has already waited
+					// longer than any acceptable response to it.
+					issued.Add(1)
+					st.sheds++
+					continue
+				}
+				if b := int64(o.QueueBound); b > 0 && i+b < int64(total) && offsets[i+b] <= time.Since(start) {
+					// Queue bound: the arrival QueueBound positions
+					// ahead is already due, so more than QueueBound
+					// arrivals are backed up behind this one.
+					issued.Add(1)
+					st.sheds++
+					continue
+				}
 				waitUntil(due)
 				issued.Add(1)
 				r := rng.New(seeds[i])

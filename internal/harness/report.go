@@ -116,6 +116,16 @@ func WriteReport(w io.Writer, r *Result) {
 			fmt.Fprintf(w, "  response time:        p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, max %d ms (queueing included)\n",
 				rs.P50Ms, rs.P90Ms, rs.P99Ms, rs.MaxMs)
 		}
+		if o.ShedAfter > 0 || o.QueueBound > 0 {
+			fmt.Fprintf(w, "  overload shedding:    %d ops shed (%.1f%% of arrivals)", r.ShedOps, 100*r.ShedRate())
+			if o.ShedAfter > 0 {
+				fmt.Fprintf(w, ", lateness budget %v", o.ShedAfter)
+			}
+			if o.QueueBound > 0 {
+				fmt.Fprintf(w, ", queue bound %d", o.QueueBound)
+			}
+			fmt.Fprintln(w)
+		}
 	}
 
 	es := r.EngineStats
@@ -135,5 +145,23 @@ func WriteReport(w io.Writer, r *Result) {
 		if es.ClockShards > 1 {
 			fmt.Fprintf(w, "  commit clock: %d shards, spread %d\n", es.ClockShards, es.ClockShardSpread)
 		}
+		if o.TxDeadline > 0 || es.TimeoutAborts > 0 {
+			fmt.Fprintf(w, "  tx deadline: %v, %d timeout aborts\n", o.TxDeadline, es.TimeoutAborts)
+		}
+		if o.SerialFallback {
+			fmt.Fprintf(w, "  serial fallback: on, %d escalations (%.2f%% of commits)\n",
+				es.SerialFallbacks, 100*safeRate(es.SerialFallbacks, es.Commits))
+		}
+		if o.FaultPlan != nil || es.InjectedFaults > 0 {
+			fmt.Fprintf(w, "  fault injection: plan %q, %d faults fired\n", o.FaultPlan.String(), es.InjectedFaults)
+		}
 	}
+}
+
+// safeRate divides two counters, returning 0 for an empty denominator.
+func safeRate(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
 }

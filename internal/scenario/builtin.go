@@ -175,6 +175,37 @@ func init() {
 		},
 	})
 
+	// chaos-storm: the robustness exercise — every phase runs under a
+	// seeded fault plan (commit-path stalls plus forced aborts) and a
+	// transaction deadline. The storm phase is a skewed write-heavy mix
+	// where injected aborts and deadline pressure bite hardest; squall
+	// adds open-loop overload with shedding (a lateness budget and a
+	// bounded queue), so the report shows shed rate next to timeout
+	// aborts; drain returns to a light read mix to confirm recovery.
+	// Run with -serial-fallback to see the same storm complete without a
+	// single surfaced abort.
+	RegisterBuiltin(&Scenario{
+		Name:        "chaos-storm",
+		Description: "seeded fault injection + 25ms tx deadline through a write storm and an open-loop squall with shedding",
+		TxDeadline:  "25ms",
+		FaultPlan:   "seed=7,precommit:1/40:80µs,lockhold:1/56:120µs,clocktick:1/72:40µs,abort:1/24",
+		Phases: []Phase{
+			{Name: "warm", Duration: 300 * time.Millisecond, Workload: ops.ReadDominated, StructureMods: true},
+			{
+				Name: "storm", Duration: 500 * time.Millisecond,
+				Workload: ops.WriteDominated, StructureMods: true, SkewTheta: 0.9,
+				Weights: map[ops.Category]float64{ops.ShortOperation: 6, ops.StructureModification: 4},
+			},
+			{
+				Name: "squall", Duration: 500 * time.Millisecond,
+				Workload: ops.ReadWrite, StructureMods: true, SkewTheta: 0.9,
+				OpenLoop: true, ArrivalRate: 4000,
+				ShedAfter: 2 * time.Millisecond, QueueBound: 512,
+			},
+			{Name: "drain", Duration: 300 * time.Millisecond, Workload: ops.ReadDominated, StructureMods: true},
+		},
+	})
+
 	// smoke: the CI scenario — one closed and one skewed open-loop
 	// phase, short enough to run per engine on every push.
 	RegisterBuiltin(&Scenario{

@@ -31,24 +31,38 @@ import (
 // names ("long-traversal", "short-traversal", "short-operation",
 // "structure-modification") or the short aliases lt, st, op, sm.
 // Engine knobs (granularity, orec_stripes, clock_shards, versions,
-// ro_snapshot) are
-// top-level, not per phase: the orec table, commit clock and read-only
-// snapshot dispatch are built into the executor before the first phase
-// runs, so they are a property of the whole scenario. Unset values inherit
-// the run's (CLI) settings; ro_snapshot takes "on" or "off":
+// ro_snapshot, tx_deadline, serial_fallback, fault_plan) are
+// top-level, not per phase: the orec table, commit clock, read-only
+// snapshot dispatch and robustness configuration are built into the
+// executor before the first phase runs, so they are a property of the
+// whole scenario. Unset values inherit the run's (CLI) settings;
+// ro_snapshot and serial_fallback take "on" or "off", tx_deadline a Go
+// duration, fault_plan the stm.ParseFaultPlan syntax:
 //
 //	{"name": "hot", "granularity": "striped", "orec_stripes": 256,
-//	 "clock_shards": 4, "ro_snapshot": "off", "phases": [...]}
+//	 "clock_shards": 4, "ro_snapshot": "off", "tx_deadline": "25ms",
+//	 "serial_fallback": "on", "fault_plan": "seed=7,abort:1/24",
+//	 "phases": [...]}
+//
+// Open-loop phases may additionally shed overload: shed_after (duration)
+// refuses arrivals waiting longer than the budget, queue_bound (int > 0)
+// caps the backlog.
 type fileScenario struct {
-	Name        string      `json:"name"`
-	Description string      `json:"description"`
-	Granularity string      `json:"granularity,omitempty"`
-	OrecStripes int         `json:"orec_stripes,omitempty"`
-	ClockShards int         `json:"clock_shards,omitempty"`
-	Versions    int         `json:"versions,omitempty"`
-	ROSnapshot  string      `json:"ro_snapshot,omitempty"`
-	Defaults    *filePhase  `json:"defaults,omitempty"`
-	Phases      []filePhase `json:"phases"`
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Granularity string `json:"granularity,omitempty"`
+	OrecStripes int    `json:"orec_stripes,omitempty"`
+	ClockShards int    `json:"clock_shards,omitempty"`
+	Versions    int    `json:"versions,omitempty"`
+	ROSnapshot  string `json:"ro_snapshot,omitempty"`
+	// Robustness knobs, run-level like the metadata axes: tx_deadline is
+	// a Go duration string, serial_fallback takes "on"/"off", fault_plan
+	// uses stm.ParseFaultPlan syntax.
+	TxDeadline     string      `json:"tx_deadline,omitempty"`
+	SerialFallback string      `json:"serial_fallback,omitempty"`
+	FaultPlan      string      `json:"fault_plan,omitempty"`
+	Defaults       *filePhase  `json:"defaults,omitempty"`
+	Phases         []filePhase `json:"phases"`
 }
 
 // filePhase is one phase (or the defaults object) on the wire. Pointer
@@ -67,6 +81,8 @@ type filePhase struct {
 	SkewShift      *float64           `json:"skew_shift,omitempty"`
 	OpenLoop       *bool              `json:"open_loop,omitempty"`
 	ArrivalRate    *float64           `json:"arrival_rate,omitempty"`
+	ShedAfter      *string            `json:"shed_after,omitempty"`
+	QueueBound     *int               `json:"queue_bound,omitempty"`
 }
 
 // parseCategory resolves a weight key.
@@ -125,6 +141,12 @@ func overlay(dst, src *filePhase) {
 	}
 	if src.ArrivalRate != nil {
 		dst.ArrivalRate = src.ArrivalRate
+	}
+	if src.ShedAfter != nil {
+		dst.ShedAfter = src.ShedAfter
+	}
+	if src.QueueBound != nil {
+		dst.QueueBound = src.QueueBound
 	}
 }
 
@@ -192,6 +214,21 @@ func resolvePhase(fp filePhase, index int) (Phase, error) {
 	if fp.ArrivalRate != nil {
 		ph.ArrivalRate = *fp.ArrivalRate
 	}
+	if fp.ShedAfter != nil {
+		d, err := time.ParseDuration(*fp.ShedAfter)
+		if err != nil {
+			return fail(fmt.Errorf("bad shed_after: %w", err))
+		}
+		ph.ShedAfter = d
+	}
+	if fp.QueueBound != nil {
+		// An explicit zero is a contradiction, not "off": 0 means
+		// unbounded, which is what omitting the key already says.
+		if *fp.QueueBound == 0 {
+			return fail(fmt.Errorf("queue_bound 0 means an unbounded queue; omit the key instead"))
+		}
+		ph.QueueBound = *fp.QueueBound
+	}
 	return ph, nil
 }
 
@@ -205,13 +242,16 @@ func Parse(data []byte) (*Scenario, error) {
 		return nil, fmt.Errorf("scenario: parse: %w", err)
 	}
 	sc := &Scenario{
-		Name:        fs.Name,
-		Description: fs.Description,
-		Granularity: fs.Granularity,
-		OrecStripes: fs.OrecStripes,
-		ClockShards: fs.ClockShards,
-		Versions:    fs.Versions,
-		ROSnapshot:  fs.ROSnapshot,
+		Name:           fs.Name,
+		Description:    fs.Description,
+		Granularity:    fs.Granularity,
+		OrecStripes:    fs.OrecStripes,
+		ClockShards:    fs.ClockShards,
+		Versions:       fs.Versions,
+		ROSnapshot:     fs.ROSnapshot,
+		TxDeadline:     fs.TxDeadline,
+		SerialFallback: fs.SerialFallback,
+		FaultPlan:      fs.FaultPlan,
 	}
 	for i, fp := range fs.Phases {
 		merged := filePhase{}
@@ -229,8 +269,18 @@ func Parse(data []byte) (*Scenario, error) {
 		if fp.Duration != "" && fp.MaxOps == nil {
 			merged.MaxOps = nil
 		}
-		if fp.OpenLoop != nil && !*fp.OpenLoop && fp.ArrivalRate == nil {
-			merged.ArrivalRate = nil
+		if fp.OpenLoop != nil && !*fp.OpenLoop {
+			// Switching open_loop off drops the inherited open-loop-only
+			// knobs a defaults object may have set.
+			if fp.ArrivalRate == nil {
+				merged.ArrivalRate = nil
+			}
+			if fp.ShedAfter == nil {
+				merged.ShedAfter = nil
+			}
+			if fp.QueueBound == nil {
+				merged.QueueBound = nil
+			}
 		}
 		ph, err := resolvePhase(merged, i)
 		if err != nil {

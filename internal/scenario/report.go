@@ -74,6 +74,22 @@ func WriteReport(w io.Writer, rep *Report) {
 		}
 		fmt.Fprintln(w)
 	}
+	if sc.TxDeadline != "" || sc.SerialFallback != "" || sc.FaultPlan != "" {
+		fmt.Fprint(w, "  robustness:")
+		sep := " "
+		if sc.TxDeadline != "" {
+			fmt.Fprintf(w, "%stx deadline %s", sep, sc.TxDeadline)
+			sep = ", "
+		}
+		if sc.SerialFallback != "" {
+			fmt.Fprintf(w, "%sserial fallback %s", sep, sc.SerialFallback)
+			sep = ", "
+		}
+		if sc.FaultPlan != "" {
+			fmt.Fprintf(w, "%sfault plan %q", sep, sc.FaultPlan)
+		}
+		fmt.Fprintln(w)
+	}
 	fmt.Fprintln(w)
 
 	fmt.Fprintf(w, "  %-14s %7s %-12s %-15s %-12s %8s %10s %8s %7s %8s %8s %9s %9s\n",
@@ -203,6 +219,27 @@ func writeComparison(w io.Writer, rep *Report) {
 		es := lastStats.Result.EngineStats
 		fmt.Fprintf(w, "  commit clock: %d shards, spread %d at end of run (small spread = even commit traffic)\n",
 			es.ClockShards, es.ClockShardSpread)
+	}
+	var timeoutAborts, serialFallbacks, injectedFaults uint64
+	var shedOps, arrivals int64
+	for i := range rep.Phases {
+		es := rep.Phases[i].Result.EngineStats
+		timeoutAborts += es.TimeoutAborts
+		serialFallbacks += es.SerialFallbacks
+		injectedFaults += es.InjectedFaults
+		shedOps += rep.Phases[i].Result.ShedOps
+		arrivals += rep.Phases[i].Result.Arrivals
+	}
+	if timeoutAborts > 0 || serialFallbacks > 0 || injectedFaults > 0 {
+		fmt.Fprintf(w, "  robustness:   %d injected faults, %d timeout aborts, %d serial fallbacks across phases\n",
+			injectedFaults, timeoutAborts, serialFallbacks)
+	}
+	if shedOps > 0 {
+		pct := 0.0
+		if arrivals > 0 {
+			pct = 100 * float64(shedOps) / float64(arrivals)
+		}
+		fmt.Fprintf(w, "  shedding:     %d of %d open-loop arrivals shed (%.1f%%)\n", shedOps, arrivals, pct)
 	}
 	fmt.Fprintf(w, "  elapsed:      %.3f s over %d phases\n", rep.Elapsed.Seconds(), len(rep.Phases))
 }

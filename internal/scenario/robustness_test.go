@@ -1,0 +1,231 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ops"
+	"repro/stm"
+)
+
+func TestParseRobustnessKnobs(t *testing.T) {
+	sc, err := Parse([]byte(`{
+		"name": "rob",
+		"tx_deadline": "25ms",
+		"serial_fallback": "on",
+		"fault_plan": "seed=7,abort:1/24",
+		"phases": [{"name": "p", "duration": "10ms"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.TxDeadline != "25ms" || sc.SerialFallback != "on" || sc.FaultPlan != "seed=7,abort:1/24" {
+		t.Errorf("robustness knobs not parsed: %+v", sc)
+	}
+
+	if _, err := Parse([]byte(`{
+		"name": "rob",
+		"tx_deadline": "soon",
+		"phases": [{"name": "p", "duration": "10ms"}]
+	}`)); err == nil || !strings.Contains(err.Error(), "tx_deadline") {
+		t.Errorf("bad tx_deadline not rejected: %v", err)
+	}
+	if _, err := Parse([]byte(`{
+		"name": "rob",
+		"tx_deadline": "-5ms",
+		"phases": [{"name": "p", "duration": "10ms"}]
+	}`)); err == nil || !strings.Contains(err.Error(), "tx_deadline") {
+		t.Errorf("negative tx_deadline not rejected: %v", err)
+	}
+	if _, err := Parse([]byte(`{
+		"name": "rob",
+		"serial_fallback": "maybe",
+		"phases": [{"name": "p", "duration": "10ms"}]
+	}`)); err == nil || !strings.Contains(err.Error(), "serial_fallback") {
+		t.Errorf("bad serial_fallback not rejected: %v", err)
+	}
+	if _, err := Parse([]byte(`{
+		"name": "rob",
+		"fault_plan": "seed=7",
+		"phases": [{"name": "p", "duration": "10ms"}]
+	}`)); err == nil || !strings.Contains(err.Error(), "fault_plan") {
+		t.Errorf("bare-seed fault_plan not rejected: %v", err)
+	}
+
+	// The robustness knobs are run-level, like the metadata axes.
+	if _, err := Parse([]byte(`{
+		"name": "rob",
+		"phases": [{"name": "p", "duration": "10ms", "tx_deadline": "25ms"}]
+	}`)); err == nil {
+		t.Error("per-phase tx_deadline accepted (robustness is run-level)")
+	}
+	if _, err := Parse([]byte(`{
+		"name": "rob",
+		"phases": [{"name": "p", "duration": "10ms", "fault_plan": "abort:1/4"}]
+	}`)); err == nil {
+		t.Error("per-phase fault_plan accepted (robustness is run-level)")
+	}
+}
+
+func TestParseShedKnobs(t *testing.T) {
+	sc, err := Parse([]byte(`{
+		"name": "shed",
+		"phases": [{"name": "p", "duration": "10ms", "open_loop": true,
+		            "arrival_rate": 1000, "shed_after": "2ms", "queue_bound": 64}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Phases[0].ShedAfter != 2*time.Millisecond || sc.Phases[0].QueueBound != 64 {
+		t.Errorf("shed knobs not parsed: %+v", sc.Phases[0])
+	}
+
+	if _, err := Parse([]byte(`{
+		"name": "shed",
+		"phases": [{"name": "p", "duration": "10ms", "open_loop": true,
+		            "arrival_rate": 1000, "shed_after": "whenever"}]
+	}`)); err == nil || !strings.Contains(err.Error(), "shed_after") {
+		t.Errorf("bad shed_after not rejected: %v", err)
+	}
+	// An explicit zero queue bound is a contradiction (0 = unbounded).
+	if _, err := Parse([]byte(`{
+		"name": "shed",
+		"phases": [{"name": "p", "duration": "10ms", "open_loop": true,
+		            "arrival_rate": 1000, "queue_bound": 0}]
+	}`)); err == nil || !strings.Contains(err.Error(), "queue_bound") {
+		t.Errorf("explicit zero queue_bound not rejected: %v", err)
+	}
+	// Shed knobs on a closed-loop phase are a design error.
+	if _, err := Parse([]byte(`{
+		"name": "shed",
+		"phases": [{"name": "p", "duration": "10ms", "shed_after": "2ms"}]
+	}`)); err == nil {
+		t.Error("shed_after on a closed-loop phase accepted")
+	}
+	// Turning open_loop off drops inherited shed defaults along with the
+	// arrival rate.
+	sc, err = Parse([]byte(`{
+		"name": "shed",
+		"defaults": {"open_loop": true, "arrival_rate": 1000,
+		             "shed_after": "2ms", "queue_bound": 64},
+		"phases": [{"name": "open", "duration": "10ms"},
+		           {"name": "closed", "duration": "10ms", "open_loop": false}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := sc.Phases[1]
+	if closed.OpenLoop || closed.ShedAfter != 0 || closed.QueueBound != 0 {
+		t.Errorf("open_loop false did not drop inherited shed knobs: %+v", closed)
+	}
+}
+
+func TestValidateRejectsBadRobustness(t *testing.T) {
+	base := func() *Scenario {
+		return &Scenario{Name: "r", Phases: []Phase{{Name: "p", MaxOps: 1}}}
+	}
+	sc := base()
+	sc.TxDeadline = "not-a-duration"
+	if err := sc.Validate(); err == nil {
+		t.Error("bad tx_deadline accepted")
+	}
+	sc = base()
+	sc.SerialFallback = "yes"
+	if err := sc.Validate(); err == nil {
+		t.Error("bad serial_fallback accepted")
+	}
+	sc = base()
+	sc.FaultPlan = "precommit:everytime"
+	if err := sc.Validate(); err == nil {
+		t.Error("malformed fault_plan accepted")
+	}
+	sc = base()
+	sc.Phases[0].ShedAfter = -time.Millisecond
+	if err := sc.Validate(); err == nil {
+		t.Error("negative shed_after accepted")
+	}
+	sc = base()
+	sc.Phases[0].QueueBound = -1
+	if err := sc.Validate(); err == nil {
+		t.Error("negative queue_bound accepted")
+	}
+}
+
+// TestRunOptionsCarryRobustnessKnobs: the fault plan, deadline and serial
+// fallback must reach the engine (InjectedFaults/SerialFallbacks are the
+// discriminators), and a scenario that pins its own values overrides the
+// run's.
+func TestRunOptionsCarryRobustnessKnobs(t *testing.T) {
+	phases := []Phase{{Name: "p", MaxOps: 100, Workload: ops.ReadWrite, StructureMods: true}}
+	plan, err := stm.ParseFaultPlan("seed=3,abort:1/6")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Run(&Scenario{Name: "rob", Phases: phases},
+		RunOptions{Strategy: "tl2", Threads: 2, FaultPlan: plan, SerialFallback: true,
+			TxDeadline: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Phases[0].Result.EngineStats.InjectedFaults; got == 0 {
+		t.Error("InjectedFaults = 0 — run-level fault plan not plumbed")
+	}
+
+	// Scenario-pinned plan beats the run's nil plan; serial_fallback "on"
+	// beats the run's false.
+	pinned, err := Run(&Scenario{Name: "rob-pinned", FaultPlan: "abort:1/1",
+		SerialFallback: "on", Phases: phases},
+		RunOptions{Strategy: "norec", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := pinned.Phases[0].Result.EngineStats
+	if es.InjectedFaults == 0 {
+		t.Error("scenario override: InjectedFaults = 0 — scenario fault_plan did not win")
+	}
+	if es.SerialFallbacks == 0 {
+		t.Error("scenario override: SerialFallbacks = 0 — serial_fallback on did not win")
+	}
+}
+
+// TestChaosStormBuiltin: the robustness scenario runs end to end under
+// every knob it pins, and the report carries the robustness lines.
+func TestChaosStormBuiltin(t *testing.T) {
+	sc, ok := Builtin("chaos-storm")
+	if !ok {
+		t.Fatal("chaos-storm not registered")
+	}
+	if sc.TxDeadline == "" || sc.FaultPlan == "" {
+		t.Fatalf("chaos-storm robustness shape: %+v", sc)
+	}
+	shedPhase := -1
+	for i, ph := range sc.Phases {
+		if ph.OpenLoop && (ph.ShedAfter > 0 || ph.QueueBound > 0) {
+			shedPhase = i
+		}
+	}
+	if shedPhase < 0 {
+		t.Fatal("chaos-storm has no open-loop phase with shedding")
+	}
+	rep, err := Run(sc, RunOptions{Strategy: "tl2", Threads: 2, TimeScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var injected uint64
+	for _, pr := range rep.Phases {
+		injected += pr.Result.EngineStats.InjectedFaults
+	}
+	if injected == 0 {
+		t.Error("chaos-storm fired no faults")
+	}
+	var buf strings.Builder
+	WriteReport(&buf, rep)
+	out := buf.String()
+	for _, want := range []string{"robustness:", "fault plan", "tx deadline 25ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

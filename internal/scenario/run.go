@@ -57,6 +57,13 @@ type RunOptions struct {
 	// the whole run, exactly like the harness option of the same name. A
 	// scenario that sets its own ROSnapshot overrides this.
 	DisableROSnapshot bool
+	// TxDeadline, SerialFallback and FaultPlan tune the engine's
+	// robustness knobs exactly like the harness options of the same
+	// names. Run-level (engine configuration, built before the first
+	// phase); a scenario that sets its own values overrides these.
+	TxDeadline     time.Duration
+	SerialFallback bool
+	FaultPlan      *stm.FaultPlan
 }
 
 // PhaseResult pairs a resolved phase (defaults applied, durations scaled)
@@ -153,6 +160,29 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 	case "off":
 		disableSnap = true
 	}
+	txDeadline := o.TxDeadline
+	if sc.TxDeadline != "" {
+		d, err := time.ParseDuration(sc.TxDeadline)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: bad tx_deadline: %w", sc.Name, err)
+		}
+		txDeadline = d
+	}
+	serialFallback := o.SerialFallback
+	switch sc.SerialFallback {
+	case "on":
+		serialFallback = true
+	case "off":
+		serialFallback = false
+	}
+	faultPlan := o.FaultPlan
+	if sc.FaultPlan != "" {
+		p, err := stm.ParseFaultPlan(sc.FaultPlan)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: bad fault_plan: %w", sc.Name, err)
+		}
+		faultPlan = p
+	}
 
 	ex, s, err := harness.Setup(harness.Options{
 		Params:                   o.Params,
@@ -166,6 +196,9 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 		ClockShards:              clockShards,
 		Versions:                 versions,
 		DisableROSnapshot:        disableSnap,
+		TxDeadline:               txDeadline,
+		SerialFallback:           serialFallback,
+		FaultPlan:                faultPlan,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
@@ -191,6 +224,11 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 			SkewShift:         ph.SkewShift,
 			OpenLoop:          ph.OpenLoop,
 			ArrivalRate:       ph.ArrivalRate,
+			ShedAfter:         ph.ShedAfter,
+			QueueBound:        ph.QueueBound,
+			TxDeadline:        txDeadline,
+			SerialFallback:    serialFallback,
+			FaultPlan:         faultPlan,
 			CollectHistograms: o.CollectHistograms,
 			CheckInvariants:   o.CheckInvariants && i == len(sc.Phases)-1,
 		}, ex, s)

@@ -66,6 +66,15 @@ type Phase struct {
 	// arrival, queueing included.
 	OpenLoop    bool
 	ArrivalRate float64
+	// ShedAfter is the open-loop overload-shedding lateness budget: an
+	// arrival still unserved ShedAfter past its due time is refused
+	// (counted, never executed) instead of stretching the queue. Zero =
+	// never shed on lateness. Open-loop phases only.
+	ShedAfter time.Duration
+	// QueueBound caps the open-loop arrival backlog: when more than
+	// QueueBound later arrivals are already due, the head arrival is
+	// shed. Zero = unbounded. Open-loop phases only.
+	QueueBound int
 }
 
 // categoryEnabled mirrors ops.Profile.Enabled at the category level: a
@@ -113,7 +122,22 @@ type Scenario struct {
 	// like the metadata knobs: the dispatch is a property of the
 	// executor, built before the first phase.
 	ROSnapshot string
-	Phases     []Phase
+	// TxDeadline bounds each transaction's wall-clock retry window, as a
+	// Go duration string ("25ms"; "" = inherit the RunOptions).
+	// Run-level: the deadline is an engine configuration, built before
+	// the first phase.
+	TxDeadline string
+	// SerialFallback pins the irrevocable serial-fallback mode for the
+	// whole run: "" inherits the RunOptions, "on" escalates transactions
+	// that exhaust their retry budget or deadline to an exclusive serial
+	// mode (no aborts surface), "off" forces it off.
+	SerialFallback string
+	// FaultPlan deterministically injects commit-path stalls and forced
+	// aborts, in stm.ParseFaultPlan syntax
+	// ("seed=7,precommit:1/40:80us,abort:1/24"; "" = inherit).
+	// Run-level like the other engine knobs.
+	FaultPlan string
+	Phases    []Phase
 }
 
 // Validate checks the scenario for the error classes the parser and the
@@ -144,6 +168,23 @@ func (sc *Scenario) Validate() error {
 	default:
 		return fmt.Errorf("scenario %q: bad ro_snapshot %q (want on or off)", sc.Name, sc.ROSnapshot)
 	}
+	if sc.TxDeadline != "" {
+		d, err := time.ParseDuration(sc.TxDeadline)
+		if err != nil {
+			return fmt.Errorf("scenario %q: bad tx_deadline: %w", sc.Name, err)
+		}
+		if d <= 0 {
+			return fmt.Errorf("scenario %q: tx_deadline %v must be positive", sc.Name, d)
+		}
+	}
+	switch sc.SerialFallback {
+	case "", "on", "off":
+	default:
+		return fmt.Errorf("scenario %q: bad serial_fallback %q (want on or off)", sc.Name, sc.SerialFallback)
+	}
+	if _, err := stm.ParseFaultPlan(sc.FaultPlan); err != nil {
+		return fmt.Errorf("scenario %q: bad fault_plan: %w", sc.Name, err)
+	}
 	for i, ph := range sc.Phases {
 		label := ph.Name
 		if label == "" {
@@ -171,6 +212,12 @@ func (sc *Scenario) Validate() error {
 			return bad("open-loop phase needs arrival_rate > 0")
 		case !ph.OpenLoop && ph.ArrivalRate != 0:
 			return bad("arrival_rate set on a closed-loop phase (did you mean open_loop: true?)")
+		case ph.ShedAfter < 0:
+			return bad("negative shed_after %v", ph.ShedAfter)
+		case ph.QueueBound < 0:
+			return bad("negative queue_bound %d", ph.QueueBound)
+		case !ph.OpenLoop && (ph.ShedAfter > 0 || ph.QueueBound > 0):
+			return bad("shed_after/queue_bound shed from the open-loop queue; this phase is closed-loop")
 		}
 		if ph.Weights != nil {
 			sum, enabledSum := 0.0, 0.0

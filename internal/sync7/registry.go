@@ -187,6 +187,9 @@ func init() {
 			VisibleReads:             cfg.VisibleReads,
 			Granularity:              cfg.Granularity,
 			OrecStripes:              cfg.OrecStripes,
+			TxDeadline:               cfg.TxDeadline,
+			SerialFallback:           cfg.SerialFallback,
+			Faults:                   cfg.FaultPlan,
 		}), "ostm", cfg), nil
 	})
 }

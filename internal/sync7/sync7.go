@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ops"
@@ -80,6 +81,18 @@ type Config struct {
 	// (0 or 1 = single-version; ignored by engines without a snapshot
 	// timestamp — ostm, the lock strategies).
 	Versions int
+	// TxDeadline bounds each transaction's wall-clock retry window: an
+	// attempt never starts after the deadline has passed (the first always
+	// runs). Zero = no deadline. Ignored by lock strategies and direct.
+	TxDeadline time.Duration
+	// SerialFallback escalates transactions that exhaust their retry
+	// budget or deadline to an exclusive irrevocable serial mode instead
+	// of surfacing stm.ErrAborted. Ignored by lock strategies and direct.
+	SerialFallback bool
+	// FaultPlan deterministically injects stalls and forced aborts at
+	// commit-path probe sites (nil = off; see stm.ParseFaultPlan).
+	// Ignored by lock strategies and direct.
+	FaultPlan *stm.FaultPlan
 	// DisableROSnapshot turns off the read-only snapshot fast path
 	// (-ro-snapshot=off): operations marked ops.Op.ReadOnly then run
 	// through the engine's plain Atomic path like everything else. The
@@ -92,10 +105,13 @@ type Config struct {
 // engineOptions extracts the cross-engine metadata knobs.
 func (c Config) engineOptions() stm.EngineOptions {
 	return stm.EngineOptions{
-		Granularity: c.Granularity,
-		OrecStripes: c.OrecStripes,
-		ClockShards: c.ClockShards,
-		Versions:    c.Versions,
+		Granularity:    c.Granularity,
+		OrecStripes:    c.OrecStripes,
+		ClockShards:    c.ClockShards,
+		Versions:       c.Versions,
+		TxDeadline:     c.TxDeadline,
+		SerialFallback: c.SerialFallback,
+		Faults:         c.FaultPlan,
 	}
 }
 

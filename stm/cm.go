@@ -159,20 +159,44 @@ func (b Backoff) WaitDuration(me TxInfo, attempt int) time.Duration {
 	return backoffDur(attempt, me.Retries()+uint64(attempt)<<32)
 }
 
-// spinWait burns roughly d without yielding for very short waits, and
-// sleeps otherwise. Contention-manager waits are usually sub-microsecond.
+// Backoff tiering thresholds for spinWait. Below spinOnlyMax a wait is
+// shorter than a scheduler round trip, so burning it in place is the
+// right call; between the thresholds the waiter yields the processor on
+// every clock check so a stalled lock holder sharing the P can run;
+// above spinSleepMin the runtime timer is cheap relative to the wait.
+const (
+	spinOnlyMax  = 5 * time.Microsecond
+	spinSleepMin = 20 * time.Microsecond
+)
+
+// spinWait burns roughly d in place for very short waits, yields between
+// clock checks for mid-length waits, and sleeps for long ones.
+// Contention-manager waits are usually sub-microsecond; conflict-retry
+// backoff grows through all three tiers. The yield tier is a liveness
+// requirement, not a tuning nicety: on GOMAXPROCS=1 a waiter that
+// busy-spins a mid-length backoff window can sit between a stalled lock
+// holder and the processor it needs to finish releasing its locks —
+// runtime.Gosched on every check keeps the holder schedulable (the
+// regression test injects exactly that stall via a FaultPlan
+// lock-holder pause).
 func spinWait(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	if d < 20*time.Microsecond {
+	switch {
+	case d < spinOnlyMax:
 		deadline := nanotime() + int64(d)
 		for nanotime() < deadline {
 			spinHint()
 		}
-		return
+	case d < spinSleepMin:
+		deadline := nanotime() + int64(d)
+		for nanotime() < deadline {
+			yield()
+		}
+	default:
+		time.Sleep(d)
 	}
-	time.Sleep(d)
 }
 
 // nanotime is a monotonic clock read; time.Now is fine here (it uses the

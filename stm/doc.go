@@ -101,7 +101,11 @@
 //
 //   - Retry semantics. Conflict aborts are retried internally (with
 //     backoff — see spinWait/backoffDur) until commit, user error, or an
-//     exhausted MaxRetries budget, in which case Atomic returns ErrAborted.
+//     exhausted retry budget — MaxRetries attempts or the TxDeadline
+//     wall-clock bound — in which case Atomic returns an error matching
+//     both errors.Is(err, ErrAborted) and the specific cause
+//     (ErrRetryExhausted, ErrDeadlineExceeded, ErrInjectedFault; see
+//     AbortCause and the "Robustness & liveness" chapter below).
 //
 //   - Stats. Engines maintain the statCounters fields honestly: commits,
 //     user and conflict aborts, reads/writes, validation passes, clones.
@@ -307,4 +311,68 @@
 // from the same space: their ids order commit-time lock acquisition in
 // TL2 (through their orecs), and the data structure under test must be
 // built from the space of the engine that will run it.
+//
+// # Robustness & liveness
+//
+// The retry loop "until commit" is an optimistic promise, not a
+// guarantee: under sustained conflicts, injected faults or a bounded
+// MaxRetries it can fail, stall or starve. Three per-engine knobs
+// (EngineOptions and each engine's config struct; -deadline,
+// -serial-fallback and -fault-plan in the CLIs; tx_deadline,
+// serial_fallback and fault_plan in scenario JSON) make those failure
+// modes explicit, bounded and measurable:
+//
+//   - Abort causes. Every abort surfaced by Atomic satisfies
+//     errors.Is(err, ErrAborted) and exactly one of the cause sentinels:
+//     ErrRetryExhausted (MaxRetries attempts spent), ErrDeadlineExceeded
+//     (the TxDeadline budget elapsed between attempts), or
+//     ErrInjectedFault (a fault plan's forced abort with retries
+//     exhausted). AbortCause(err) recovers the Cause enum for switches;
+//     callers that only care that the transaction failed keep matching
+//     plain ErrAborted unchanged.
+//
+//   - Transaction deadlines (TxDeadline). A wall-clock retry budget per
+//     Atomic call. The first attempt always runs — an expired or
+//     microscopic deadline degrades to "try once" — and the budget is
+//     checked between attempts, never mid-attempt, so a transaction is
+//     never torn down while it holds engine metadata. Deadline aborts
+//     count in Stats.TimeoutAborts. RunReadOnly inherits the deadline
+//     across snapshot restarts and the validating fallback: the budget
+//     binds the whole logical transaction, not each internal mode.
+//
+//   - Irrevocable serial fallback (SerialFallback). When a transaction
+//     exhausts its budget (MaxRetries, TxDeadline, or — under unbounded
+//     configs — serialEscalateAfter consecutive conflict aborts), the
+//     engine escalates it instead of surfacing ErrAborted: it takes the
+//     engine's serial gate exclusively (new transactions wait; snapshot
+//     readers are unaffected), re-runs the function as the only writer,
+//     and commits on the first try. Escalations count in
+//     Stats.SerialFallbacks. With the fallback on, Atomic returns
+//     ErrAborted-wrapped errors never — only user errors — turning the
+//     STM's probabilistic progress into a liveness guarantee at the cost
+//     of brief serialization (the htm-style "serial irrevocable" escape
+//     hatch). Fault probes are suppressed during serial execution so an
+//     abort:1/1 plan cannot livelock the fallback itself.
+//
+//   - Deterministic fault injection (Faults). ParseFaultPlan("seed=7,
+//     precommit:1/40:80µs,lockhold:1/56:120µs,clocktick:1/72:40µs,
+//     abort:1/24") arms seeded probes at four commit-path sites: a stall
+//     before commit begins (precommit), a stall while commit-time locks /
+//     the serializing metadata are held (lockhold), a stall between
+//     taking the commit timestamp and writeback (clocktick), and a forced
+//     conflict abort (abort — no duration; stall sites default to 100µs).
+//     Firing is a pure function of the plan seed and a per-site hit
+//     counter — no time, no randomness — so a single-threaded fixed-op
+//     run fires bit-for-bit identically across runs and engines
+//     (Stats.InjectedFaults), which is what makes chaos runs diffable
+//     and failures replayable. A nil plan costs one predicted branch per
+//     probe and zero allocations; each engine snapshots the plan at
+//     construction so shared plans never share hit counters.
+//
+// The knobs compose: a chaos run is typically a fault plan + a deadline
+// (bounding the damage) + the serial fallback (absorbing it). The
+// chaos-storm scenario, `stmbench7 -scenario chaos-storm`, and
+// `experiments -exp chaos` (BENCH_pr7.json) exercise exactly that stack,
+// and the harness reports timeout aborts, serial fallbacks, injected
+// faults and open-loop shed rate alongside throughput.
 package stm

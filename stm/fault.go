@@ -1,0 +1,235 @@
+package stm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Deterministic fault injection.
+//
+// A FaultPlan compiles a small set of probe sites into the engines'
+// commit paths: a pre-commit stall, a pause while commit-time locks are
+// held, a delay around the commit-stamp acquisition, and a forced
+// conflict abort. Every decision is a pure function of (plan seed, probe
+// site, per-site hit counter), so a single-threaded run replays bit for
+// bit: the same plan against the same transaction sequence fires the
+// same faults in the same places, and Stats.InjectedFaults comes out
+// identical. Under concurrency the per-site counters are atomic, so the
+// decision sequence is still deterministic per site even though the
+// interleaving of stalls is not.
+//
+// Plans are off by default. An engine with no plan carries a nil
+// *FaultPlan and every probe is a single predictable nil check — zero
+// allocations and no measurable overhead on the hot path (enforced by
+// stm/alloc_test.go). Engines snapshot the plan at construction with
+// fresh hit counters, so two engines built from the same plan value
+// inject independently and reproducibly.
+
+// FaultSite names one probe point compiled into the engine commit paths.
+type FaultSite int
+
+const (
+	// FaultPreCommit stalls a write transaction at the top of its commit,
+	// before any commit-time lock or status transition is taken.
+	FaultPreCommit FaultSite = iota
+	// FaultLockHold stalls a committer while it holds its commit-time
+	// locks (TL2: all write orecs locked; NOrec: the global seqlock held
+	// odd; OSTM: the descriptor parked in the Validating window) — the
+	// worst-case pause for every concurrent transaction.
+	FaultLockHold
+	// FaultClockTick stalls a committer around its commit-stamp
+	// acquisition (TL2: the global-clock tick; NOrec: the seqlock release
+	// stamp; OSTM: the commit-serial bump).
+	FaultClockTick
+	// FaultAbort forces a conflict abort at the commit point: the attempt
+	// unwinds exactly like a real conflict and the retry loop takes over.
+	FaultAbort
+
+	numFaultSites
+)
+
+var faultSiteNames = [numFaultSites]string{
+	FaultPreCommit: "precommit",
+	FaultLockHold:  "lockhold",
+	FaultClockTick: "clocktick",
+	FaultAbort:     "abort",
+}
+
+// faultSite is one compiled probe: fire roughly once per period hits
+// (pseudo-randomly spaced by the plan seed), stalling for stall when the
+// site is a stall site.
+type faultSite struct {
+	period uint64 // 0 = site disabled
+	stall  time.Duration
+	hits   padUint64
+}
+
+// FaultPlan is a seeded, deterministic fault-injection schedule. Build
+// one with ParseFaultPlan and hand it to an engine via EngineOptions
+// (or the per-engine configs); a nil plan disables injection entirely.
+type FaultPlan struct {
+	seed  uint64
+	sites [numFaultSites]faultSite
+}
+
+// defaultFaultStall is the stall applied by stall sites whose plan entry
+// omits an explicit duration.
+const defaultFaultStall = 100 * time.Microsecond
+
+// ParseFaultPlan parses the textual fault-plan syntax used by the CLIs
+// and scenario files:
+//
+//	plan  := entry ("," entry)*
+//	entry := "seed=" N
+//	       | site ":" "1/" N                 (site fires ~once per N hits)
+//	       | site ":" "1/" N ":" duration    (stall sites only)
+//	site  := "precommit" | "lockhold" | "clocktick" | "abort"
+//
+// e.g. "seed=7,precommit:1/48:80us,lockhold:1/64:120us,abort:1/24".
+// The abort site takes no duration (it forces a conflict, it does not
+// stall); stall sites default to 100us when the duration is omitted.
+// An empty string yields a nil plan and no error.
+func ParseFaultPlan(s string) (*FaultPlan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	p := &FaultPlan{}
+	any := false
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("stm: fault plan %q: empty entry", s)
+		}
+		if n, ok := strings.CutPrefix(entry, "seed="); ok {
+			seed, err := strconv.ParseUint(n, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("stm: fault plan %q: bad seed %q", s, n)
+			}
+			p.seed = seed
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("stm: fault plan %q: entry %q is not site:1/N[:duration]", s, entry)
+		}
+		site := FaultSite(-1)
+		for i, name := range faultSiteNames {
+			if parts[0] == name {
+				site = FaultSite(i)
+			}
+		}
+		if site < 0 {
+			return nil, fmt.Errorf("stm: fault plan %q: unknown site %q (want precommit|lockhold|clocktick|abort)", s, parts[0])
+		}
+		ratio, ok := strings.CutPrefix(parts[1], "1/")
+		if !ok {
+			return nil, fmt.Errorf("stm: fault plan %q: rate %q must be of the form 1/N", s, parts[1])
+		}
+		period, err := strconv.ParseUint(ratio, 10, 64)
+		if err != nil || period == 0 {
+			return nil, fmt.Errorf("stm: fault plan %q: bad rate %q (want 1/N with N >= 1)", s, parts[1])
+		}
+		stall := defaultFaultStall
+		if len(parts) == 3 {
+			if site == FaultAbort {
+				return nil, fmt.Errorf("stm: fault plan %q: abort site takes no duration", s)
+			}
+			d, err := time.ParseDuration(parts[2])
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("stm: fault plan %q: bad duration %q", s, parts[2])
+			}
+			stall = d
+		}
+		if site == FaultAbort {
+			stall = 0
+		}
+		p.sites[site].period = period
+		p.sites[site].stall = stall
+		any = true
+	}
+	if !any {
+		return nil, fmt.Errorf("stm: fault plan %q: no probe sites (a bare seed is not a plan)", s)
+	}
+	return p, nil
+}
+
+// String renders the plan back in ParseFaultPlan syntax (canonical site
+// order, explicit seed first when nonzero).
+func (p *FaultPlan) String() string {
+	if p == nil {
+		return ""
+	}
+	var b strings.Builder
+	if p.seed != 0 {
+		fmt.Fprintf(&b, "seed=%d", p.seed)
+	}
+	for i := range p.sites {
+		s := &p.sites[i]
+		if s.period == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:1/%d", faultSiteNames[i], s.period)
+		if FaultSite(i) != FaultAbort {
+			fmt.Fprintf(&b, ":%v", s.stall)
+		}
+	}
+	return b.String()
+}
+
+// fresh returns a copy of the plan with zeroed hit counters. Engines
+// call it at construction so each engine instance replays the plan from
+// the start regardless of how the source plan has been shared.
+func (p *FaultPlan) fresh() *FaultPlan {
+	if p == nil {
+		return nil
+	}
+	q := &FaultPlan{seed: p.seed}
+	for i := range p.sites {
+		q.sites[i].period = p.sites[i].period
+		q.sites[i].stall = p.sites[i].stall
+	}
+	return q
+}
+
+// decide advances the site's hit counter and reports whether this hit
+// fires. The decision mixes (seed, site, hit ordinal) through the same
+// Fibonacci-hash fold the engines use elsewhere, so firings are
+// pseudo-randomly spaced but exactly reproducible for a given hit
+// sequence.
+func (p *FaultPlan) decide(site FaultSite) bool {
+	s := &p.sites[site]
+	if s.period == 0 {
+		return false
+	}
+	n := s.hits.Add(1)
+	h := (p.seed ^ (n + uint64(site)<<56)) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 32
+	return h%s.period == 0
+}
+
+// fire evaluates a decision site (FaultAbort), counting the injection.
+func (p *FaultPlan) fire(site FaultSite, c *statCounters) bool {
+	if !p.decide(site) {
+		return false
+	}
+	c.injectedFaults.Add(1)
+	return true
+}
+
+// stallAt evaluates a stall site, applying the configured pause when it
+// fires and counting the injection.
+func (p *FaultPlan) stallAt(site FaultSite, c *statCounters) {
+	if !p.decide(site) {
+		return
+	}
+	c.injectedFaults.Add(1)
+	spinWait(p.sites[site].stall)
+}

@@ -3,6 +3,7 @@ package stm
 import (
 	"reflect"
 	"sync/atomic"
+	"time"
 )
 
 // NOrecConfig tunes the NOrec engine.
@@ -28,6 +29,16 @@ type NOrecConfig struct {
 	// clamp. Only the snapshot read path consults older versions. See
 	// mvcc.go for the opacity argument and the space bound.
 	Versions int
+	// TxDeadline bounds one Atomic call's wall-clock time across all
+	// attempts (0 = no deadline); see EngineOptions.TxDeadline.
+	TxDeadline time.Duration
+	// SerialFallback escalates transactions under retry/deadline pressure
+	// to the engine's irrevocable serial token instead of returning
+	// ErrAborted; see EngineOptions.SerialFallback and serial.go.
+	SerialFallback bool
+	// Faults installs a deterministic fault-injection plan (nil = none);
+	// see EngineOptions.Faults and fault.go.
+	Faults *FaultPlan
 }
 
 // NOrec implements the "no ownership records" STM of Dalessandro, Spear
@@ -72,6 +83,10 @@ type NOrec struct {
 	// write-back phase, even otherwise. An even value doubles as the
 	// snapshot time of every committed state.
 	seq atomic.Uint64
+	// gate is the serial-fallback token (nil unless SerialFallback).
+	gate *serialGate
+	// faults is the engine's private fault-plan snapshot (nil = none).
+	faults *FaultPlan
 }
 
 // NewNOrec returns a NOrec engine with default configuration.
@@ -79,7 +94,12 @@ func NewNOrec() *NOrec { return NewNOrecWith(NOrecConfig{}) }
 
 func init() {
 	RegisterTunable("norec", func(o EngineOptions) Engine {
-		return NewNOrecWith(NOrecConfig{Versions: o.Versions})
+		return NewNOrecWith(NOrecConfig{
+			Versions:       o.Versions,
+			TxDeadline:     o.TxDeadline,
+			SerialFallback: o.SerialFallback,
+			Faults:         o.Faults,
+		})
 	})
 }
 
@@ -87,6 +107,10 @@ func init() {
 func NewNOrecWith(cfg NOrecConfig) *NOrec {
 	cfg.Versions = normalizeVersions(cfg.Versions)
 	e := &NOrec{cfg: cfg}
+	if cfg.SerialFallback {
+		e.gate = &serialGate{}
+	}
+	e.faults = cfg.Faults.fresh()
 	e.txPool.init(func() *norecTx { return &norecTx{eng: e} })
 	e.snapPool.init(func() *norecSnapTx { return &norecSnapTx{eng: e} })
 	return e
@@ -103,11 +127,31 @@ func (e *NOrec) Stats() Stats { return e.stats.snapshot() }
 
 // Atomic implements Engine.
 func (e *NOrec) Atomic(fn func(tx Tx) error) error {
+	return e.atomicFrom(fn, deadlineFor(e.cfg.TxDeadline))
+}
+
+// txDeadline starts a fresh absolute deadline per the engine config; the
+// snapshot loop (snapshot.go) calls it at RunReadOnly entry so restarts
+// and the validating fallback share one budget.
+func (e *NOrec) txDeadline() int64 { return deadlineFor(e.cfg.TxDeadline) }
+
+// atomicFrom is the retry loop behind Atomic. deadline is an absolute
+// nanotime bound (0 = none): Atomic derives it from cfg.TxDeadline, and
+// the snapshot fallback passes the deadline its RunReadOnly call started
+// with, so time burned on snapshot restarts stays on the same budget.
+func (e *NOrec) atomicFrom(fn func(tx Tx) error, deadline int64) error {
+	gate := e.gate
+	if gate != nil {
+		gate.mu.RLock()
+	}
 	tx := e.txPool.get()
 	for attempt := 0; ; attempt++ {
-		if e.cfg.MaxRetries > 0 && attempt > e.cfg.MaxRetries {
+		if cause := budgetCause(attempt, e.cfg.MaxRetries, deadline, tx.injected, gate != nil); cause != NoAbort {
+			if gate != nil {
+				return e.runSerial(tx, fn)
+			}
 			e.putTx(tx)
-			return ErrAborted
+			return abortErrorFor(cause, &e.stats)
 		}
 		tx.reset()
 		committed, err := e.runAttempt(tx, fn)
@@ -115,15 +159,49 @@ func (e *NOrec) Atomic(fn func(tx Tx) error) error {
 		if committed {
 			e.stats.commits.Add(1)
 			e.putTx(tx)
+			if gate != nil {
+				gate.mu.RUnlock()
+			}
 			return nil
 		}
 		if err != nil {
 			e.stats.userAborts.Add(1)
 			e.putTx(tx)
+			if gate != nil {
+				gate.mu.RUnlock()
+			}
 			return err
 		}
 		e.stats.conflictAborts.Add(1)
 		spinWait(backoffDur(attempt, uint64(len(tx.reads))+uint64(attempt)<<32))
+	}
+}
+
+// runSerial escalates tx to the irrevocable serial mode; see the TL2
+// counterpart for the protocol. With the exclusive token held no other
+// Atomic attempt can move the sequence lock, so the commit CAS succeeds
+// on the first iteration.
+func (e *NOrec) runSerial(tx *norecTx, fn func(tx Tx) error) error {
+	e.gate.mu.RUnlock()
+	e.gate.mu.Lock()
+	defer e.gate.mu.Unlock()
+	e.stats.serialFallbacks.Add(1)
+	tx.serial = true
+	for {
+		tx.reset()
+		committed, err := e.runAttempt(tx, fn)
+		e.stats.flushTx(&tx.st)
+		if committed || err != nil {
+			if committed {
+				e.stats.commits.Add(1)
+			} else {
+				e.stats.userAborts.Add(1)
+			}
+			tx.serial = false // scrub before pooling: descriptors outlive the escalation
+			e.putTx(tx)
+			return err
+		}
+		e.stats.conflictAborts.Add(1)
 	}
 }
 
@@ -140,7 +218,7 @@ func (e *NOrec) putTx(tx *norecTx) {
 func (e *NOrec) runAttempt(tx *norecTx, fn func(tx Tx) error) (committed bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			rethrowIfNotConflict(r)
+			tx.injected = rethrowIfNotConflict(r).injected
 			committed, err = false, nil
 		}
 	}()
@@ -186,6 +264,9 @@ type norecTx struct {
 
 	writes   []norecWrite
 	writeIdx varIndex // *Var -> index into writes
+
+	serial   bool // attempt runs under the exclusive serial token (suppresses fault probes)
+	injected bool // last abort of this call was a FaultPlan forced abort
 }
 
 func (tx *norecTx) reset() {
@@ -194,6 +275,7 @@ func (tx *norecTx) reset() {
 	tx.readIdx.reset()
 	tx.writes = tx.writes[:0]
 	tx.writeIdx.reset()
+	tx.injected = false
 }
 
 // readVar performs NOrec's post-validated read: load the value, and if
@@ -324,11 +406,25 @@ func (tx *norecTx) commit() bool {
 		// validation point is the serialization point.
 		return true
 	}
+	// Fault probes: the forced abort and pre-commit stall land before the
+	// seqlock acquisition, so an unwound attempt never holds the lock.
+	// Suppressed for serial attempts (see serial.go).
+	if f := tx.eng.faults; f != nil && !tx.serial {
+		if f.fire(FaultAbort, &tx.eng.stats) {
+			throwInjectedFault()
+		}
+		f.stallAt(FaultPreCommit, &tx.eng.stats)
+	}
 	for !tx.eng.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
 		// Either a writer holds the lock or time moved on: validate
 		// against the newest state (throws on conflict) and retry the
 		// acquisition at the extended snapshot.
 		tx.snapshot = tx.validate()
+	}
+	// Lock-holder pause: the sequence lock is odd, so every reader and
+	// committer engine-wide is stalled behind this window.
+	if f := tx.eng.faults; f != nil && !tx.serial {
+		f.stallAt(FaultLockHold, &tx.eng.stats)
 	}
 	// One fresh box per written Var: published snapshots may be held by
 	// concurrent readers forever and cannot come from the pool. Each box
@@ -339,6 +435,11 @@ func (tx *norecTx) commit() bool {
 	for i := range tx.writes {
 		w := &tx.writes[i]
 		publishVersion(w.v, &box{val: w.val, wv: tx.snapshot + 2}, keep, &tx.st)
+	}
+	// Clock-stamp delay: NOrec's commit stamp is the seqlock release
+	// itself, so the delay sits just before the releasing store.
+	if f := tx.eng.faults; f != nil && !tx.serial {
+		f.stallAt(FaultClockTick, &tx.eng.stats)
 	}
 	tx.eng.seq.Store(tx.snapshot + 2)
 	return true

@@ -3,6 +3,7 @@ package stm
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // Ownership-record (orec) metadata layer.
@@ -181,6 +182,9 @@ func orecHash(id uint64) uint64 {
 //   - ClockShards: TL2 (the only engine with a global version clock).
 //   - Versions: TL2 and NOrec (the engines with a snapshot timestamp an
 //     older version can be resolved against; see mvcc.go).
+//   - TxDeadline / SerialFallback / Faults: TL2, NOrec and OSTM (every
+//     engine with a retry loop; direct executes once and has nothing to
+//     bound, escalate or inject into).
 type EngineOptions struct {
 	// Granularity selects the Var-to-orec mapping (object or striped).
 	Granularity Granularity
@@ -195,4 +199,22 @@ type EngineOptions struct {
 	// under write traffic (0 or 1 = single-version; clamped to 64). See
 	// mvcc.go for the opacity argument and the space bound.
 	Versions int
+	// TxDeadline bounds one Atomic call's total wall-clock time across
+	// all of its attempts (0 = no deadline). The deadline is checked
+	// between attempts — the attempt in flight always finishes — so an
+	// Atomic call runs at least one attempt. Expiry returns
+	// ErrDeadlineExceeded (which errors.Is-matches ErrAborted) unless
+	// SerialFallback is on, in which case it escalates instead.
+	TxDeadline time.Duration
+	// SerialFallback guarantees liveness: when retry/deadline pressure
+	// crosses the escalation threshold the transaction re-runs under the
+	// engine's exclusive serial token and is guaranteed to commit — an
+	// engine with SerialFallback on never returns ErrAborted. See
+	// serial.go for the token protocol and its cost.
+	SerialFallback bool
+	// Faults installs a deterministic fault-injection plan compiled into
+	// the engine's commit path (nil = no injection, zero overhead). The
+	// engine snapshots the plan with fresh counters at construction. See
+	// fault.go for the probe sites and ParseFaultPlan for the syntax.
+	Faults *FaultPlan
 }

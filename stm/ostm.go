@@ -3,6 +3,7 @@ package stm
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 )
 
 func yield() { runtime.Gosched() }
@@ -186,6 +187,19 @@ type OSTMConfig struct {
 	// MaxRetries bounds re-executions; 0 means retry forever. When the
 	// budget is exhausted Atomic returns ErrAborted.
 	MaxRetries int
+
+	// TxDeadline bounds one Atomic call's wall-clock time across all
+	// attempts (0 = no deadline); see EngineOptions.TxDeadline.
+	TxDeadline time.Duration
+
+	// SerialFallback escalates transactions under retry/deadline pressure
+	// to the engine's irrevocable serial token instead of returning
+	// ErrAborted; see EngineOptions.SerialFallback and serial.go.
+	SerialFallback bool
+
+	// Faults installs a deterministic fault-injection plan (nil = none);
+	// see EngineOptions.Faults and fault.go.
+	Faults *FaultPlan
 }
 
 // OSTM is an object-based STM in the DSTM/ASTM tradition: eager write
@@ -213,6 +227,10 @@ type OSTM struct {
 	// CAS leaves a spurious bump behind; both consumers only pay an extra
 	// validation pass or snapshot restart for it, never correctness.
 	commitSerial atomic.Uint64
+	// gate is the serial-fallback token (nil unless SerialFallback).
+	gate *serialGate
+	// faults is the engine's private fault-plan snapshot (nil = none).
+	faults *FaultPlan
 }
 
 // NewOSTM returns an OSTM engine with the paper's configuration: Polka
@@ -222,8 +240,11 @@ func NewOSTM() *OSTM { return NewOSTMWith(OSTMConfig{}) }
 func init() {
 	RegisterTunable("ostm", func(o EngineOptions) Engine {
 		return NewOSTMWith(OSTMConfig{
-			Granularity: o.Granularity,
-			OrecStripes: o.OrecStripes,
+			Granularity:    o.Granularity,
+			OrecStripes:    o.OrecStripes,
+			TxDeadline:     o.TxDeadline,
+			SerialFallback: o.SerialFallback,
+			Faults:         o.Faults,
 		})
 	})
 }
@@ -237,6 +258,10 @@ func NewOSTMWith(cfg OSTMConfig) *OSTM {
 	if err := e.space.ConfigureOrecs(cfg.Granularity, cfg.OrecStripes); err != nil {
 		panic(err) // unreachable: the space is brand new and the size is clamped
 	}
+	if cfg.SerialFallback {
+		e.gate = &serialGate{}
+	}
+	e.faults = cfg.Faults.fresh()
 	e.txPool.init(func() *ostmTx { return &ostmTx{eng: e} })
 	e.snapPool.init(func() *ostmSnapTx { return &ostmSnapTx{eng: e} })
 	return e
@@ -253,11 +278,31 @@ func (e *OSTM) Stats() Stats { return e.stats.snapshot() }
 
 // Atomic implements Engine.
 func (e *OSTM) Atomic(fn func(tx Tx) error) error {
+	return e.atomicFrom(fn, deadlineFor(e.cfg.TxDeadline))
+}
+
+// txDeadline starts a fresh absolute deadline per the engine config; the
+// snapshot loop (snapshot.go) calls it at RunReadOnly entry so restarts
+// and the validating fallback share one budget.
+func (e *OSTM) txDeadline() int64 { return deadlineFor(e.cfg.TxDeadline) }
+
+// atomicFrom is the retry loop behind Atomic. deadline is an absolute
+// nanotime bound (0 = none): Atomic derives it from cfg.TxDeadline, and
+// the snapshot fallback passes the deadline its RunReadOnly call started
+// with, so time burned on snapshot restarts stays on the same budget.
+func (e *OSTM) atomicFrom(fn func(tx Tx) error, deadline int64) error {
+	gate := e.gate
+	if gate != nil {
+		gate.mu.RLock()
+	}
 	tx := e.txPool.get()
 	for attempt := 0; ; attempt++ {
-		if e.cfg.MaxRetries > 0 && attempt > e.cfg.MaxRetries {
+		if cause := budgetCause(attempt, e.cfg.MaxRetries, deadline, tx.injected, gate != nil); cause != NoAbort {
+			if gate != nil {
+				return e.runSerial(tx, fn)
+			}
 			e.putTx(tx)
-			return ErrAborted
+			return abortErrorFor(cause, &e.stats)
 		}
 		tx.reset(uint64(attempt))
 		committed, err := e.runAttempt(tx, fn)
@@ -265,6 +310,9 @@ func (e *OSTM) Atomic(fn func(tx Tx) error) error {
 		if committed {
 			e.stats.commits.Add(1)
 			e.putTx(tx)
+			if gate != nil {
+				gate.mu.RUnlock()
+			}
 			return nil
 		}
 		if err != nil {
@@ -273,10 +321,41 @@ func (e *OSTM) Atomic(fn func(tx Tx) error) error {
 			// locators' owner is now Aborted.
 			e.stats.userAborts.Add(1)
 			e.putTx(tx)
+			if gate != nil {
+				gate.mu.RUnlock()
+			}
 			return err
 		}
 		e.stats.conflictAborts.Add(1)
 		spinWait(backoffDur(attempt, tx.state.opens.Load()))
+	}
+}
+
+// runSerial escalates tx to the irrevocable serial mode; see the TL2
+// counterpart for the protocol. With the exclusive token held there are
+// no enemies to kill us and no stale reads to fail validation, so the
+// attempt commits on its first iteration.
+func (e *OSTM) runSerial(tx *ostmTx, fn func(tx Tx) error) error {
+	e.gate.mu.RUnlock()
+	e.gate.mu.Lock()
+	defer e.gate.mu.Unlock()
+	e.stats.serialFallbacks.Add(1)
+	tx.serial = true
+	for attempt := uint64(0); ; attempt++ {
+		tx.reset(attempt)
+		committed, err := e.runAttempt(tx, fn)
+		e.stats.flushTx(&tx.st)
+		if committed || err != nil {
+			if committed {
+				e.stats.commits.Add(1)
+			} else {
+				e.stats.userAborts.Add(1)
+			}
+			tx.serial = false // scrub before pooling: descriptors outlive the escalation
+			e.putTx(tx)
+			return err
+		}
+		e.stats.conflictAborts.Add(1)
 	}
 }
 
@@ -304,7 +383,7 @@ func (e *OSTM) putTx(tx *ostmTx) {
 func (e *OSTM) runAttempt(tx *ostmTx, fn func(tx Tx) error) (committed bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			rethrowIfNotConflict(r)
+			tx.injected = rethrowIfNotConflict(r).injected
 			tx.abortSelf()
 			committed, err = false, nil
 		}
@@ -354,6 +433,9 @@ type ostmTx struct {
 	// lastSerial is the engine commit serial as of the last validation
 	// (commit-counter heuristic).
 	lastSerial uint64
+
+	serial   bool // attempt runs under the exclusive serial token (suppresses fault probes)
+	injected bool // last abort of this call was a FaultPlan forced abort
 }
 
 func (tx *ostmTx) reset(attempt uint64) {
@@ -385,6 +467,7 @@ func (tx *ostmTx) reset(attempt uint64) {
 	}
 	tx.pending = tx.pending[:0]
 	tx.pendingIdx.reset()
+	tx.injected = false
 	// Nothing read yet, so the current serial is a sound baseline.
 	tx.lastSerial = tx.eng.commitSerial.Load()
 }
@@ -793,6 +876,18 @@ func (tx *ostmTx) validate(final bool) {
 // transaction lost a race (killed, or final validation failed via panic —
 // which unwinds to runAttempt, not here).
 func (tx *ostmTx) commit() bool {
+	// Fault probes for write transactions: the forced abort and the
+	// pre-commit stall land before lazy acquisition and before any status
+	// transition, so an unwound attempt is indistinguishable from an
+	// ordinary conflict (runAttempt's recover aborts the state, which
+	// disowns any eagerly acquired locators). Suppressed for serial
+	// attempts (see serial.go).
+	if f := tx.eng.faults; f != nil && !tx.serial && (len(tx.writeLocs) > 0 || len(tx.pending) > 0) {
+		if f.fire(FaultAbort, &tx.eng.stats) {
+			throwInjectedFault()
+		}
+		f.stallAt(FaultPreCommit, &tx.eng.stats)
+	}
 	// Lazy mode: take ownership of the buffered writes now.
 	for i := range tx.pending {
 		p := &tx.pending[i]
@@ -812,6 +907,14 @@ func (tx *ostmTx) commit() bool {
 			return false
 		}
 		if len(tx.writeLocs) > 0 {
+			// Lock-holder pause / clock-stamp delay: the Validating window
+			// is OSTM's lock-hold analog (acquired locators block enemies
+			// through the CM while we sit here), and the commit-serial bump
+			// is its commit stamp.
+			if f := tx.eng.faults; f != nil && !tx.serial {
+				f.stallAt(FaultLockHold, &tx.eng.stats)
+				f.stallAt(FaultClockTick, &tx.eng.stats)
+			}
 			tx.eng.commitSerial.Add(1)
 		}
 		return tx.state.status.CompareAndSwap(statusValidating, statusCommitted)
@@ -825,7 +928,17 @@ func (tx *ostmTx) commit() bool {
 	if !tx.state.status.CompareAndSwap(statusActive, statusValidating) {
 		return false // enemy killed us
 	}
+	// Lock-holder pause: the Validating window is OSTM's lock-hold analog
+	// — acquired locators keep enemies arbitrating against us while we
+	// sit here, and snapshot readers spin on the Validating status.
+	if f := tx.eng.faults; f != nil && !tx.serial {
+		f.stallAt(FaultLockHold, &tx.eng.stats)
+	}
 	tx.validate(true)
+	// Clock-stamp delay: the commit-serial bump is OSTM's commit stamp.
+	if f := tx.eng.faults; f != nil && !tx.serial {
+		f.stallAt(FaultClockTick, &tx.eng.stats)
+	}
 	// The serial bump precedes the Committed flip (see commitSerial): an
 	// observer that resolves our new values is then guaranteed to also
 	// observe the bump.

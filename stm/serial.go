@@ -1,0 +1,81 @@
+package stm
+
+import (
+	"sync"
+	"time"
+)
+
+// Irrevocable serial fallback.
+//
+// With SerialFallback enabled an engine guarantees that every Atomic
+// call eventually commits (or returns its fn's own error): when the
+// retry loop's pressure crosses a threshold — the MaxRetries budget
+// exhausts, the TxDeadline expires, or serialEscalateAfter attempts
+// pass on an unbounded configuration — the transaction trades its
+// shared token for the engine's exclusive serial token and re-runs
+// irrevocably. While the serial token is held no other Atomic attempt
+// runs anywhere on the engine, so the serial attempt cannot be
+// invalidated, cannot deadlock on commit-time locks, and commits on its
+// first try; fault injection is suppressed for the serial attempt so an
+// injected abort cannot break the guarantee. Read-only snapshot
+// transactions do not take the token: they are invisible, cannot
+// invalidate the serial writer, and keep running concurrently.
+//
+// The token is a sync.RWMutex: every ordinary Atomic call holds the
+// read side for its whole retry loop (pennies per call), the escalated
+// transaction takes the write side. When SerialFallback is off the gate
+// is nil and the loop pays one predictable nil check — nothing else.
+
+// serialGate is the per-engine global token.
+type serialGate struct {
+	mu sync.RWMutex
+}
+
+// serialEscalateAfter bounds the attempt count on engines with serial
+// fallback but no MaxRetries/TxDeadline: without it an unbounded
+// configuration could livelock forever instead of escalating.
+const serialEscalateAfter = 32
+
+// deadlineFor converts a relative TxDeadline into an absolute nanotime
+// deadline at transaction entry (0 = no deadline).
+func deadlineFor(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return nanotime() + int64(d)
+}
+
+// budgetCause decides, at the top of each retry iteration, whether the
+// next attempt may run: NoAbort to proceed, otherwise the cause that
+// ends (or, with serial fallback, escalates) the transaction. Attempt 0
+// always runs — a deadline inherited from a snapshot fallback may
+// already be expired, and the validating path still deserves one try.
+func budgetCause(attempt, maxRetries int, deadline int64, injected, fallback bool) Cause {
+	if maxRetries > 0 && attempt > maxRetries {
+		if injected {
+			return InjectedFault
+		}
+		return RetryBudgetExhausted
+	}
+	if deadline != 0 && attempt > 0 && nanotime() >= deadline {
+		return DeadlineExceeded
+	}
+	if fallback && attempt >= serialEscalateAfter {
+		return RetryBudgetExhausted
+	}
+	return NoAbort
+}
+
+// abortErrorFor maps a terminal budgetCause to its wrapped ErrAborted
+// singleton, bumping the deadline counter.
+func abortErrorFor(cause Cause, c *statCounters) error {
+	switch cause {
+	case DeadlineExceeded:
+		c.timeoutAborts.Add(1)
+		return ErrDeadlineExceeded
+	case InjectedFault:
+		return ErrInjectedFault
+	default:
+		return ErrRetryExhausted
+	}
+}

@@ -1,0 +1,340 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAbortCauseAccessors(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want Cause
+		str  string
+	}{
+		{ErrRetryExhausted, RetryBudgetExhausted, "retry budget exhausted"},
+		{ErrDeadlineExceeded, DeadlineExceeded, "deadline exceeded"},
+		{ErrInjectedFault, InjectedFault, "injected fault"},
+	} {
+		if !errors.Is(tc.err, ErrAborted) {
+			t.Errorf("%v does not match ErrAborted", tc.err)
+		}
+		if got := AbortCause(tc.err); got != tc.want {
+			t.Errorf("AbortCause(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+		if got := tc.want.String(); got != tc.str {
+			t.Errorf("Cause.String() = %q, want %q", got, tc.str)
+		}
+	}
+	if AbortCause(nil) != NoAbort {
+		t.Error("AbortCause(nil) != NoAbort")
+	}
+	if AbortCause(errors.New("other")) != NoAbort {
+		t.Error("AbortCause(non-abort) != NoAbort")
+	}
+	// Wrapped one level deep still resolves via errors.Unwrap.
+	wrapped := &wrapErr{inner: ErrDeadlineExceeded}
+	if !errors.Is(wrapped, ErrAborted) || AbortCause(wrapped) != DeadlineExceeded {
+		t.Error("wrapped abort error lost its cause")
+	}
+}
+
+type wrapErr struct{ inner error }
+
+func (w *wrapErr) Error() string { return "wrapped: " + w.inner.Error() }
+func (w *wrapErr) Unwrap() error { return w.inner }
+
+// The conflict-forever shape used throughout: read a cell, commit a
+// separate top-level write to the same cell from inside the body, then
+// read it again — the interleaved commit invalidates every attempt, in
+// both snapshot and validating modes, on every engine.
+
+func TestDeadlineExceededCause(t *testing.T) {
+	for name, mk := range chaosEngineMakers("", 5*time.Millisecond, false, 0) {
+		t.Run(name, func(t *testing.T) {
+			eng := mk()
+			c := NewCell(eng.VarSpace(), 0)
+			err := eng.Atomic(func(tx Tx) error {
+				_ = c.Get(tx)
+				if err := eng.Atomic(func(inner Tx) error {
+					c.Update(inner, func(v int) int { return v + 1 })
+					return nil
+				}); err != nil {
+					return err
+				}
+				_ = c.Get(tx)
+				return nil
+			})
+			if !errors.Is(err, ErrDeadlineExceeded) {
+				t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+			}
+			if got := AbortCause(err); got != DeadlineExceeded {
+				t.Errorf("AbortCause = %v, want DeadlineExceeded", got)
+			}
+			if got := eng.Stats().TimeoutAborts; got != 1 {
+				t.Errorf("TimeoutAborts = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestDeadlineFirstAttemptRuns: even an already-expired deadline grants
+// attempt 0, so a conflict-free transaction always commits.
+func TestDeadlineFirstAttemptRuns(t *testing.T) {
+	for name, mk := range chaosEngineMakers("", time.Nanosecond, false, 0) {
+		t.Run(name, func(t *testing.T) {
+			eng := mk()
+			c := NewCell(eng.VarSpace(), 0)
+			time.Sleep(time.Millisecond) // deadline long gone before entry
+			if err := eng.Atomic(func(tx Tx) error { c.Set(tx, 1); return nil }); err != nil {
+				t.Fatalf("uncontended tx under expired deadline: %v", err)
+			}
+		})
+	}
+}
+
+// TestSerialFallbackGuaranteesCommit is the PR's acceptance criterion in
+// miniature: a plan that kills every optimistic commit attempt, plus a
+// tiny retry budget. With SerialFallback off the caller sees aborts;
+// with it on, every transaction escalates to the serial token and
+// commits — zero errors surfaced.
+func TestSerialFallbackGuaranteesCommit(t *testing.T) {
+	const plan = "abort:1/1"
+	t.Run("off", func(t *testing.T) {
+		for name, mk := range chaosEngineMakers(plan, 0, false, 2) {
+			t.Run(name, func(t *testing.T) {
+				eng := mk()
+				c := NewCell(eng.VarSpace(), 0)
+				err := eng.Atomic(func(tx Tx) error { c.Set(tx, 1); return nil })
+				if !errors.Is(err, ErrInjectedFault) {
+					t.Fatalf("err = %v, want ErrInjectedFault with fallback off", err)
+				}
+			})
+		}
+	})
+	t.Run("on", func(t *testing.T) {
+		for name, mk := range chaosEngineMakers(plan, 0, true, 2) {
+			t.Run(name, func(t *testing.T) {
+				eng := mk()
+				c := NewCell(eng.VarSpace(), 0)
+				for i := 0; i < 20; i++ {
+					if err := eng.Atomic(func(tx Tx) error {
+						c.Update(tx, func(v int) int { return v + 1 })
+						return nil
+					}); err != nil {
+						t.Fatalf("tx %d: %v (serial fallback must never surface ErrAborted)", i, err)
+					}
+				}
+				st := eng.Stats()
+				if st.SerialFallbacks != 20 {
+					t.Errorf("SerialFallbacks = %d, want 20", st.SerialFallbacks)
+				}
+				if st.TimeoutAborts != 0 {
+					t.Errorf("TimeoutAborts = %d, want 0 under fallback", st.TimeoutAborts)
+				}
+				eng.Atomic(func(tx Tx) error {
+					if got := c.Get(tx); got != 20 {
+						t.Errorf("counter = %d, want 20", got)
+					}
+					return nil
+				})
+			})
+		}
+	})
+}
+
+// TestSerialFallbackDeadline: deadline pressure (not just retry budget)
+// must also escalate instead of surfacing ErrDeadlineExceeded.
+func TestSerialFallbackDeadline(t *testing.T) {
+	for name, mk := range chaosEngineMakers("abort:1/1", 2*time.Millisecond, true, 0) {
+		t.Run(name, func(t *testing.T) {
+			eng := mk()
+			c := NewCell(eng.VarSpace(), 0)
+			if err := eng.Atomic(func(tx Tx) error { c.Set(tx, 1); return nil }); err != nil {
+				t.Fatalf("err = %v, want nil via serial escalation", err)
+			}
+			if got := eng.Stats().SerialFallbacks; got != 1 {
+				t.Errorf("SerialFallbacks = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestSerialFallbackConcurrent hammers the escalation path: many
+// goroutines, every optimistic attempt killed, all must commit through
+// the serial token without losing updates.
+func TestSerialFallbackConcurrent(t *testing.T) {
+	for name, mk := range chaosEngineMakers("seed=5,abort:1/2,precommit:1/8:5µs", 0, true, 4) {
+		t.Run(name, func(t *testing.T) {
+			eng := mk()
+			c := NewCell(eng.VarSpace(), 0)
+			const goroutines = 6
+			iters := stressIters(t, 300)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						if err := eng.Atomic(func(tx Tx) error {
+							c.Update(tx, func(v int) int { return v + 1 })
+							return nil
+						}); err != nil {
+							t.Errorf("Atomic: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			eng.Atomic(func(tx Tx) error {
+				if got := c.Get(tx); got != goroutines*iters {
+					t.Errorf("counter = %d, want %d", got, goroutines*iters)
+				}
+				return nil
+			})
+			if got := eng.Stats().SerialFallbacks; got == 0 {
+				t.Error("SerialFallbacks = 0 — escalation never exercised")
+			}
+		})
+	}
+}
+
+// TestSerialFallbackBoundsUnboundedRetries: with MaxRetries=0 (retry
+// forever) and no deadline, fallback still engages after the internal
+// escalation threshold rather than spinning optimistically for good.
+func TestSerialFallbackBoundsUnboundedRetries(t *testing.T) {
+	for name, mk := range chaosEngineMakers("abort:1/1", 0, true, 0) {
+		t.Run(name, func(t *testing.T) {
+			eng := mk()
+			c := NewCell(eng.VarSpace(), 0)
+			done := make(chan error, 1)
+			go func() {
+				done <- eng.Atomic(func(tx Tx) error { c.Set(tx, 1); return nil })
+			}()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("err = %v", err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("unbounded-retry engine never escalated to serial mode")
+			}
+			if got := eng.Stats().InjectedFaults; got < serialEscalateAfter {
+				t.Errorf("InjectedFaults = %d, want >= %d (threshold governs escalation)", got, serialEscalateAfter)
+			}
+		})
+	}
+}
+
+// TestSnapshotFallbackInheritsDeadline pins the retry-accounting
+// satellite: a read-only op that exhausts the snapshot restart budget
+// (or its deadline) falls back to the Atomic path *carrying the same
+// deadline*, so the whole op is bounded by one TxDeadline — the
+// fallback must not restart the clock. The body conflicts forever in
+// both modes (nested top-level write invalidates the read), so without
+// the inherited deadline this test would spin indefinitely.
+func TestSnapshotFallbackInheritsDeadline(t *testing.T) {
+	for name, mk := range chaosEngineMakers("", 5*time.Millisecond, false, 0) {
+		t.Run(name, func(t *testing.T) {
+			eng := mk()
+			c := NewCell(eng.VarSpace(), 0)
+			start := time.Now()
+			err := RunReadOnly(eng, func(tx Tx) error {
+				_ = c.Get(tx)
+				if err := eng.Atomic(func(inner Tx) error {
+					c.Update(inner, func(v int) int { return v + 1 })
+					return nil
+				}); err != nil {
+					return err
+				}
+				_ = c.Get(tx)
+				return nil
+			})
+			if !errors.Is(err, ErrDeadlineExceeded) {
+				t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+			}
+			if elapsed := time.Since(start); elapsed > 10*time.Second {
+				t.Errorf("read-only op ran %v — deadline did not bound the fallback", elapsed)
+			}
+			if got := eng.Stats().TimeoutAborts; got != 1 {
+				t.Errorf("TimeoutAborts = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestSnapshotFallbackRespectsMaxRetries: once fallen back, the Atomic
+// path's MaxRetries budget applies to the read-only op (snapshot
+// restarts themselves stay exempt — see
+// TestSnapshotFallbackIgnoresMaxRetries).
+func TestSnapshotFallbackRespectsMaxRetries(t *testing.T) {
+	for name, mk := range chaosEngineMakers("", 0, false, 3) {
+		t.Run(name, func(t *testing.T) {
+			eng := mk()
+			c := NewCell(eng.VarSpace(), 0)
+			err := RunReadOnly(eng, func(tx Tx) error {
+				_ = c.Get(tx)
+				if err := eng.Atomic(func(inner Tx) error {
+					c.Update(inner, func(v int) int { return v + 1 })
+					return nil
+				}); err != nil {
+					return err
+				}
+				_ = c.Get(tx)
+				return nil
+			})
+			if !errors.Is(err, ErrRetryExhausted) {
+				t.Fatalf("err = %v, want ErrRetryExhausted after fallback budget", err)
+			}
+		})
+	}
+}
+
+// TestSerialFallbackSnapshotReadersCoexist: snapshot read-only
+// transactions do not take the serial token, so a serial writer and
+// concurrent snapshot readers make progress together and readers keep
+// seeing consistent states.
+func TestSerialFallbackSnapshotReadersCoexist(t *testing.T) {
+	for name, mk := range chaosEngineMakers("abort:1/1", 0, true, 1) {
+		t.Run(name, func(t *testing.T) {
+			eng := mk()
+			a := NewCell(eng.VarSpace(), 1)
+			b := NewCell(eng.VarSpace(), -1)
+			stop := make(chan struct{})
+			var readerWG sync.WaitGroup
+			readerWG.Add(1)
+			go func() {
+				defer readerWG.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := RunReadOnly(eng, func(tx Tx) error {
+						if s := a.Get(tx) + b.Get(tx); s != 0 {
+							t.Errorf("reader saw sum %d", s)
+						}
+						return nil
+					}); err != nil {
+						t.Errorf("reader: %v", err)
+						return
+					}
+				}
+			}()
+			for i := 0; i < 50; i++ {
+				if err := eng.Atomic(func(tx Tx) error {
+					a.Update(tx, func(v int) int { return v + 1 })
+					b.Update(tx, func(v int) int { return v - 1 })
+					return nil
+				}); err != nil {
+					t.Fatalf("writer: %v", err)
+				}
+			}
+			close(stop)
+			readerWG.Wait()
+		})
+	}
+}

@@ -124,7 +124,17 @@ type snapTx interface {
 	// loopState returns the pieces the shared loop needs: the engine's
 	// stat counters, the descriptor's per-attempt accumulator, and the
 	// engine to fall back to once snapRestartBudget is exhausted.
-	loopState() (stats *statCounters, acc *txStats, fallback Engine)
+	loopState() (stats *statCounters, acc *txStats, fallback snapFallback)
+}
+
+// snapFallback is the engine face the snapshot loop falls back to: the
+// internal retry loop entry that accepts an inherited absolute deadline,
+// plus the constructor for that deadline. Implemented by TL2, NOrec and
+// OSTM (atomicFrom / txDeadline in each engine file).
+type snapFallback interface {
+	Engine
+	txDeadline() int64
+	atomicFrom(fn func(tx Tx) error, deadline int64) error
 }
 
 // runSnapshotLoop is the shared RunReadOnly protocol: sample, attempt,
@@ -136,15 +146,23 @@ type snapTx interface {
 // because the snapshot phase was configured with a small retry cap — the
 // fallback Atomic enforces MaxRetries itself, so a RunReadOnly call
 // executes at most snapRestartBudget+1 snapshot attempts before the
-// configured budget starts counting. Every engine's RunReadOnly is this
+// configured budget starts counting. TxDeadline, by contrast, IS
+// inherited: the deadline starts at RunReadOnly entry and the fallback
+// receives the same absolute bound, so snapshot restarts cannot silently
+// reset the call's wall-clock budget (an expired inherited deadline
+// still grants the fallback one attempt — see budgetCause). A deadline
+// that expires during the snapshot phase skips the remaining restart
+// budget and falls back at once. Every engine's RunReadOnly is this
 // loop over its own descriptor; engine-specific behavior lives entirely
 // in the descriptor's Read and sample.
 func runSnapshotLoop(tx snapTx, fn func(tx Tx) error) error {
 	stats, acc, fallback := tx.loopState()
+	deadline := fallback.txDeadline()
 	for attempt := 0; ; attempt++ {
-		if attempt > snapRestartBudget {
+		if attempt > snapRestartBudget ||
+			(deadline != 0 && attempt > 0 && nanotime() >= deadline) {
 			tx.recycle()
-			return fallback.Atomic(fn)
+			return fallback.atomicFrom(fn, deadline)
 		}
 		tx.sample()
 		committed, err := runSnapshotAttempt(tx, fn)
@@ -236,7 +254,7 @@ func (tx *tl2SnapTx) Update(*Var, func(any) any) { panic(errSnapshotWrite) }
 
 func (tx *tl2SnapTx) sample()  { tx.rv = tx.eng.clock.read() }
 func (tx *tl2SnapTx) recycle() { tx.eng.snapPool.put(tx) }
-func (tx *tl2SnapTx) loopState() (*statCounters, *txStats, Engine) {
+func (tx *tl2SnapTx) loopState() (*statCounters, *txStats, snapFallback) {
 	return &tx.eng.stats, &tx.st, tx.eng
 }
 
@@ -300,7 +318,7 @@ func (tx *norecSnapTx) Update(*Var, func(any) any) { panic(errSnapshotWrite) }
 
 func (tx *norecSnapTx) sample()  { tx.snap = tx.eng.sampleSeq() }
 func (tx *norecSnapTx) recycle() { tx.eng.snapPool.put(tx) }
-func (tx *norecSnapTx) loopState() (*statCounters, *txStats, Engine) {
+func (tx *norecSnapTx) loopState() (*statCounters, *txStats, snapFallback) {
 	return &tx.eng.stats, &tx.st, tx.eng
 }
 
@@ -388,7 +406,7 @@ func (tx *ostmSnapTx) Update(*Var, func(any) any) { panic(errSnapshotWrite) }
 
 func (tx *ostmSnapTx) sample()  { tx.serial = tx.eng.commitSerial.Load() }
 func (tx *ostmSnapTx) recycle() { tx.eng.snapPool.put(tx) }
-func (tx *ostmSnapTx) loopState() (*statCounters, *txStats, Engine) {
+func (tx *ostmSnapTx) loopState() (*statCounters, *txStats, snapFallback) {
 	return &tx.eng.stats, &tx.st, tx.eng
 }
 

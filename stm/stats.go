@@ -63,6 +63,20 @@ type Stats struct {
 	// space trade. Instantaneous retention is bounded by
 	// (Versions-1) * liveVars * sizeof(box). Always 0 at Versions <= 1.
 	VersionBytes uint64
+	// TimeoutAborts counts Atomic calls that gave up because their
+	// TxDeadline wall-clock budget expired (the ErrDeadlineExceeded
+	// returns). Always 0 when TxDeadline is unset or SerialFallback is
+	// on — escalation replaces the abort.
+	TimeoutAborts uint64
+	// SerialFallbacks counts transactions that escalated to the
+	// irrevocable serial token after retry/deadline pressure crossed the
+	// threshold. Each one is a transaction that would otherwise have
+	// surfaced ErrAborted (or retried unboundedly).
+	SerialFallbacks uint64
+	// InjectedFaults counts FaultPlan probe firings — stalls applied and
+	// conflicts forced. Deterministic for a given plan seed and probe-hit
+	// sequence; always 0 with no plan installed.
+	InjectedFaults uint64
 	// ClockShards is the number of commit-clock shards (TL2: 1 for the
 	// classic global clock; 0 for engines without a commit clock). A
 	// snapshot property, not a counter: Delta carries the newer value.
@@ -109,6 +123,12 @@ type statCounters struct {
 	versionReads  padUint64
 	versionMisses padUint64
 	versionBytes  padUint64
+	// Robustness counters (serial.go, fault.go). Give-up / escalation /
+	// injection frequency — far below per-attempt — so they are bumped
+	// directly, no txStats batching.
+	timeoutAborts   padUint64
+	serialFallbacks padUint64
+	injectedFaults  padUint64
 }
 
 // txStats is the per-transaction accumulator for the high-frequency
@@ -199,6 +219,9 @@ func (c *statCounters) snapshot() Stats {
 		VersionReads:     c.versionReads.Load(),
 		VersionMisses:    c.versionMisses.Load(),
 		VersionBytes:     c.versionBytes.Load(),
+		TimeoutAborts:    c.timeoutAborts.Load(),
+		SerialFallbacks:  c.serialFallbacks.Load(),
+		InjectedFaults:   c.injectedFaults.Load(),
 	}
 }
 
@@ -263,6 +286,9 @@ func (s Stats) Delta(prev Stats) Stats {
 		VersionReads:     s.VersionReads - prev.VersionReads,
 		VersionMisses:    s.VersionMisses - prev.VersionMisses,
 		VersionBytes:     s.VersionBytes - prev.VersionBytes,
+		TimeoutAborts:    s.TimeoutAborts - prev.TimeoutAborts,
+		SerialFallbacks:  s.SerialFallbacks - prev.SerialFallbacks,
+		InjectedFaults:   s.InjectedFaults - prev.InjectedFaults,
 		// Snapshot properties, not counters: the newer snapshot's view.
 		ClockShards:      s.ClockShards,
 		ClockShardSpread: s.ClockShardSpread,

@@ -164,16 +164,86 @@ type Engine interface {
 	Stats() Stats
 }
 
-// ErrAborted is returned by Atomic when the transaction gave up without
-// committing — only possible when the engine is configured with a bounded
-// retry budget (see the MaxRetries field of OSTMConfig, TL2Config and
-// NOrecConfig).
+// ErrAborted is the sentinel for every give-up return from Atomic: the
+// transaction could not commit within its configured budget. It is only
+// possible when the engine bounds the retry loop — a retry budget
+// (MaxRetries), a wall-clock budget (TxDeadline), or both — and it is
+// never returned when SerialFallback is enabled, because escalation to
+// the serial token guarantees the commit instead.
+//
+// Atomic never returns ErrAborted itself; it returns one of the wrapped
+// singletons below (ErrRetryExhausted, ErrDeadlineExceeded,
+// ErrInjectedFault), each of which satisfies
+// errors.Is(err, ErrAborted). Callers that only care whether the
+// transaction gave up keep matching ErrAborted; callers that care why
+// use errors.Is against the specific singleton, or the AbortCause
+// accessor.
 var ErrAborted = errors.New("stm: transaction aborted (retry budget exhausted)")
+
+// Cause classifies why an Atomic call gave up (see AbortCause).
+type Cause int
+
+const (
+	// NoAbort: the error is nil or not an stm abort at all.
+	NoAbort Cause = iota
+	// RetryBudgetExhausted: the attempt count passed MaxRetries.
+	RetryBudgetExhausted
+	// DeadlineExceeded: the TxDeadline wall-clock budget expired between
+	// attempts.
+	DeadlineExceeded
+	// InjectedFault: the retry budget was exhausted and the final
+	// attempt was killed by a FaultPlan forced abort.
+	InjectedFault
+)
+
+// String names the cause for reports and error messages.
+func (c Cause) String() string {
+	switch c {
+	case RetryBudgetExhausted:
+		return "retry budget exhausted"
+	case DeadlineExceeded:
+		return "deadline exceeded"
+	case InjectedFault:
+		return "injected fault"
+	default:
+		return "none"
+	}
+}
+
+// abortError is the concrete type behind the ErrAborted family: it
+// carries the termination cause and unwraps to ErrAborted so existing
+// errors.Is(err, ErrAborted) checks keep matching.
+type abortError struct{ cause Cause }
+
+func (e *abortError) Error() string { return "stm: transaction aborted (" + e.cause.String() + ")" }
+func (e *abortError) Unwrap() error { return ErrAborted }
+
+// The three give-up singletons. Each satisfies
+// errors.Is(err, ErrAborted) and is itself errors.Is-distinguishable.
+// Singletons keep the give-up path allocation-free.
+var (
+	ErrRetryExhausted   error = &abortError{cause: RetryBudgetExhausted}
+	ErrDeadlineExceeded error = &abortError{cause: DeadlineExceeded}
+	ErrInjectedFault    error = &abortError{cause: InjectedFault}
+)
+
+// AbortCause reports why an Atomic call gave up: NoAbort unless err (or
+// something it wraps) is one of the abort singletons.
+func AbortCause(err error) Cause {
+	for err != nil {
+		if ae, ok := err.(*abortError); ok {
+			return ae.cause
+		}
+		err = errors.Unwrap(err)
+	}
+	return NoAbort
+}
 
 // conflict is the panic payload used internally to unwind a doomed
 // transaction attempt. It never escapes Atomic.
 type conflict struct {
-	reason string
+	reason   string
+	injected bool // true when thrown by a FaultPlan forced abort
 }
 
 func (c conflict) String() string { return "stm conflict: " + c.reason }
@@ -182,6 +252,13 @@ func (c conflict) String() string { return "stm conflict: " + c.reason }
 // and retries.
 func throwConflict(reason string) {
 	panic(conflict{reason: reason})
+}
+
+// throwInjectedFault aborts the current attempt like throwConflict but
+// marks the conflict as fault-injected, so a retry loop that exhausts
+// its budget on one can report InjectedFault as the cause.
+func throwInjectedFault() {
+	panic(conflict{reason: "injected fault", injected: true})
 }
 
 // rethrowIfNotConflict re-panics recovered values that are not internal

@@ -4,6 +4,7 @@ import (
 	"cmp"
 	"slices"
 	"sync/atomic"
+	"time"
 )
 
 // TL2Config tunes the TL2 engine.
@@ -49,6 +50,16 @@ type TL2Config struct {
 	// validating Atomic path is unchanged. See mvcc.go for the opacity
 	// argument and the space bound.
 	Versions int
+	// TxDeadline bounds one Atomic call's wall-clock time across all
+	// attempts (0 = no deadline); see EngineOptions.TxDeadline.
+	TxDeadline time.Duration
+	// SerialFallback escalates transactions under retry/deadline pressure
+	// to the engine's irrevocable serial token instead of returning
+	// ErrAborted; see EngineOptions.SerialFallback and serial.go.
+	SerialFallback bool
+	// Faults installs a deterministic fault-injection plan (nil = none);
+	// see EngineOptions.Faults and fault.go.
+	Faults *FaultPlan
 }
 
 // TL2 implements Transactional Locking II (Dice, Shalev, Shavit; DISC
@@ -73,6 +84,10 @@ type TL2 struct {
 	clock gvClock
 	// txSeq hands each new descriptor a distinct clock-shard affinity.
 	txSeq atomic.Uint64
+	// gate is the serial-fallback token (nil unless SerialFallback).
+	gate *serialGate
+	// faults is the engine's private fault-plan snapshot (nil = none).
+	faults *FaultPlan
 }
 
 // NewTL2 returns a TL2 engine with default configuration.
@@ -81,10 +96,13 @@ func NewTL2() *TL2 { return NewTL2With(TL2Config{}) }
 func init() {
 	RegisterTunable("tl2", func(o EngineOptions) Engine {
 		return NewTL2With(TL2Config{
-			Granularity: o.Granularity,
-			OrecStripes: o.OrecStripes,
-			ClockShards: o.ClockShards,
-			Versions:    o.Versions,
+			Granularity:    o.Granularity,
+			OrecStripes:    o.OrecStripes,
+			ClockShards:    o.ClockShards,
+			Versions:       o.Versions,
+			TxDeadline:     o.TxDeadline,
+			SerialFallback: o.SerialFallback,
+			Faults:         o.Faults,
 		})
 	})
 }
@@ -103,6 +121,10 @@ func NewTL2With(cfg TL2Config) *TL2 {
 		panic(err) // unreachable: the space is brand new and the size is clamped
 	}
 	e.clock.init(cfg.ClockShards)
+	if cfg.SerialFallback {
+		e.gate = &serialGate{}
+	}
+	e.faults = cfg.Faults.fresh()
 	e.txPool.init(func() *tl2Tx { return &tl2Tx{eng: e, shardHint: e.txSeq.Add(1)} })
 	e.snapPool.init(func() *tl2SnapTx { return &tl2SnapTx{eng: e} })
 	return e
@@ -123,11 +145,31 @@ func (e *TL2) Stats() Stats {
 
 // Atomic implements Engine.
 func (e *TL2) Atomic(fn func(tx Tx) error) error {
+	return e.atomicFrom(fn, deadlineFor(e.cfg.TxDeadline))
+}
+
+// txDeadline starts a fresh absolute deadline per the engine config; the
+// snapshot loop (snapshot.go) calls it at RunReadOnly entry so restarts
+// and the validating fallback share one budget.
+func (e *TL2) txDeadline() int64 { return deadlineFor(e.cfg.TxDeadline) }
+
+// atomicFrom is the retry loop behind Atomic. deadline is an absolute
+// nanotime bound (0 = none): Atomic derives it from cfg.TxDeadline, and
+// the snapshot fallback passes the deadline its RunReadOnly call started
+// with, so time burned on snapshot restarts stays on the same budget.
+func (e *TL2) atomicFrom(fn func(tx Tx) error, deadline int64) error {
+	gate := e.gate
+	if gate != nil {
+		gate.mu.RLock()
+	}
 	tx := e.txPool.get()
 	for attempt := 0; ; attempt++ {
-		if e.cfg.MaxRetries > 0 && attempt > e.cfg.MaxRetries {
+		if cause := budgetCause(attempt, e.cfg.MaxRetries, deadline, tx.injected, gate != nil); cause != NoAbort {
+			if gate != nil {
+				return e.runSerial(tx, fn)
+			}
 			e.putTx(tx)
-			return ErrAborted
+			return abortErrorFor(cause, &e.stats)
 		}
 		tx.reset()
 		committed, err := e.runAttempt(tx, fn)
@@ -135,15 +177,50 @@ func (e *TL2) Atomic(fn func(tx Tx) error) error {
 		if committed {
 			e.stats.commits.Add(1)
 			e.putTx(tx)
+			if gate != nil {
+				gate.mu.RUnlock()
+			}
 			return nil
 		}
 		if err != nil {
 			e.stats.userAborts.Add(1)
 			e.putTx(tx)
+			if gate != nil {
+				gate.mu.RUnlock()
+			}
 			return err
 		}
 		e.stats.conflictAborts.Add(1)
 		spinWait(backoffDur(attempt, uint64(len(tx.reads))+uint64(attempt)<<32))
+	}
+}
+
+// runSerial escalates tx to the irrevocable serial mode: trade the
+// shared token (held by atomicFrom) for the exclusive one, then re-run
+// with fault injection suppressed. With no other Atomic attempt running
+// anywhere on the engine the attempt cannot be invalidated, so the loop
+// exits on its first iteration; it is a loop only for defense in depth.
+func (e *TL2) runSerial(tx *tl2Tx, fn func(tx Tx) error) error {
+	e.gate.mu.RUnlock()
+	e.gate.mu.Lock()
+	defer e.gate.mu.Unlock()
+	e.stats.serialFallbacks.Add(1)
+	tx.serial = true
+	for {
+		tx.reset()
+		committed, err := e.runAttempt(tx, fn)
+		e.stats.flushTx(&tx.st)
+		if committed || err != nil {
+			if committed {
+				e.stats.commits.Add(1)
+			} else {
+				e.stats.userAborts.Add(1)
+			}
+			tx.serial = false // scrub before pooling: descriptors outlive the escalation
+			e.putTx(tx)
+			return err
+		}
+		e.stats.conflictAborts.Add(1)
 	}
 }
 
@@ -160,7 +237,7 @@ func (e *TL2) putTx(tx *tl2Tx) {
 func (e *TL2) runAttempt(tx *tl2Tx, fn func(tx Tx) error) (committed bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			rethrowIfNotConflict(r)
+			tx.injected = rethrowIfNotConflict(r).injected
 			committed, err = false, nil
 		}
 	}()
@@ -200,6 +277,9 @@ type tl2Tx struct {
 	writeIdx varIndex // *Var -> index into writes
 
 	lockedMeta []uint64 // commit scratch: pre-lock meta per write-set entry (dupMeta for same-orec duplicates)
+
+	serial   bool // attempt runs under the exclusive serial token (suppresses fault probes)
+	injected bool // last abort of this call was a FaultPlan forced abort
 }
 
 func (tx *tl2Tx) reset() {
@@ -208,6 +288,7 @@ func (tx *tl2Tx) reset() {
 	tx.readIdx.reset()
 	tx.writes = tx.writes[:0]
 	tx.writeIdx.reset()
+	tx.injected = false
 }
 
 // noteFalseConflict classifies a conflict on o, hit while accessing v, as
@@ -360,6 +441,17 @@ func (tx *tl2Tx) commit() bool {
 		return true
 	}
 
+	// Fault probes: a forced abort unwinds here, before any lock is
+	// taken, so there is never anything to release; the pre-commit stall
+	// pauses the committer while it still holds nothing. Suppressed for
+	// serial attempts — an injected abort would break irrevocability.
+	if f := tx.eng.faults; f != nil && !tx.serial {
+		if f.fire(FaultAbort, &tx.eng.stats) {
+			throwInjectedFault()
+		}
+		f.stallAt(FaultPreCommit, &tx.eng.stats)
+	}
+
 	// Lock the write set in orec-id order so concurrent committers cannot
 	// deadlock (we spin-bound anyway, but ordering avoids wasted work).
 	// Under striped granularity several writes may share an orec; sorting
@@ -399,6 +491,11 @@ func (tx *tl2Tx) commit() bool {
 		}
 	}
 
+	// Clock-stamp delay: stall between lock acquisition and the tick, the
+	// window that stretches the distance between wv and concurrent reads.
+	if f := tx.eng.faults; f != nil && !tx.serial {
+		f.stallAt(FaultClockTick, &tx.eng.stats)
+	}
 	wv := tx.eng.clock.tick(tx.shardHint)
 
 	// Validate the read set unless nobody else committed since we started
@@ -455,6 +552,12 @@ func (tx *tl2Tx) commit() bool {
 	for i := range tx.writes {
 		w := &tx.writes[i]
 		publishVersion(w.v, &box{val: w.val, wv: wv}, keep, &tx.st)
+	}
+	// Lock-holder pause: every write orec is still locked, so this stall
+	// is the worst case for everyone else — readers spin, committers of
+	// overlapping write sets fail their lock loops.
+	if f := tx.eng.faults; f != nil && !tx.serial {
+		f.stallAt(FaultLockHold, &tx.eng.stats)
 	}
 	for i := range tx.writes {
 		if tx.lockedMeta[i] == dupMeta {

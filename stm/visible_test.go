@@ -1,6 +1,7 @@
 package stm
 
 import (
+	"errors"
 	"sync"
 	"testing"
 )
@@ -100,7 +101,7 @@ func TestVisibleReaderBlocksTimidWriter(t *testing.T) {
 	}()
 	<-parked
 	err := eng.Atomic(func(tx Tx) error { c.Set(tx, 8); return nil })
-	if err != ErrAborted {
+	if !errors.Is(err, ErrAborted) {
 		t.Errorf("timid writer returned %v, want ErrAborted", err)
 	}
 	close(resume)

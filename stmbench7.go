@@ -79,6 +79,15 @@ const (
 // ParseGranularity accepts the CLI notation: "object", "striped".
 func ParseGranularity(s string) (Granularity, error) { return stm.ParseGranularity(s) }
 
+// FaultPlan is a deterministic fault-injection plan for Options.FaultPlan:
+// seeded stalls and forced aborts at the STM engines' commit-path probe
+// sites. See stm.ParseFaultPlan for the syntax.
+type FaultPlan = stm.FaultPlan
+
+// ParseFaultPlan parses the CLI fault-plan notation, e.g.
+// "seed=7,precommit:1/40:80us,abort:1/24". An empty string is a nil plan.
+func ParseFaultPlan(s string) (*FaultPlan, error) { return stm.ParseFaultPlan(s) }
+
 // TinyParams returns the unit-test-scale structure preset.
 func TinyParams() Params { return core.Tiny() }
 
