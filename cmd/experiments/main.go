@@ -51,6 +51,16 @@
 // capacity. Checked in as BENCH_pr7.json. The throughput experiments
 // accept no robustness flags — chaos owns that grid.
 //
+// The telemetry experiment exercises the PR 8 observability layer per STM
+// engine: a read/write mixed run with the time-series sampler attached
+// (about ten intervals per point — the throughput/abort/false-conflict
+// curves land in -json as per-point series) and a transaction flight
+// recorder on the engine (the recorded event volume proves the probe sites
+// fire). Checked in as BENCH_pr8.json. With -listen ADDR the driver also
+// serves a live ops endpoint (/metrics in Prometheus text format,
+// /debug/pprof/*, expvar) for the whole sweep; the endpoint tracks
+// whichever engine is currently under measurement.
+//
 // The scenarios experiment sweeps the built-in multi-phase scenario
 // library (steady, ramp-up, spike, read-burst-write-storm,
 // hotspot-migration, engine-sweep; the CI smoke scenario is skipped)
@@ -87,6 +97,7 @@ import (
 	stmbench7 "repro"
 	"repro/internal/benchshapes"
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/ops"
 	"repro/internal/rng"
 	"repro/internal/scenario"
@@ -181,6 +192,15 @@ type jsonPoint struct {
 	Arrivals        int64    `json:"arrivals,omitempty"`
 	ShedOps         int64    `json:"shed_ops,omitempty"`
 	ShedPct         *float64 `json:"shed_pct,omitempty"`
+	// Telemetry-sweep fields: the sampler cadence a point ran under, the
+	// per-interval time series it produced (throughput, abort and
+	// false-conflict percentages, snapshot restarts, shed rate per
+	// interval), and the flight-recorder volume (events retained and ring
+	// overwrites) the run generated.
+	SampleMs     float64                 `json:"sample_ms,omitempty"`
+	Series       []stmbench7.SamplePoint `json:"series,omitempty"`
+	TraceEvents  int                     `json:"trace_events,omitempty"`
+	TraceDropped uint64                  `json:"trace_dropped,omitempty"`
 }
 
 // jsonReport is the -json document. Size/Seconds/Threads echo the driver
@@ -216,6 +236,11 @@ type jsonReport struct {
 var (
 	jsonOut *jsonReport // nil unless -json was given
 	curExp  string      // experiment id being run, for recorded points
+
+	// telemetryReg is the live /metrics registry (nil unless -listen was
+	// given). Measurements repoint it at their engine as they start, so
+	// the endpoint always shows the engine currently under load.
+	telemetryReg *stmbench7.TelemetryRegistry
 )
 
 // record appends a data point to the -json report (no-op without -json).
@@ -233,7 +258,7 @@ func i64ptr(v int64) *int64     { return &v }
 func f64ptr(v float64) *float64 { return &v }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, table3, fig6, headline, ablations, overhead, scenarios, orecs, snapshot, mvcc, chaos or all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, table3, fig6, headline, ablations, overhead, scenarios, orecs, snapshot, mvcc, chaos, telemetry or all")
 	size := flag.String("size", "small", "structure size: tiny, small or medium (paper scale)")
 	seconds := flag.Float64("seconds", 1.0, "measurement duration per data point, in seconds")
 	threadsFlag := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
@@ -244,6 +269,7 @@ func main() {
 	roSnapshot := flag.String("ro-snapshot", "on", "read-only snapshot fast path: on or off")
 	versions := flag.Int("versions", 0, "committed versions kept per Var for snapshot reads (0 or 1 = single version)")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file (\"-\" for stdout)")
+	listen := flag.String("listen", "", "serve live telemetry (/metrics, /debug/pprof/, expvar) on this address for the duration of the driver")
 	flag.Parse()
 
 	granularity, err := stm.ParseGranularity(*granularityFlag)
@@ -291,6 +317,17 @@ func main() {
 		}
 	}
 
+	if *listen != "" {
+		telemetryReg = stmbench7.NewTelemetryRegistry(nil)
+		srv, err := stmbench7.NewTelemetryServer(*listen, telemetryReg, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -listen: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: telemetry on http://%s (/metrics, /debug/pprof/)\n", srv.Addr())
+	}
+
 	fmt.Printf("STMBench7 experiment driver — structure %q (%d composite x %d atomic parts), %gs per point\n\n",
 		cfg.size, params.NumCompParts, params.NumAtomicPerComp, cfg.seconds)
 
@@ -307,8 +344,9 @@ func main() {
 		"snapshot":  snapshotSweep,
 		"mvcc":      mvccSweep,
 		"chaos":     chaosSweep,
+		"telemetry": telemetrySweep,
 	}
-	order := []string{"fig3", "fig4", "table3", "fig6", "headline", "ablations", "overhead", "scenarios", "orecs", "snapshot", "mvcc", "chaos"}
+	order := []string{"fig3", "fig4", "table3", "fig6", "headline", "ablations", "overhead", "scenarios", "orecs", "snapshot", "mvcc", "chaos", "telemetry"}
 	if *exp == "all" {
 		for _, name := range order {
 			curExp = name
@@ -358,7 +396,15 @@ func measure(cfg config, o stmbench7.Options) *stmbench7.Result {
 	o.ClockShards = cfg.clockShards
 	o.Versions = cfg.versions
 	o.DisableROSnapshot = cfg.disableSnap
-	res, err := stmbench7.Run(o)
+	ex, s, err := stmbench7.Setup(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	if telemetryReg != nil {
+		telemetryReg.SetStats(ex.Engine().Stats)
+	}
+	res, err := stmbench7.RunOn(o, ex, s)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
@@ -1146,6 +1192,7 @@ func scenarioSweep(cfg config) {
 				Granularity: cfg.granularity,
 				OrecStripes: cfg.orecStripes,
 				ClockShards: cfg.clockShards,
+				OnEngine:    repointTelemetry,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -1475,6 +1522,89 @@ func chaosSweep(cfg config) {
 			ShedOps:         res.ShedOps,
 			ShedPct:         f64ptr(100 * res.ShedRate()),
 		})
+	}
+	fmt.Println()
+}
+
+// repointTelemetry aims the live /metrics registry at a freshly built
+// engine (no-op without -listen). scenario.Run calls it via OnEngine.
+func repointTelemetry(eng stm.Engine) {
+	if telemetryReg != nil {
+		telemetryReg.SetStats(eng.Stats)
+	}
+}
+
+// telemetrySweep exercises the PR 8 observability layer per STM engine: a
+// read/write mixed run with the time-series sampler attached (cadence
+// chosen for about ten intervals per point) and a transaction flight
+// recorder on the engine. Each point carries the per-interval
+// throughput/abort/false-conflict curve in -json as series, plus the
+// flight-recorder volume — proof the probe sites fire under a full mixed
+// workload. The single-run CLIs expose the same machinery interactively
+// via -sample, -trace and -listen.
+func telemetrySweep(cfg config) {
+	threads := 4
+	if n := len(cfg.threads); n > 0 {
+		threads = cfg.threads[n-1]
+	}
+	interval := time.Duration(cfg.seconds * float64(time.Second) / 10)
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	fmt.Println("=== Telemetry: sampled time series + flight recorder, every STM engine ===")
+	fmt.Printf("    (read/write mix, %d threads, sampler cadence %v)\n\n", threads, interval)
+	fmt.Printf("  %-8s %10s %8s %9s %12s %12s\n",
+		"engine", "ops/s", "abort%", "samples", "trace evts", "overwrites")
+	for _, strat := range stmbench7.STMStrategies() {
+		rec := stmbench7.NewTraceRecorder(0)
+		o := stmbench7.Options{
+			Params:            cfg.params,
+			Seed:              cfg.seed,
+			Threads:           threads,
+			Duration:          time.Duration(cfg.seconds * float64(time.Second)),
+			Workload:          stmbench7.ReadWrite,
+			Strategy:          strat,
+			Granularity:       cfg.granularity,
+			OrecStripes:       cfg.orecStripes,
+			ClockShards:       cfg.clockShards,
+			Versions:          cfg.versions,
+			DisableROSnapshot: cfg.disableSnap,
+			Trace:             rec,
+			SampleInterval:    interval,
+		}
+		ex, s, err := stmbench7.Setup(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		repointTelemetry(ex.Engine())
+		res, err := stmbench7.RunOn(o, ex, s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		es := res.EngineStats
+		fmt.Printf("  %-8s %10.0f %8.1f %9d %12d %12d\n",
+			strat, res.Throughput(), 100*es.AbortRate(), len(res.Series), rec.Len(), rec.Dropped())
+		record(jsonPoint{
+			Variant:      strat,
+			Workload:     o.Workload.String(),
+			Threads:      threads,
+			OpsPerSec:    res.Throughput(),
+			AbortPct:     f64ptr(100 * es.AbortRate()),
+			Commits:      es.Commits,
+			Aborts:       es.ConflictAborts,
+			SampleMs:     float64(interval) / float64(time.Millisecond),
+			Series:       res.Series,
+			TraceEvents:  rec.Len(),
+			TraceDropped: rec.Dropped(),
+		})
+		if strat == "tl2" {
+			fmt.Println()
+			fmt.Printf("  tl2 time series (%v cadence)\n", interval)
+			harness.WriteSeries(os.Stdout, "    ", res.Series)
+			fmt.Println()
+		}
 	}
 	fmt.Println()
 }

@@ -44,6 +44,20 @@
 //	                          commit-path probe sites, e.g.
 //	                          "seed=7,precommit:1/40:80us,abort:1/24"
 //	                          (sites: precommit, lockhold, clocktick, abort)
+//	-listen ADDR              serve live telemetry for the duration of the
+//	                          run: /metrics (Prometheus text format),
+//	                          /debug/pprof/, /debug/vars and /trace (the
+//	                          flight recorder as Chrome Trace Event JSON)
+//	-trace N                  attach a transaction flight recorder retaining
+//	                          about N attempt-lifecycle events (begin,
+//	                          validate, lock, commit, abort-with-cause,
+//	                          snapshot restart, serial escalation)
+//	-trace-out FILE           write the recorder's Chrome Trace Event JSON
+//	                          to FILE after the run (load in chrome://tracing
+//	                          or Perfetto)
+//	-sample D                 sample engine counters every D (Go duration),
+//	                          appending a per-interval time series to the
+//	                          report (throughput, abort rate, restarts)
 //	-check                    verify all structural invariants after the run
 //	-chunks N                 split the manual into N chunks (§5 optimization)
 //	-group-atomic             group atomic-part state per composite part (§5 optimization)
@@ -69,8 +83,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	stmbench7 "repro"
@@ -131,6 +147,10 @@ func run(args []string) error {
 	scenarioArg := fs.String("scenario", "", "run a multi-phase scenario: builtin name or JSON file (see -list-scenarios)")
 	scenarioScale := fs.Float64("scenario-scale", 1, "multiply scenario phase durations")
 	listScenarios := fs.Bool("list-scenarios", false, "list builtin scenarios and exit")
+	listen := fs.String("listen", "", "serve live telemetry on this address for the duration of the run (/metrics, /debug/pprof/, /trace), e.g. 127.0.0.1:8707")
+	traceEvents := fs.Int("trace", 0, "attach a transaction flight recorder retaining about N events (0 = off; stm engines only)")
+	traceOut := fs.String("trace-out", "", "write the flight recorder's Chrome Trace Event JSON to this file after the run (requires -trace)")
+	sample := fs.Duration("sample", 0, "telemetry sampling cadence, e.g. 1s; appends a per-interval time series to the report (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -171,6 +191,54 @@ func run(args []string) error {
 	params.GroupAtomicParts = *groupAtomic
 	params.TxIndexes = *txIndex
 
+	if *traceEvents < 0 {
+		return fmt.Errorf("bad -trace %d (must be >= 0)", *traceEvents)
+	}
+	if *sample < 0 {
+		return fmt.Errorf("bad -sample %v (must be >= 0)", *sample)
+	}
+	var rec *stmbench7.TraceRecorder
+	if *traceEvents > 0 {
+		rec = stmbench7.NewTraceRecorder(*traceEvents)
+	}
+	if *traceOut != "" && rec == nil {
+		return fmt.Errorf("-trace-out requires -trace N")
+	}
+	// The registry starts with gauges only; the engine-stats source is
+	// installed once the executor exists (the run's engine is built after
+	// flag parsing). Latency gauges read whatever summary the finished run
+	// published — 0 while the run is still in flight.
+	var latP50, latP99 latencyGauge
+	reg := stmbench7.NewTelemetryRegistry(nil)
+	reg.AddGauge("stmbench7_latency_p50_ms", "Median operation latency of the completed run (0 while running).", latP50.get)
+	reg.AddGauge("stmbench7_latency_p99_ms", "99th-percentile operation latency of the completed run (0 while running).", latP99.get)
+	if *listen != "" {
+		srv, err := stmbench7.NewTelemetryServer(*listen, reg, rec)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry endpoint on http://%s/ (/metrics, /debug/pprof/, /trace)\n", srv.Addr())
+	}
+	dumpTrace := func() error {
+		if *traceOut == "" {
+			return nil
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", rec.Len(), *traceOut)
+		return nil
+	}
+
 	if *scenarioArg != "" {
 		sc, err := stmbench7.LookupScenario(*scenarioArg)
 		if err != nil {
@@ -201,13 +269,22 @@ func run(args []string) error {
 			TxDeadline:               *deadline,
 			SerialFallback:           *serialFallback,
 			FaultPlan:                faultPlan,
+			Trace:                    rec,
+			SampleInterval:           *sample,
+			OnEngine:                 func(eng stm.Engine) { reg.SetStats(eng.Stats) },
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(t0).Round(time.Millisecond))
+		if len(rep.Phases) > 0 {
+			if ls, ok := rep.Phases[len(rep.Phases)-1].Result.OverallLatency(); ok {
+				latP50.set(ls.P50Ms)
+				latP99.set(ls.P99Ms)
+			}
+		}
 		stmbench7.WriteScenarioReport(os.Stdout, rep)
-		return nil
+		return dumpTrace()
 	}
 
 	w, err := stmbench7.ParseWorkload(*workload)
@@ -240,17 +317,38 @@ func run(args []string) error {
 		TxDeadline:               *deadline,
 		SerialFallback:           *serialFallback,
 		FaultPlan:                faultPlan,
+		Trace:                    rec,
+		SampleInterval:           *sample,
 		CollectHistograms:        *histograms,
 		CheckInvariants:          *check,
 	}
 
 	fmt.Fprintf(os.Stderr, "building %s structure (seed %d)...\n", *size, *seed)
 	t0 := time.Now()
-	res, err := stmbench7.Run(opts)
+	ex, s, err := stmbench7.Setup(opts)
+	if err != nil {
+		return err
+	}
+	reg.SetStats(ex.Engine().Stats)
+	res, err := stmbench7.RunOn(opts, ex, s)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(t0).Round(time.Millisecond))
+	if ls, ok := res.OverallLatency(); ok {
+		latP50.set(ls.P50Ms)
+		latP99.set(ls.P99Ms)
+	} else if ls, ok := res.ResponseLatency(); ok {
+		latP50.set(ls.P50Ms)
+		latP99.set(ls.P99Ms)
+	}
 	stmbench7.WriteReport(os.Stdout, res)
-	return nil
+	return dumpTrace()
 }
+
+// latencyGauge is an atomically published float for the /metrics latency
+// gauges: written once when a run completes, read by concurrent scrapes.
+type latencyGauge struct{ bits atomic.Uint64 }
+
+func (g *latencyGauge) set(v float64) { g.bits.Store(math.Float64bits(v)) }
+func (g *latencyGauge) get() float64  { return math.Float64frombits(g.bits.Load()) }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/ops"
 	"repro/internal/rng"
 	"repro/internal/sync7"
+	"repro/internal/telemetry"
 	"repro/stm"
 )
 
@@ -122,6 +123,18 @@ type Options struct {
 	// more than QueueBound later arrivals are already due, the arrival at
 	// the head is shed. Zero = unbounded. Requires OpenLoop.
 	QueueBound int
+	// Trace installs a transaction flight recorder on the engine's
+	// attempt-lifecycle probe sites (-trace; nil = off, zero overhead).
+	// Dump it during or after the run via the telemetry endpoint's /trace
+	// route or stm.TraceRecorder.WriteChromeTrace. Ignored by lock
+	// strategies and direct.
+	Trace *stm.TraceRecorder
+	// SampleInterval, when positive, runs a telemetry sampler alongside
+	// the benchmark (-sample): every interval it snapshots the engine
+	// counters and the live driver progress and appends one per-interval
+	// point to Result.Series — the run's throughput/abort-rate/shed-rate
+	// time series. Zero = no sampling.
+	SampleInterval time.Duration
 	// OpenLoop replaces the closed per-thread loop with an open-loop
 	// driver: operations arrive on a deterministic Poisson schedule at
 	// ArrivalRate ops/s in total, Threads workers serve the queue, and
@@ -195,6 +208,9 @@ func (o Options) validate() error {
 	if o.QueueBound < 0 {
 		return fmt.Errorf("harness: negative QueueBound %d", o.QueueBound)
 	}
+	if o.SampleInterval < 0 {
+		return fmt.Errorf("harness: negative SampleInterval %v", o.SampleInterval)
+	}
 	if !o.OpenLoop && (o.ShedAfter > 0 || o.QueueBound > 0) {
 		return fmt.Errorf("harness: ShedAfter/QueueBound shed overload from the open-loop queue; set OpenLoop (closed-loop workers have no queue to shed from)")
 	}
@@ -245,6 +261,21 @@ type Result struct {
 	// buckets: completion minus scheduled arrival, queueing included.
 	// Nil for closed-loop runs; summarize with ResponseLatency.
 	Response map[int64]int64
+	// Series is the telemetry time-series curve sampled during the run at
+	// Options.SampleInterval cadence (nil when sampling was off): one
+	// point per interval with throughput, abort rate, snapshot restarts
+	// and shed rate over that interval.
+	Series []telemetry.SamplePoint
+}
+
+// liveProgress publishes in-flight driver progress for the telemetry
+// sampler: operations completed successfully and arrivals shed so far.
+// The thread-local records merge only after the run ends, so without these
+// two atomics a mid-run sampler would see engine counters move while the
+// driver appears frozen.
+type liveProgress struct {
+	ops   atomic.Int64
+	sheds atomic.Int64
 }
 
 // threadStats is the per-thread measurement record; merged at the end per
@@ -316,6 +347,7 @@ func Setup(o Options) (sync7.Executor, *core.Structure, error) {
 		TxDeadline:               o.TxDeadline,
 		SerialFallback:           o.SerialFallback,
 		FaultPlan:                o.FaultPlan,
+		Trace:                    o.Trace,
 		DisableROSnapshot:        o.DisableROSnapshot,
 	})
 	if err != nil {
@@ -354,12 +386,29 @@ func RunOn(o Options, ex sync7.Executor, s *core.Structure) (*Result, error) {
 	}
 
 	before := ex.Engine().Stats()
+	live := &liveProgress{}
+	var sampler *telemetry.Sampler
+	if o.SampleInterval > 0 {
+		// The sampler's deltas must cover only this run's activity, so its
+		// stats source subtracts the pre-run baseline (phases share one
+		// engine).
+		sampler = telemetry.NewSampler(o.SampleInterval,
+			func() stm.Stats { return ex.Engine().Stats().Delta(before) },
+			live.ops.Load, live.sheds.Load)
+		sampler.Start()
+	}
 	var res *Result
 	var err error
 	if o.OpenLoop {
-		res, err = runOpenLoop(o, ex, s)
+		res, err = runOpenLoop(o, ex, s, live)
 	} else {
-		res, err = runClosedLoop(o, ex, s)
+		res, err = runClosedLoop(o, ex, s, live)
+	}
+	if sampler != nil {
+		series := sampler.Stop()
+		if res != nil {
+			res.Series = series
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -396,7 +445,7 @@ func skewSamplers(p core.Params, theta, shift float64) (comp, atom core.IDSample
 // runClosedLoop is the paper's driver: each of Threads workers draws and
 // executes operations back to back until the duration elapses (or for
 // exactly MaxOps operations each).
-func runClosedLoop(o Options, ex sync7.Executor, s *core.Structure) (*Result, error) {
+func runClosedLoop(o Options, ex sync7.Executor, s *core.Structure, live *liveProgress) (*Result, error) {
 	profile := o.Profile()
 	picker := ops.NewPicker(profile)
 
@@ -426,6 +475,9 @@ func runClosedLoop(o Options, ex sync7.Executor, s *core.Structure) (*Result, er
 				op := picker.Pick(r)
 				t0 := time.Now()
 				_, err := ex.Execute(op, s, r)
+				if err == nil {
+					live.ops.Add(1)
+				}
 				if err := st.recordOutcome(op.Name, time.Since(t0), o.CollectHistograms, err); err != nil {
 					errCh <- err
 					return

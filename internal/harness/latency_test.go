@@ -50,6 +50,45 @@ func TestSummarizeHistogramEmpty(t *testing.T) {
 	}
 }
 
+func TestSummarizeHistogramSingleSample(t *testing.T) {
+	// One completion: every percentile, the mean and the max collapse to
+	// that sample's bucket.
+	s := summarizeHistogram(map[int64]int64{7: 1})
+	if s.Count != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count)
+	}
+	if s.MeanMs != 7 || s.P50Ms != 7 || s.P90Ms != 7 || s.P99Ms != 7 || s.MaxMs != 7 {
+		t.Errorf("single-sample summary should collapse to the sample: %+v", s)
+	}
+}
+
+// TestHistogramMergeCommutativity pins the merge algebra the category and
+// overall summaries rely on: folding histograms in either order yields the
+// same summary, and merging an empty histogram is the identity.
+func TestHistogramMergeCommutativity(t *testing.T) {
+	a := map[int64]int64{0: 3, 2: 10, 9: 1}
+	b := map[int64]int64{2: 4, 5: 8, 40: 2}
+	merge := func(hs ...map[int64]int64) map[int64]int64 {
+		out := map[int64]int64{}
+		for _, h := range hs {
+			for ms, n := range h {
+				out[ms] += n
+			}
+		}
+		return out
+	}
+	ab, ba := summarizeHistogram(merge(a, b)), summarizeHistogram(merge(b, a))
+	if ab != ba {
+		t.Errorf("merge(a,b) summarized %+v, merge(b,a) %+v", ab, ba)
+	}
+	if got := summarizeHistogram(merge(a, map[int64]int64{})); got != summarizeHistogram(a) {
+		t.Errorf("merging an empty histogram changed the summary: %+v vs %+v", got, summarizeHistogram(a))
+	}
+	if wantCount := ab.Count; wantCount != 3+10+1+4+8+2 {
+		t.Errorf("merged count = %d, want %d", wantCount, 3+10+1+4+8+2)
+	}
+}
+
 func TestPercentileMonotonicity(t *testing.T) {
 	h := map[int64]int64{}
 	for i := int64(0); i < 50; i++ {

@@ -32,7 +32,7 @@ const maxArrivals = 8 << 20
 // regardless of which worker serves it — so the multiset of attempted
 // operations in a MaxOps-mode run is identical across runs and thread
 // counts.
-func runOpenLoop(o Options, ex sync7.Executor, s *core.Structure) (*Result, error) {
+func runOpenLoop(o Options, ex sync7.Executor, s *core.Structure, live *liveProgress) (*Result, error) {
 	profile := o.Profile()
 	picker := ops.NewPicker(profile)
 
@@ -98,6 +98,7 @@ func runOpenLoop(o Options, ex sync7.Executor, s *core.Structure) (*Result, erro
 					// longer than any acceptable response to it.
 					issued.Add(1)
 					st.sheds++
+					live.sheds.Add(1)
 					continue
 				}
 				if b := int64(o.QueueBound); b > 0 && i+b < int64(total) && offsets[i+b] <= time.Since(start) {
@@ -106,6 +107,7 @@ func runOpenLoop(o Options, ex sync7.Executor, s *core.Structure) (*Result, erro
 					// arrivals are backed up behind this one.
 					issued.Add(1)
 					st.sheds++
+					live.sheds.Add(1)
 					continue
 				}
 				waitUntil(due)
@@ -115,6 +117,9 @@ func runOpenLoop(o Options, ex sync7.Executor, s *core.Structure) (*Result, erro
 				t0 := time.Now()
 				_, err := ex.Execute(op, s, r)
 				end := time.Now()
+				if err == nil {
+					live.ops.Add(1)
+				}
 				if err := st.recordOutcome(op.Name, end.Sub(t0), o.CollectHistograms, err); err != nil {
 					failed.Store(true)
 					errCh <- err

@@ -3,10 +3,11 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 
 	"repro/internal/ops"
-	"repro/stm"
+	"repro/internal/telemetry"
 )
 
 // sortedOps returns the per-op results in canonical (registry) order.
@@ -42,6 +43,8 @@ func WriteReport(w io.Writer, r *Result) {
 	fmt.Fprintf(w, "  structure:            %d composite parts x %d atomic parts, %d assembly levels\n",
 		o.Params.NumCompParts, o.Params.NumAtomicPerComp, o.Params.NumAssmLevels)
 	fmt.Fprintf(w, "  seed:                 %d\n", o.Seed)
+	fmt.Fprintf(w, "  gomaxprocs:           %d\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "  engine knobs:         %s\n", KnobAxes(o))
 	fmt.Fprintln(w)
 
 	if o.CollectHistograms {
@@ -130,32 +133,66 @@ func WriteReport(w io.Writer, r *Result) {
 
 	es := r.EngineStats
 	if es.Attempts() > 0 && o.Strategy != "coarse" && o.Strategy != "medium" && o.Strategy != "direct" {
-		fmt.Fprintf(w, "  stm: commits %d, conflict aborts %d (%.1f%%), validations %d, clones %d, enemy aborts %d\n",
-			es.Commits, es.ConflictAborts, 100*es.AbortRate(), es.Validations, es.Clones, es.EnemyAborts)
+		// The canonical stat block is shared with every other report
+		// surface; only option echoes that need run context stay local.
+		for _, line := range es.Lines() {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
 		if o.DisableROSnapshot {
 			fmt.Fprintf(w, "  ro-snapshot: off (validating read path for read-only operations)\n")
-		} else {
-			fmt.Fprintf(w, "  ro-snapshot: %d snapshot txs (%.1f%% of commits), %d restarts\n",
-				es.SnapshotTxs, 100*es.SnapshotShare(), es.SnapshotRestarts)
 		}
-		if o.Granularity == stm.StripedGranularity {
-			fmt.Fprintf(w, "  orec striping: %d false conflicts (%.1f%% of conflict aborts)\n",
-				es.FalseConflicts, 100*es.FalseConflictRate())
-		}
-		if es.ClockShards > 1 {
-			fmt.Fprintf(w, "  commit clock: %d shards, spread %d\n", es.ClockShards, es.ClockShardSpread)
-		}
-		if o.TxDeadline > 0 || es.TimeoutAborts > 0 {
-			fmt.Fprintf(w, "  tx deadline: %v, %d timeout aborts\n", o.TxDeadline, es.TimeoutAborts)
+		if o.TxDeadline > 0 {
+			fmt.Fprintf(w, "  tx deadline: %v\n", o.TxDeadline)
 		}
 		if o.SerialFallback {
 			fmt.Fprintf(w, "  serial fallback: on, %d escalations (%.2f%% of commits)\n",
 				es.SerialFallbacks, 100*safeRate(es.SerialFallbacks, es.Commits))
 		}
-		if o.FaultPlan != nil || es.InjectedFaults > 0 {
+		if o.FaultPlan != nil {
 			fmt.Fprintf(w, "  fault injection: plan %q, %d faults fired\n", o.FaultPlan.String(), es.InjectedFaults)
 		}
 	}
+
+	if len(r.Series) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "Telemetry time series (%v cadence)\n", o.SampleInterval)
+		WriteSeries(w, "  ", r.Series)
+	}
+}
+
+// WriteSeries prints a sampled telemetry curve as a fixed-width table, one
+// row per interval, each line prefixed with indent. Shared by the
+// Appendix-A report and the scenario per-phase reports.
+func WriteSeries(w io.Writer, indent string, series []telemetry.SamplePoint) {
+	fmt.Fprintf(w, "%s%8s %10s %10s %8s %8s %8s %8s %8s\n", indent,
+		"t[s]", "ops/s", "commits", "abort%", "false%", "snapRst", "shed/s", "serial")
+	for _, p := range series {
+		fmt.Fprintf(w, "%s%8.3f %10.0f %10d %8.1f %8.1f %8d %8.0f %8d\n", indent,
+			p.T, p.OpsPerSec, p.Commits, p.AbortPct, p.FalseConflictPct,
+			p.SnapshotRestarts, p.ShedPerSec, p.SerialFallbacks)
+	}
+}
+
+// KnobAxes renders the engine-tuning axes of a run — conflict granularity,
+// orec stripe count, commit-clock shards, retained versions — so every
+// report surface (the Appendix-A header here, the scenario header, the CLI
+// summaries) names the configuration that produced it even when the knobs
+// sit at their defaults.
+func KnobAxes(o Options) string {
+	stripes := "default"
+	if o.OrecStripes > 0 {
+		stripes = fmt.Sprintf("%d", o.OrecStripes)
+	}
+	shards := o.ClockShards
+	if shards <= 1 {
+		shards = 1
+	}
+	versions := o.Versions
+	if versions <= 1 {
+		versions = 1
+	}
+	return fmt.Sprintf("granularity %v, orec stripes %s, clock shards %d, versions %d",
+		o.Granularity, stripes, shards, versions)
 }
 
 // safeRate divides two counters, returning 0 for an empty denominator.

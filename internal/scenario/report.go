@@ -4,9 +4,11 @@ import (
 	"cmp"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"repro/internal/harness"
+	"repro/stm"
 )
 
 // phaseMode formats the driver column.
@@ -53,10 +55,15 @@ func phaseLatency(pr PhaseResult) (harness.LatencySummary, bool) {
 // (always 0 under object granularity).
 func WriteReport(w io.Writer, rep *Report) {
 	sc := rep.Scenario
-	fmt.Fprintf(w, "Scenario %q — %d phases, strategy %s, %d composite parts, seed %d\n",
-		sc.Name, len(sc.Phases), rep.Strategy, rep.Params.NumCompParts, rep.Seed)
+	fmt.Fprintf(w, "Scenario %q — %d phases, strategy %s, %d composite parts, seed %d, gomaxprocs %d\n",
+		sc.Name, len(sc.Phases), rep.Strategy, rep.Params.NumCompParts, rep.Seed, runtime.GOMAXPROCS(0))
 	if sc.Description != "" {
 		fmt.Fprintf(w, "  %s\n", sc.Description)
+	}
+	if len(rep.Phases) > 0 {
+		// The phases resolved the scenario overrides against the run-level
+		// options; the first phase's resolved knobs name the configuration.
+		fmt.Fprintf(w, "  engine knobs: %s\n", harness.KnobAxes(rep.Phases[0].Result.Options))
 	}
 	if sc.Granularity != "" || sc.OrecStripes > 0 || sc.ClockShards > 0 || sc.Versions > 0 || sc.ROSnapshot != "" {
 		fmt.Fprintf(w, "  metadata: granularity %s", cmp.Or(sc.Granularity, "inherited"))
@@ -108,6 +115,15 @@ func WriteReport(w io.Writer, rep *Report) {
 			res.EngineStats.SnapshotRestarts, res.EngineStats.VersionMisses, p50, p99)
 	}
 	fmt.Fprintln(w)
+
+	for _, pr := range rep.Phases {
+		if len(pr.Result.Series) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  Telemetry time series, phase %q\n", pr.Phase.Name)
+		harness.WriteSeries(w, "    ", pr.Result.Series)
+		fmt.Fprintln(w)
+	}
 
 	writeComparison(w, rep)
 }
@@ -176,63 +192,22 @@ func writeComparison(w io.Writer, rep *Report) {
 	if minAbort >= 0 {
 		fmt.Fprintf(w, "  abort rate:   %.1f%% to %.1f%% across phases\n", minAbort, maxAbort)
 	}
-	var falseTotal, conflictTotal uint64
-	var snapTotal, snapRestarts, commitTotal uint64
-	var verReads, verMisses, verBytes uint64
-	var lastStats *PhaseResult
-	for i := range rep.Phases {
-		falseTotal += rep.Phases[i].Result.EngineStats.FalseConflicts
-		conflictTotal += rep.Phases[i].Result.EngineStats.ConflictAborts
-		snapTotal += rep.Phases[i].Result.EngineStats.SnapshotTxs
-		snapRestarts += rep.Phases[i].Result.EngineStats.SnapshotRestarts
-		commitTotal += rep.Phases[i].Result.EngineStats.Commits
-		verReads += rep.Phases[i].Result.EngineStats.VersionReads
-		verMisses += rep.Phases[i].Result.EngineStats.VersionMisses
-		verBytes += rep.Phases[i].Result.EngineStats.VersionBytes
-		lastStats = &rep.Phases[i]
-	}
-	if snapTotal > 0 {
-		pct := 0.0
-		if commitTotal > 0 {
-			pct = 100 * float64(snapTotal) / float64(commitTotal)
-		}
-		fmt.Fprintf(w, "  ro-snapshot:  %d of %d commits served validation-free (%.1f%%), %d restarts\n",
-			snapTotal, commitTotal, pct, snapRestarts)
-	}
-	if verReads > 0 || verMisses > 0 || verBytes > 0 {
-		fmt.Fprintf(w, "  multiversion: %d snapshot reads resolved from older versions, %d chain misses, %d version bytes retained\n",
-			verReads, verMisses, verBytes)
-	}
-	if falseTotal > 0 {
-		// Attribution is best-effort and both parties of one episode can
-		// book the same kill, so clamp like Stats.FalseConflictRate does
-		// (and a kill flushed outside the phase windows can even leave
-		// conflictTotal at 0).
-		pct := 100.0
-		if conflictTotal > falseTotal {
-			pct = 100 * float64(falseTotal) / float64(conflictTotal)
-		}
-		fmt.Fprintf(w, "  striping:     %d of %d conflict aborts were false (%.1f%% — orec collisions, not data)\n",
-			falseTotal, conflictTotal, pct)
-	}
-	if lastStats != nil && lastStats.Result.EngineStats.ClockShards > 1 {
-		es := lastStats.Result.EngineStats
-		fmt.Fprintf(w, "  commit clock: %d shards, spread %d at end of run (small spread = even commit traffic)\n",
-			es.ClockShards, es.ClockShardSpread)
-	}
-	var timeoutAborts, serialFallbacks, injectedFaults uint64
+	// Fold the per-phase deltas into one total and hand it to the shared
+	// stm.Stats formatter — the same canonical block the harness report and
+	// the CLIs print, so the aggregate view never drifts from theirs. Fold
+	// newest-first so the snapshot properties (clock shards/spread) carry
+	// the end-of-run view.
+	var total stm.Stats
 	var shedOps, arrivals int64
-	for i := range rep.Phases {
-		es := rep.Phases[i].Result.EngineStats
-		timeoutAborts += es.TimeoutAborts
-		serialFallbacks += es.SerialFallbacks
-		injectedFaults += es.InjectedFaults
+	for i := len(rep.Phases) - 1; i >= 0; i-- {
+		total = total.Add(rep.Phases[i].Result.EngineStats)
 		shedOps += rep.Phases[i].Result.ShedOps
 		arrivals += rep.Phases[i].Result.Arrivals
 	}
-	if timeoutAborts > 0 || serialFallbacks > 0 || injectedFaults > 0 {
-		fmt.Fprintf(w, "  robustness:   %d injected faults, %d timeout aborts, %d serial fallbacks across phases\n",
-			injectedFaults, timeoutAborts, serialFallbacks)
+	if total.Attempts() > 0 {
+		for _, line := range total.Lines() {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
 	}
 	if shedOps > 0 {
 		pct := 0.0

@@ -64,6 +64,18 @@ type RunOptions struct {
 	TxDeadline     time.Duration
 	SerialFallback bool
 	FaultPlan      *stm.FaultPlan
+	// Trace installs a transaction flight recorder on the engine, exactly
+	// like the harness option of the same name. Run-level: one recorder
+	// observes every phase (use its Reset between scrapes to window it).
+	Trace *stm.TraceRecorder
+	// SampleInterval runs the telemetry sampler in every phase at the
+	// given cadence, exactly like the harness option of the same name;
+	// each PhaseResult's Result.Series carries that phase's curve.
+	SampleInterval time.Duration
+	// OnEngine, when set, is called once with the run's engine after the
+	// executor is built and before the first phase starts — the hook a
+	// live telemetry endpoint uses to start scraping Stats mid-run.
+	OnEngine func(stm.Engine)
 }
 
 // PhaseResult pairs a resolved phase (defaults applied, durations scaled)
@@ -199,9 +211,13 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 		TxDeadline:               txDeadline,
 		SerialFallback:           serialFallback,
 		FaultPlan:                faultPlan,
+		Trace:                    o.Trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+	if o.OnEngine != nil {
+		o.OnEngine(ex.Engine())
 	}
 
 	rep := &Report{Scenario: sc, Strategy: o.Strategy, Params: o.Params, Seed: o.Seed}
@@ -229,6 +245,15 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 			TxDeadline:        txDeadline,
 			SerialFallback:    serialFallback,
 			FaultPlan:         faultPlan,
+			// Engine-level knobs were applied at Setup; echoing them in
+			// the per-phase options keeps the report headers (KnobAxes)
+			// naming the configuration that actually ran.
+			Granularity:       granularity,
+			OrecStripes:       orecStripes,
+			ClockShards:       clockShards,
+			Versions:          versions,
+			DisableROSnapshot: disableSnap,
+			SampleInterval:    o.SampleInterval,
 			CollectHistograms: o.CollectHistograms,
 			CheckInvariants:   o.CheckInvariants && i == len(sc.Phases)-1,
 		}, ex, s)

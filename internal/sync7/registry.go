@@ -190,6 +190,7 @@ func init() {
 			TxDeadline:               cfg.TxDeadline,
 			SerialFallback:           cfg.SerialFallback,
 			Faults:                   cfg.FaultPlan,
+			Trace:                    cfg.Trace,
 		}), "ostm", cfg), nil
 	})
 }

@@ -93,6 +93,10 @@ type Config struct {
 	// commit-path probe sites (nil = off; see stm.ParseFaultPlan).
 	// Ignored by lock strategies and direct.
 	FaultPlan *stm.FaultPlan
+	// Trace installs a transaction flight recorder on the engine's
+	// attempt-lifecycle probe sites (nil = off, zero overhead). Ignored
+	// by lock strategies and direct.
+	Trace *stm.TraceRecorder
 	// DisableROSnapshot turns off the read-only snapshot fast path
 	// (-ro-snapshot=off): operations marked ops.Op.ReadOnly then run
 	// through the engine's plain Atomic path like everything else. The
@@ -112,6 +116,7 @@ func (c Config) engineOptions() stm.EngineOptions {
 		TxDeadline:     c.TxDeadline,
 		SerialFallback: c.SerialFallback,
 		Faults:         c.FaultPlan,
+		Trace:          c.Trace,
 	}
 }
 

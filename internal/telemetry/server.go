@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/stm"
+)
+
+// Server is the live ops endpoint a benchmark run exposes with -listen:
+//
+//	/metrics          Prometheus text-format exposition (Registry)
+//	/debug/pprof/*    the standard Go profiler handlers
+//	/debug/vars       expvar JSON
+//	/trace            flight-recorder dump, Chrome Trace Event JSON
+//	/healthz          liveness probe ("ok")
+//	/                 plain-text index of the above
+//
+// The handlers are registered on a private mux, not http.DefaultServeMux,
+// so embedding the server never leaks routes into (or collides with) the
+// host process's global mux.
+type Server struct {
+	reg  *Registry
+	rec  *stm.TraceRecorder
+	mux  *http.ServeMux
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// NewServer builds the endpoint and starts listening on addr (e.g.
+// "127.0.0.1:0" — use Addr for the resolved port). rec may be nil, in
+// which case /trace reports 404. Close releases the listener.
+func NewServer(addr string, reg *Registry, rec *stm.TraceRecorder) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: reg, rec: rec, ln: ln, done: make(chan struct{})}
+	s.mux = s.buildMux()
+	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln) // returns ErrServerClosed on Close
+	}()
+	return s, nil
+}
+
+// Handler returns the route set without a listener — how the tests (and
+// any embedding process with its own server) mount the endpoint.
+func Handler(reg *Registry, rec *stm.TraceRecorder) http.Handler {
+	return (&Server{reg: reg, rec: rec}).buildMux()
+}
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if s.rec == nil {
+			http.Error(w, "no flight recorder installed (run with -trace)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		s.rec.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "stmbench7 telemetry endpoint\n\n"+
+			"  /metrics        Prometheus text exposition\n"+
+			"  /trace          flight-recorder dump (Chrome Trace Event JSON)\n"+
+			"  /debug/pprof/   Go profiler\n"+
+			"  /debug/vars     expvar\n"+
+			"  /healthz        liveness\n")
+	})
+	return mux
+}
+
+// Addr returns the listener's resolved address (host:port).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and waits for the serve goroutine to exit.
+// In-flight requests are cut off — the endpoint is diagnostics, not a
+// service with a drain contract.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

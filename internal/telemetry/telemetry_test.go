@@ -1,0 +1,286 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/stm"
+)
+
+// parseExposition is a strict reader for the Prometheus text format as this
+// package emits it: repeated (# HELP, # TYPE, sample) triples. It returns
+// family name -> (kind, value) and fails the test on any grammar violation.
+func parseExposition(t *testing.T, data []byte) map[string]struct {
+	kind  string
+	value float64
+} {
+	t.Helper()
+	ident := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	out := map[string]struct {
+		kind  string
+		value float64
+	}{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if len(lines)%3 != 0 {
+		t.Fatalf("exposition has %d lines, not a multiple of 3 (HELP/TYPE/sample triples)", len(lines))
+	}
+	for i := 0; i < len(lines); i += 3 {
+		var helpName, typeName, kind string
+		if _, err := fmt.Sscanf(lines[i], "# HELP %s", &helpName); err != nil {
+			t.Fatalf("line %d: not a HELP line: %q", i, lines[i])
+		}
+		if _, err := fmt.Sscanf(lines[i+1], "# TYPE %s %s", &typeName, &kind); err != nil {
+			t.Fatalf("line %d: not a TYPE line: %q", i+1, lines[i+1])
+		}
+		if helpName != typeName {
+			t.Fatalf("HELP/TYPE name mismatch: %q vs %q", helpName, typeName)
+		}
+		if kind != "counter" && kind != "gauge" {
+			t.Fatalf("family %s: bad kind %q", typeName, kind)
+		}
+		if !ident.MatchString(typeName) {
+			t.Fatalf("family name %q violates the metric identifier grammar", typeName)
+		}
+		name, valStr, ok := strings.Cut(lines[i+2], " ")
+		if !ok || name != typeName {
+			t.Fatalf("family %s: sample line %q does not match", typeName, lines[i+2])
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("family %s: unparseable value %q: %v", typeName, valStr, err)
+		}
+		if _, dup := out[typeName]; dup {
+			t.Fatalf("family %s emitted twice", typeName)
+		}
+		out[typeName] = struct {
+			kind  string
+			value float64
+		}{kind, v}
+	}
+	return out
+}
+
+// TestStatsCoverage pins /metrics to the full stm.Stats surface by
+// reflection: every uint64 field of the struct, set to a unique sentinel,
+// must surface as exactly one metric family with that sentinel value — so
+// adding a counter to stm.Stats without a statFamilies row fails here.
+func TestStatsCoverage(t *testing.T) {
+	typ := reflect.TypeOf(stm.Stats{})
+	for i := 0; i < typ.NumField(); i++ {
+		field := typ.Field(i)
+		var s stm.Stats
+		sentinel := uint64(1000 + i)
+		reflect.ValueOf(&s).Elem().Field(i).SetUint(sentinel)
+
+		var buf bytes.Buffer
+		reg := NewRegistry(func() stm.Stats { return s })
+		if err := reg.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		fams := parseExposition(t, buf.Bytes())
+		if len(fams) != len(statFamilies) {
+			t.Fatalf("exposition has %d families, want %d", len(fams), len(statFamilies))
+		}
+		hits := 0
+		for name, f := range fams {
+			if f.value == float64(sentinel) {
+				hits++
+				if !strings.HasPrefix(name, "stm_") {
+					t.Errorf("field %s surfaced as %q, want an stm_ prefix", field.Name, name)
+				}
+			}
+		}
+		if hits != 1 {
+			t.Errorf("field %s: sentinel surfaced in %d families, want exactly 1", field.Name, hits)
+		}
+	}
+}
+
+// TestExpositionGauges checks caller-registered gauges (the latency
+// percentiles the CLIs wire in) render alongside the engine families.
+func TestExpositionGauges(t *testing.T) {
+	reg := NewRegistry(func() stm.Stats { return stm.Stats{Commits: 7} })
+	reg.AddGauge("stmbench7_latency_p50_ms", "Median operation latency.", func() float64 { return 1.25 })
+	reg.AddGauge("stmbench7_latency_p99_ms", "99th-percentile operation latency.", func() float64 { return 9.5 })
+	reg.AddGauge("stmbench7_latency_p50_ms", "Median operation latency.", func() float64 { return 2.5 }) // replace
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams := parseExposition(t, buf.Bytes())
+	if got := fams["stm_commits_total"]; got.kind != "counter" || got.value != 7 {
+		t.Errorf("stm_commits_total = %+v, want counter 7", got)
+	}
+	if got := fams["stmbench7_latency_p50_ms"]; got.kind != "gauge" || got.value != 2.5 {
+		t.Errorf("p50 gauge = %+v, want gauge 2.5 (re-registration replaces)", got)
+	}
+	if got := fams["stmbench7_latency_p99_ms"]; got.value != 9.5 {
+		t.Errorf("p99 gauge = %+v, want 9.5", got)
+	}
+}
+
+// TestServerEndpoints drives every route through the handler: metric
+// exposition, health, expvar, pprof index, the trace dump (round-tripped
+// through stm.ParseChromeTrace) and the 404s.
+func TestServerEndpoints(t *testing.T) {
+	rec := stm.NewTraceRecorder(1 << 10)
+	eng, err := stm.NewWith("tl2", stm.EngineOptions{Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := stm.NewCell(eng.VarSpace(), 0)
+	for i := 0; i < 5; i++ {
+		if err := eng.Atomic(func(tx stm.Tx) error { c.Set(tx, i); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := NewRegistry(eng.Stats)
+	srv := httptest.NewServer(Handler(reg, rec))
+	defer srv.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	fams := parseExposition(t, body)
+	if fams["stm_commits_total"].value < 5 {
+		t.Errorf("/metrics stm_commits_total = %v, want >= 5", fams["stm_commits_total"].value)
+	}
+
+	code, body = get("/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace: status %d", code)
+	}
+	events, err := stm.ParseChromeTrace(body)
+	if err != nil {
+		t.Fatalf("/trace: %v", err)
+	}
+	if want := rec.Events(); !reflect.DeepEqual(events, want) {
+		t.Errorf("/trace returned %d events, recorder has %d", len(events), len(want))
+	}
+
+	for _, path := range []string{"/healthz", "/debug/vars", "/debug/pprof/", "/"} {
+		if code, _ := get(path); code != http.StatusOK {
+			t.Errorf("%s: status %d, want 200", path, code)
+		}
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope: status %d, want 404", code)
+	}
+
+	// No recorder installed: /trace must say so, not panic or hang.
+	bare := httptest.NewServer(Handler(NewRegistry(nil), nil))
+	defer bare.Close()
+	resp, err := http.Get(bare.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/trace without recorder: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerListens exercises the real-listener path the CLIs use:
+// NewServer on an ephemeral port, one scrape, clean Close.
+func TestServerListens(t *testing.T) {
+	reg := NewRegistry(func() stm.Stats { return stm.Stats{Commits: 3} })
+	srv, err := NewServer("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if fams := parseExposition(t, body); fams["stm_commits_total"].value != 3 {
+		t.Errorf("scrape saw commits %v, want 3", fams["stm_commits_total"].value)
+	}
+	if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestSamplerCurve runs a live commit loop under a fast-cadence sampler and
+// checks the accounting identity that makes the curve trustworthy: the
+// per-interval deltas partition the cumulative totals — nothing counted
+// twice, nothing dropped between intervals (the Stop tail sample covers
+// the final partial interval).
+func TestSamplerCurve(t *testing.T) {
+	eng, err := stm.New("tl2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := stm.NewCell(eng.VarSpace(), 0)
+	var ops atomic.Int64
+
+	s := NewSampler(2*time.Millisecond, eng.Stats, ops.Load, nil)
+	s.Start()
+	deadline := time.Now().Add(25 * time.Millisecond)
+	total := 0
+	for time.Now().Before(deadline) {
+		if err := eng.Atomic(func(tx stm.Tx) error { c.Set(tx, total); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		ops.Add(1)
+		total++
+	}
+	points := s.Stop()
+
+	if len(points) == 0 {
+		t.Fatal("sampler returned no points")
+	}
+	var commits uint64
+	var sampledOps int64
+	lastT := 0.0
+	for _, p := range points {
+		if p.T <= lastT {
+			t.Errorf("sample timestamps not strictly increasing: %v after %v", p.T, lastT)
+		}
+		lastT = p.T
+		if p.AbortPct < 0 || p.AbortPct > 100 {
+			t.Errorf("AbortPct %v outside [0, 100]", p.AbortPct)
+		}
+		commits += p.Commits
+		sampledOps += p.Ops
+	}
+	if want := eng.Stats().Commits; commits != want {
+		t.Errorf("interval commit deltas sum to %d, cumulative is %d", commits, want)
+	}
+	if sampledOps != int64(total) {
+		t.Errorf("interval op deltas sum to %d, driver completed %d", sampledOps, total)
+	}
+	// Points() after Stop keeps returning the full curve.
+	if again := s.Points(); len(again) != len(points) {
+		t.Errorf("Points() after Stop: %d points, want %d", len(again), len(points))
+	}
+}

@@ -250,6 +250,57 @@ func TestAllocVersionedSnapshotSteadyState(t *testing.T) {
 	}
 }
 
+// TestAllocTracing pins the flight recorder's allocation contract on both
+// sides of the nil probe. Disabled (the default every other test here
+// builds): a trace-less engine costs one branch per probe site and keeps
+// every budget above — this is the explicit tracing-disabled regression
+// guard. Enabled: events land in rings preallocated at recorder
+// construction, so even a recording engine stays at 0 read-only allocs/op
+// and within the small-write budget.
+func TestAllocTracing(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation skews allocation counts")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for _, mode := range []struct {
+		label string
+		rec   *TraceRecorder
+	}{{"disabled", nil}, {"enabled", NewTraceRecorder(1 << 14)}} {
+		for _, name := range Registered() {
+			t.Run(mode.label+"/"+name, func(t *testing.T) {
+				eng, err := NewWith(name, EngineOptions{Trace: mode.rec})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cells := setupAllocCells(t, eng)
+				readFn := func(tx Tx) error {
+					for _, c := range cells {
+						c.Get(tx)
+					}
+					return nil
+				}
+				if got := measureAllocs(func() { eng.Atomic(readFn) }); got != 0 {
+					t.Errorf("read-only transaction: %v allocs/op, want 0", got)
+				}
+				if got := measureAllocs(func() { RunReadOnly(eng, readFn) }); got != 0 {
+					t.Errorf("snapshot transaction: %v allocs/op, want 0", got)
+				}
+				writeFn := func(tx Tx) error {
+					cells[0].Set(tx, 7)
+					return nil
+				}
+				got := measureAllocs(func() { eng.Atomic(writeFn) })
+				if got > maxWriteAllocs {
+					t.Errorf("small write transaction: %v allocs/op, want <= %d", got, maxWriteAllocs)
+				}
+				if want, ok := allocBudget[name]; ok && got > want {
+					t.Errorf("small write transaction: %v allocs/op, want <= %v for %s", got, want, name)
+				}
+			})
+		}
+	}
+}
+
 // TestAllocLargeReadSetSteadyState pins the other half of the pooling win:
 // transactions past the inline fast path run on the spill index and grown
 // read-set slices, and that storage must be retained by the pooled

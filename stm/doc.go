@@ -375,4 +375,50 @@
 // `experiments -exp chaos` (BENCH_pr7.json) exercise exactly that stack,
 // and the harness reports timeout aborts, serial fallbacks, injected
 // faults and open-loop shed rate alongside throughput.
+//
+// # Observability & telemetry
+//
+// The engines expose two observation surfaces, layered so the package
+// keeps zero dependencies beyond the standard library: cumulative
+// counters (Stats) and an attempt-lifecycle flight recorder
+// (TraceRecorder, trace.go). Everything HTTP — the Prometheus /metrics
+// rendering, pprof, the sampled time series — lives outside, in the
+// repository's internal/telemetry package, built only on these two.
+//
+//   - Stats is the counter surface: one atomic counter per event class
+//     (commits, conflict/user/timeout/injected aborts, reads, writes,
+//     validations, clones, the snapshot / multi-version / striping /
+//     clock / serial-fallback diagnostics), collected per descriptor and
+//     flushed on transaction exit, so hot paths never contend on shared
+//     cache lines. Stats.Delta(before) windows a measurement;
+//     Stats.Add(other) folds windows back together (multi-phase runs);
+//     Stats.Lines() renders the one canonical human-readable block every
+//     report surface shares, including the abort-cause breakdown — an
+//     attribution (one cause per surfaced abort) over conflict aborts,
+//     not a partition of them.
+//
+//   - TraceRecorder is the flight recorder: fixed-capacity per-shard
+//     rings of {Seq, Kind, A, B} events recorded at the engines' probe
+//     sites (begin, commit, abort with cause, validation, commit-lock
+//     acquisition, snapshot restart, version hit/miss, serial
+//     escalation). Timestamps are a single atomic sequence — a logical
+//     clock, not wall time — so a single-threaded fixed-op run records
+//     bit-for-bit identical traces across runs; when the ring wraps, the
+//     newest events win and Dropped() counts the overwrites. A nil
+//     recorder costs one predicted branch per probe site and zero
+//     allocations; an attached recorder stays 0 allocs/op because events
+//     write into preallocated rings (both enforced by alloc_test.go).
+//     Events() merges the shards in Seq order; WriteChromeTrace exports
+//     the merged stream as Chrome Trace Event JSON (load it in
+//     chrome://tracing or Perfetto: ts = Seq as microseconds, tid = ring
+//     shard, one instant event per record with the kind as its name),
+//     and ParseChromeTrace round-trips it for tooling.
+//
+// Engines accept a recorder at construction (EngineOptions.Trace, each
+// config struct's Trace field); the CLIs expose the stack as -trace N
+// (attach a recorder retaining about N events), -trace-out FILE (dump
+// Chrome JSON after the run), -sample D (per-interval time-series curves
+// in reports and -json), and -listen ADDR (live /metrics, /debug/pprof/*,
+// expvar and /trace while the run executes). `experiments -exp telemetry`
+// sweeps the layer per engine; BENCH_pr8.json checks in the curves.
 package stm

@@ -39,6 +39,9 @@ type NOrecConfig struct {
 	// Faults installs a deterministic fault-injection plan (nil = none);
 	// see EngineOptions.Faults and fault.go.
 	Faults *FaultPlan
+	// Trace installs a transaction flight recorder (nil = none); see
+	// EngineOptions.Trace and trace.go.
+	Trace *TraceRecorder
 }
 
 // NOrec implements the "no ownership records" STM of Dalessandro, Spear
@@ -99,6 +102,7 @@ func init() {
 			TxDeadline:     o.TxDeadline,
 			SerialFallback: o.SerialFallback,
 			Faults:         o.Faults,
+			Trace:          o.Trace,
 		})
 	})
 }
@@ -111,8 +115,8 @@ func NewNOrecWith(cfg NOrecConfig) *NOrec {
 		e.gate = &serialGate{}
 	}
 	e.faults = cfg.Faults.fresh()
-	e.txPool.init(func() *norecTx { return &norecTx{eng: e} })
-	e.snapPool.init(func() *norecSnapTx { return &norecSnapTx{eng: e} })
+	e.txPool.init(func() *norecTx { return &norecTx{eng: e, tr: cfg.Trace.tap()} })
+	e.snapPool.init(func() *norecSnapTx { return &norecSnapTx{eng: e, tr: cfg.Trace.tap()} })
 	return e
 }
 
@@ -154,7 +158,14 @@ func (e *NOrec) atomicFrom(fn func(tx Tx) error, deadline int64) error {
 			return abortErrorFor(cause, &e.stats)
 		}
 		tx.reset()
+		if tx.tr.rec != nil {
+			tx.tr.note(TraceBegin, uint64(attempt), 0)
+		}
 		committed, err := e.runAttempt(tx, fn)
+		if tx.tr.rec != nil {
+			noteOutcome(tx.tr, committed, err != nil, tx.injected,
+				uint64(len(tx.reads)), uint64(len(tx.writes)), uint64(attempt))
+		}
 		e.stats.flushTx(&tx.st)
 		if committed {
 			e.stats.commits.Add(1)
@@ -186,6 +197,9 @@ func (e *NOrec) runSerial(tx *norecTx, fn func(tx Tx) error) error {
 	e.gate.mu.Lock()
 	defer e.gate.mu.Unlock()
 	e.stats.serialFallbacks.Add(1)
+	if tx.tr.rec != nil {
+		tx.tr.note(TraceSerial, 0, 0)
+	}
 	tx.serial = true
 	for {
 		tx.reset()
@@ -265,6 +279,8 @@ type norecTx struct {
 	writes   []norecWrite
 	writeIdx varIndex // *Var -> index into writes
 
+	tr traceTap // flight-recorder handle (tr.rec nil = tracing off)
+
 	serial   bool // attempt runs under the exclusive serial token (suppresses fault probes)
 	injected bool // last abort of this call was a FaultPlan forced abort
 }
@@ -309,6 +325,9 @@ func (tx *norecTx) readVar(v *Var) any {
 func (tx *norecTx) validate() uint64 {
 	for {
 		t := tx.eng.sampleSeq()
+		if tx.tr.rec != nil {
+			tx.tr.note(TraceValidate, uint64(len(tx.reads)), 0)
+		}
 		tx.st.validations += uint64(len(tx.reads))
 		for _, r := range tx.reads {
 			if !tx.stillValid(r) {
@@ -420,6 +439,10 @@ func (tx *norecTx) commit() bool {
 		// against the newest state (throws on conflict) and retry the
 		// acquisition at the extended snapshot.
 		tx.snapshot = tx.validate()
+	}
+	// Sequence lock held (odd): the flight recorder's lock-acquire mark.
+	if tx.tr.rec != nil {
+		tx.tr.note(TraceLock, uint64(len(tx.writes)), 0)
 	}
 	// Lock-holder pause: the sequence lock is odd, so every reader and
 	// committer engine-wide is stalled behind this window.

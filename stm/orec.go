@@ -217,4 +217,10 @@ type EngineOptions struct {
 	// engine snapshots the plan with fresh counters at construction. See
 	// fault.go for the probe sites and ParseFaultPlan for the syntax.
 	Faults *FaultPlan
+	// Trace installs a transaction flight recorder on the engine's
+	// attempt-lifecycle probe sites (nil = no tracing, zero overhead —
+	// the same nil-probe contract as Faults). Several engines may share
+	// one recorder; their events interleave on its logical clock. See
+	// trace.go for the event schema.
+	Trace *TraceRecorder
 }

@@ -200,6 +200,10 @@ type OSTMConfig struct {
 	// Faults installs a deterministic fault-injection plan (nil = none);
 	// see EngineOptions.Faults and fault.go.
 	Faults *FaultPlan
+
+	// Trace installs a transaction flight recorder (nil = none); see
+	// EngineOptions.Trace and trace.go.
+	Trace *TraceRecorder
 }
 
 // OSTM is an object-based STM in the DSTM/ASTM tradition: eager write
@@ -245,6 +249,7 @@ func init() {
 			TxDeadline:     o.TxDeadline,
 			SerialFallback: o.SerialFallback,
 			Faults:         o.Faults,
+			Trace:          o.Trace,
 		})
 	})
 }
@@ -262,8 +267,8 @@ func NewOSTMWith(cfg OSTMConfig) *OSTM {
 		e.gate = &serialGate{}
 	}
 	e.faults = cfg.Faults.fresh()
-	e.txPool.init(func() *ostmTx { return &ostmTx{eng: e} })
-	e.snapPool.init(func() *ostmSnapTx { return &ostmSnapTx{eng: e} })
+	e.txPool.init(func() *ostmTx { return &ostmTx{eng: e, tr: cfg.Trace.tap()} })
+	e.snapPool.init(func() *ostmSnapTx { return &ostmSnapTx{eng: e, tr: cfg.Trace.tap()} })
 	return e
 }
 
@@ -305,7 +310,14 @@ func (e *OSTM) atomicFrom(fn func(tx Tx) error, deadline int64) error {
 			return abortErrorFor(cause, &e.stats)
 		}
 		tx.reset(uint64(attempt))
+		if tx.tr.rec != nil {
+			tx.tr.note(TraceBegin, uint64(attempt), 0)
+		}
 		committed, err := e.runAttempt(tx, fn)
+		if tx.tr.rec != nil {
+			noteOutcome(tx.tr, committed, err != nil, tx.injected,
+				uint64(len(tx.reads)), uint64(len(tx.writeLocs))+uint64(len(tx.pending)), uint64(attempt))
+		}
 		e.stats.flushTx(&tx.st)
 		if committed {
 			e.stats.commits.Add(1)
@@ -340,6 +352,9 @@ func (e *OSTM) runSerial(tx *ostmTx, fn func(tx Tx) error) error {
 	e.gate.mu.Lock()
 	defer e.gate.mu.Unlock()
 	e.stats.serialFallbacks.Add(1)
+	if tx.tr.rec != nil {
+		tx.tr.note(TraceSerial, 0, 0)
+	}
 	tx.serial = true
 	for attempt := uint64(0); ; attempt++ {
 		tx.reset(attempt)
@@ -433,6 +448,8 @@ type ostmTx struct {
 	// lastSerial is the engine commit serial as of the last validation
 	// (commit-counter heuristic).
 	lastSerial uint64
+
+	tr traceTap // flight-recorder handle (tr.rec nil = tracing off)
 
 	serial   bool // attempt runs under the exclusive serial token (suppresses fault probes)
 	injected bool // last abort of this call was a FaultPlan forced abort
@@ -863,6 +880,9 @@ func (tx *ostmTx) validate(final bool) {
 		tx.lastSerial = serial
 	}
 	n := len(tx.reads)
+	if tx.tr.rec != nil {
+		tx.tr.note(TraceValidate, uint64(n), 0)
+	}
 	tx.st.validations += uint64(n)
 	for i := 0; i < n; i++ {
 		ent := &tx.reads[i]
@@ -906,6 +926,10 @@ func (tx *ostmTx) commit() bool {
 		if !tx.state.status.CompareAndSwap(statusActive, statusValidating) {
 			return false
 		}
+		// Validating window entered: OSTM's lock-acquire analog.
+		if tx.tr.rec != nil {
+			tx.tr.note(TraceLock, uint64(len(tx.writeLocs)), 0)
+		}
 		if len(tx.writeLocs) > 0 {
 			// Lock-holder pause / clock-stamp delay: the Validating window
 			// is OSTM's lock-hold analog (acquired locators block enemies
@@ -927,6 +951,10 @@ func (tx *ostmTx) commit() bool {
 	}
 	if !tx.state.status.CompareAndSwap(statusActive, statusValidating) {
 		return false // enemy killed us
+	}
+	// Validating window entered: OSTM's lock-acquire analog.
+	if tx.tr.rec != nil {
+		tx.tr.note(TraceLock, uint64(len(tx.writeLocs)), 0)
 	}
 	// Lock-holder pause: the Validating window is OSTM's lock-hold analog
 	// — acquired locators keep enemies arbitrating against us while we

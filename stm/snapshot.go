@@ -122,9 +122,10 @@ type snapTx interface {
 	// recycle returns the descriptor to its engine's pool.
 	recycle()
 	// loopState returns the pieces the shared loop needs: the engine's
-	// stat counters, the descriptor's per-attempt accumulator, and the
-	// engine to fall back to once snapRestartBudget is exhausted.
-	loopState() (stats *statCounters, acc *txStats, fallback snapFallback)
+	// stat counters, the descriptor's per-attempt accumulator, the
+	// engine to fall back to once snapRestartBudget is exhausted, and
+	// the descriptor's flight-recorder tap (tr.rec nil = tracing off).
+	loopState() (stats *statCounters, acc *txStats, fallback snapFallback, tr traceTap)
 }
 
 // snapFallback is the engine face the snapshot loop falls back to: the
@@ -156,7 +157,7 @@ type snapFallback interface {
 // loop over its own descriptor; engine-specific behavior lives entirely
 // in the descriptor's Read and sample.
 func runSnapshotLoop(tx snapTx, fn func(tx Tx) error) error {
-	stats, acc, fallback := tx.loopState()
+	stats, acc, fallback, tr := tx.loopState()
 	deadline := fallback.txDeadline()
 	for attempt := 0; ; attempt++ {
 		if attempt > snapRestartBudget ||
@@ -166,6 +167,9 @@ func runSnapshotLoop(tx snapTx, fn func(tx Tx) error) error {
 		}
 		tx.sample()
 		committed, err := runSnapshotAttempt(tx, fn)
+		if tr.rec != nil && committed {
+			tr.note(TraceCommit, acc.reads, 0)
+		}
 		stats.flushTx(acc)
 		if committed {
 			stats.commits.Add(1)
@@ -177,6 +181,9 @@ func runSnapshotLoop(tx snapTx, fn func(tx Tx) error) error {
 			stats.userAborts.Add(1)
 			tx.recycle()
 			return err
+		}
+		if tr.rec != nil {
+			tr.note(TraceSnapRestart, uint64(attempt), 0)
 		}
 		stats.snapshotRestarts.Add(1)
 		spinWait(backoffDur(attempt, uint64(attempt)<<32))
@@ -192,6 +199,7 @@ type tl2SnapTx struct {
 	eng *TL2
 	rv  uint64
 	st  txStats
+	tr  traceTap // flight-recorder handle (tr.rec nil = tracing off)
 }
 
 // Read performs the validation-free TL2 snapshot read: sampled meta, value,
@@ -231,8 +239,14 @@ func (tx *tl2SnapTx) Read(v *Var) any {
 		if m1 > tx.rv {
 			if tx.eng.cfg.Versions > 1 {
 				if rb := resolveVersion(b, tx.rv); rb != nil {
+					if tx.tr.rec != nil {
+						tx.tr.note(TraceVersionHit, tx.rv, 0)
+					}
 					tx.st.versionReads++
 					return rb.val
+				}
+				if tx.tr.rec != nil {
+					tx.tr.note(TraceVersionMiss, tx.rv, 0)
 				}
 				tx.st.versionMisses++
 				throwConflict("snapshot version truncated past rv")
@@ -254,8 +268,8 @@ func (tx *tl2SnapTx) Update(*Var, func(any) any) { panic(errSnapshotWrite) }
 
 func (tx *tl2SnapTx) sample()  { tx.rv = tx.eng.clock.read() }
 func (tx *tl2SnapTx) recycle() { tx.eng.snapPool.put(tx) }
-func (tx *tl2SnapTx) loopState() (*statCounters, *txStats, snapFallback) {
-	return &tx.eng.stats, &tx.st, tx.eng
+func (tx *tl2SnapTx) loopState() (*statCounters, *txStats, snapFallback, traceTap) {
+	return &tx.eng.stats, &tx.st, tx.eng, tx.tr
 }
 
 // RunReadOnly implements SnapshotReader: reads are served at a sampled
@@ -273,6 +287,7 @@ type norecSnapTx struct {
 	eng  *NOrec
 	snap uint64
 	st   txStats
+	tr   traceTap // flight-recorder handle (tr.rec nil = tracing off)
 }
 
 // Read is the seqlock read: load the value, then check the sequence lock
@@ -297,8 +312,14 @@ func (tx *norecSnapTx) Read(v *Var) any {
 			return b.val
 		}
 		if rb := resolveVersion(b.prev.Load(), tx.snap); rb != nil {
+			if tx.tr.rec != nil {
+				tx.tr.note(TraceVersionHit, tx.snap, 0)
+			}
 			tx.st.versionReads++
 			return rb.val
+		}
+		if tx.tr.rec != nil {
+			tx.tr.note(TraceVersionMiss, tx.snap, 0)
 		}
 		tx.st.versionMisses++
 		throwConflict("snapshot version truncated past epoch")
@@ -318,8 +339,8 @@ func (tx *norecSnapTx) Update(*Var, func(any) any) { panic(errSnapshotWrite) }
 
 func (tx *norecSnapTx) sample()  { tx.snap = tx.eng.sampleSeq() }
 func (tx *norecSnapTx) recycle() { tx.eng.snapPool.put(tx) }
-func (tx *norecSnapTx) loopState() (*statCounters, *txStats, snapFallback) {
-	return &tx.eng.stats, &tx.st, tx.eng
+func (tx *norecSnapTx) loopState() (*statCounters, *txStats, snapFallback, traceTap) {
+	return &tx.eng.stats, &tx.st, tx.eng, tx.tr
 }
 
 // RunReadOnly implements SnapshotReader: sample an even sequence value,
@@ -342,6 +363,7 @@ type ostmSnapTx struct {
 	eng    *OSTM
 	serial uint64
 	st     txStats
+	tr     traceTap // flight-recorder handle (tr.rec nil = tracing off)
 }
 
 // resolveSnapshot returns the committed value of v, or ok == false when
@@ -406,8 +428,8 @@ func (tx *ostmSnapTx) Update(*Var, func(any) any) { panic(errSnapshotWrite) }
 
 func (tx *ostmSnapTx) sample()  { tx.serial = tx.eng.commitSerial.Load() }
 func (tx *ostmSnapTx) recycle() { tx.eng.snapPool.put(tx) }
-func (tx *ostmSnapTx) loopState() (*statCounters, *txStats, snapFallback) {
-	return &tx.eng.stats, &tx.st, tx.eng
+func (tx *ostmSnapTx) loopState() (*statCounters, *txStats, snapFallback, traceTap) {
+	return &tx.eng.stats, &tx.st, tx.eng, tx.tr
 }
 
 // RunReadOnly implements SnapshotReader: locators resolve to their

@@ -1,6 +1,9 @@
 package stm
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Stats are cumulative engine counters. They are approximate under
 // concurrency (relaxed atomic adds) but race-free.
@@ -262,6 +265,85 @@ func (s Stats) SnapshotShare() float64 {
 		return 0
 	}
 	return float64(s.SnapshotTxs) / float64(s.Commits)
+}
+
+// Add returns the fieldwise sum of two deltas. It is how multi-window
+// consumers (scenario phase reports, sweep aggregations) fold per-window
+// Delta results into one total without reaching into every field. The
+// snapshot properties (ClockShards, ClockShardSpread) are configuration,
+// not counters: the receiver's value wins unless it is zero.
+func (s Stats) Add(o Stats) Stats {
+	sum := Stats{
+		Commits:          s.Commits + o.Commits,
+		UserAborts:       s.UserAborts + o.UserAborts,
+		ConflictAborts:   s.ConflictAborts + o.ConflictAborts,
+		Reads:            s.Reads + o.Reads,
+		Writes:           s.Writes + o.Writes,
+		Validations:      s.Validations + o.Validations,
+		Clones:           s.Clones + o.Clones,
+		EnemyAborts:      s.EnemyAborts + o.EnemyAborts,
+		LockFailures:     s.LockFailures + o.LockFailures,
+		FalseConflicts:   s.FalseConflicts + o.FalseConflicts,
+		SnapshotTxs:      s.SnapshotTxs + o.SnapshotTxs,
+		SnapshotRestarts: s.SnapshotRestarts + o.SnapshotRestarts,
+		VersionReads:     s.VersionReads + o.VersionReads,
+		VersionMisses:    s.VersionMisses + o.VersionMisses,
+		VersionBytes:     s.VersionBytes + o.VersionBytes,
+		TimeoutAborts:    s.TimeoutAborts + o.TimeoutAborts,
+		SerialFallbacks:  s.SerialFallbacks + o.SerialFallbacks,
+		InjectedFaults:   s.InjectedFaults + o.InjectedFaults,
+		ClockShards:      s.ClockShards,
+		ClockShardSpread: s.ClockShardSpread,
+	}
+	if sum.ClockShards == 0 {
+		sum.ClockShards = o.ClockShards
+	}
+	if sum.ClockShardSpread == 0 {
+		sum.ClockShardSpread = o.ClockShardSpread
+	}
+	return sum
+}
+
+// Lines renders the canonical human-readable stat block shared by every
+// report surface (harness reports, scenario comparisons, CLI summaries),
+// one line per subsystem. The headline and abort-cause lines are always
+// present; subsystem lines (snapshot path, multi-version chains, orec
+// striping, sharded clock, serial fallback) appear only when their
+// counters are live, so quiet configurations stay quiet.
+//
+// The abort-cause breakdown is attribution, not a partition: enemy kills
+// and injected conflicts are also counted in ConflictAborts, and timeout
+// aborts are final give-ups after their attempts' conflicts were already
+// tallied. The line answers "why did work get thrown away", not "what do
+// the aborts sum to".
+func (s Stats) Lines() []string {
+	lines := []string{
+		fmt.Sprintf("stm: commits %d, aborts %d (%.1f%% of attempts), user aborts %d, reads %d, writes %d, validations %d, clones %d",
+			s.Commits, s.ConflictAborts, 100*s.AbortRate(), s.UserAborts,
+			s.Reads, s.Writes, s.Validations, s.Clones),
+		fmt.Sprintf("abort causes: conflict %d, enemy kill %d, timeout %d, injected %d, lock-failure %d",
+			s.ConflictAborts, s.EnemyAborts, s.TimeoutAborts, s.InjectedFaults, s.LockFailures),
+	}
+	if s.SnapshotTxs > 0 || s.SnapshotRestarts > 0 {
+		lines = append(lines, fmt.Sprintf("ro-snapshot: %d txs (%.1f%% of commits), %d restarts",
+			s.SnapshotTxs, 100*s.SnapshotShare(), s.SnapshotRestarts))
+	}
+	if s.VersionReads > 0 || s.VersionMisses > 0 || s.VersionBytes > 0 {
+		lines = append(lines, fmt.Sprintf("multiversion: %d chain reads, %d chain misses, %d bytes retained",
+			s.VersionReads, s.VersionMisses, s.VersionBytes))
+	}
+	if s.FalseConflicts > 0 {
+		lines = append(lines, fmt.Sprintf("orec striping: %d false conflicts (%.1f%% of conflict aborts)",
+			s.FalseConflicts, 100*s.FalseConflictRate()))
+	}
+	if s.ClockShards > 1 {
+		lines = append(lines, fmt.Sprintf("commit clock: %d shards, spread %d",
+			s.ClockShards, s.ClockShardSpread))
+	}
+	if s.SerialFallbacks > 0 {
+		lines = append(lines, fmt.Sprintf("serial fallback: %d escalations", s.SerialFallbacks))
+	}
+	return lines
 }
 
 // Delta returns the counter increments from prev to s, fieldwise. Stats

@@ -60,6 +60,9 @@ type TL2Config struct {
 	// Faults installs a deterministic fault-injection plan (nil = none);
 	// see EngineOptions.Faults and fault.go.
 	Faults *FaultPlan
+	// Trace installs a transaction flight recorder (nil = none); see
+	// EngineOptions.Trace and trace.go.
+	Trace *TraceRecorder
 }
 
 // TL2 implements Transactional Locking II (Dice, Shalev, Shavit; DISC
@@ -103,6 +106,7 @@ func init() {
 			TxDeadline:     o.TxDeadline,
 			SerialFallback: o.SerialFallback,
 			Faults:         o.Faults,
+			Trace:          o.Trace,
 		})
 	})
 }
@@ -125,8 +129,10 @@ func NewTL2With(cfg TL2Config) *TL2 {
 		e.gate = &serialGate{}
 	}
 	e.faults = cfg.Faults.fresh()
-	e.txPool.init(func() *tl2Tx { return &tl2Tx{eng: e, shardHint: e.txSeq.Add(1)} })
-	e.snapPool.init(func() *tl2SnapTx { return &tl2SnapTx{eng: e} })
+	e.txPool.init(func() *tl2Tx {
+		return &tl2Tx{eng: e, shardHint: e.txSeq.Add(1), tr: cfg.Trace.tap()}
+	})
+	e.snapPool.init(func() *tl2SnapTx { return &tl2SnapTx{eng: e, tr: cfg.Trace.tap()} })
 	return e
 }
 
@@ -172,7 +178,14 @@ func (e *TL2) atomicFrom(fn func(tx Tx) error, deadline int64) error {
 			return abortErrorFor(cause, &e.stats)
 		}
 		tx.reset()
+		if tx.tr.rec != nil {
+			tx.tr.note(TraceBegin, uint64(attempt), 0)
+		}
 		committed, err := e.runAttempt(tx, fn)
+		if tx.tr.rec != nil {
+			noteOutcome(tx.tr, committed, err != nil, tx.injected,
+				uint64(len(tx.reads)), uint64(len(tx.writes)), uint64(attempt))
+		}
 		e.stats.flushTx(&tx.st)
 		if committed {
 			e.stats.commits.Add(1)
@@ -205,6 +218,9 @@ func (e *TL2) runSerial(tx *tl2Tx, fn func(tx Tx) error) error {
 	e.gate.mu.Lock()
 	defer e.gate.mu.Unlock()
 	e.stats.serialFallbacks.Add(1)
+	if tx.tr.rec != nil {
+		tx.tr.note(TraceSerial, 0, 0)
+	}
 	tx.serial = true
 	for {
 		tx.reset()
@@ -277,6 +293,8 @@ type tl2Tx struct {
 	writeIdx varIndex // *Var -> index into writes
 
 	lockedMeta []uint64 // commit scratch: pre-lock meta per write-set entry (dupMeta for same-orec duplicates)
+
+	tr traceTap // flight-recorder handle (tr.rec nil = tracing off)
 
 	serial   bool // attempt runs under the exclusive serial token (suppresses fault probes)
 	injected bool // last abort of this call was a FaultPlan forced abort
@@ -491,6 +509,11 @@ func (tx *tl2Tx) commit() bool {
 		}
 	}
 
+	// Whole write set locked: the flight recorder's lock-acquire mark.
+	if tx.tr.rec != nil {
+		tx.tr.note(TraceLock, uint64(len(tx.writes)), 0)
+	}
+
 	// Clock-stamp delay: stall between lock acquisition and the tick, the
 	// window that stretches the distance between wv and concurrent reads.
 	if f := tx.eng.faults; f != nil && !tx.serial {
@@ -502,6 +525,9 @@ func (tx *tl2Tx) commit() bool {
 	// (wv == rv+2 proves that only for the unsharded clock, whose stamps
 	// are unique; a sharded clock always validates — see gvClock).
 	if wv != tx.rv+2 || tx.eng.clock.sharded() {
+		if tx.tr.rec != nil {
+			tx.tr.note(TraceValidate, uint64(len(tx.reads)), 0)
+		}
 		tx.st.validations += uint64(len(tx.reads))
 		for _, v := range tx.reads {
 			o := v.orc

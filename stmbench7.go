@@ -33,6 +33,7 @@ import (
 	"repro/internal/ops"
 	"repro/internal/scenario"
 	"repro/internal/sync7"
+	"repro/internal/telemetry"
 	"repro/stm"
 )
 
@@ -114,8 +115,59 @@ func STMStrategies() []string { return sync7.STMStrategies() }
 // Run executes one benchmark run.
 func Run(o Options) (*Result, error) { return harness.Run(o) }
 
+// Setup builds the executor and data structure for the options without
+// running the benchmark — callers that want live telemetry (scrape the
+// engine's Stats while RunOn drives load) or several measurements on one
+// structure split the two.
+func Setup(o Options) (sync7.Executor, *core.Structure, error) { return harness.Setup(o) }
+
+// RunOn executes one benchmark run on a pre-built executor and structure
+// (see Setup).
+func RunOn(o Options, ex sync7.Executor, s *core.Structure) (*Result, error) {
+	return harness.RunOn(o, ex, s)
+}
+
 // WriteReport prints the Appendix-A report for a run.
 func WriteReport(w io.Writer, r *Result) { harness.WriteReport(w, r) }
+
+// --- telemetry ------------------------------------------------------------
+
+// TraceRecorder is the transaction flight recorder (Options.Trace): fixed
+// per-shard rings of attempt-lifecycle events with logical-clock
+// timestamps, exportable as Chrome Trace Event JSON. Nil disables tracing
+// at zero cost.
+type TraceRecorder = stm.TraceRecorder
+
+// TraceEvent is one recorded flight-recorder event.
+type TraceEvent = stm.TraceEvent
+
+// NewTraceRecorder builds a flight recorder retaining about the given
+// number of events (0 = the stm.DefaultTraceEvents default).
+func NewTraceRecorder(capacity int) *TraceRecorder { return stm.NewTraceRecorder(capacity) }
+
+// TelemetryRegistry renders engine counters and registered gauges in the
+// Prometheus text exposition format (the /metrics payload).
+type TelemetryRegistry = telemetry.Registry
+
+// NewTelemetryRegistry builds a registry over a cumulative engine-stats
+// source (nil = gauges only; install one later with SetStats).
+func NewTelemetryRegistry(stats func() stm.Stats) *TelemetryRegistry {
+	return telemetry.NewRegistry(stats)
+}
+
+// TelemetryServer is the live ops HTTP endpoint (-listen): /metrics,
+// /debug/pprof/*, expvar and the flight-recorder /trace dump.
+type TelemetryServer = telemetry.Server
+
+// NewTelemetryServer starts the ops endpoint on addr. rec may be nil
+// (/trace then reports 404).
+func NewTelemetryServer(addr string, reg *TelemetryRegistry, rec *TraceRecorder) (*TelemetryServer, error) {
+	return telemetry.NewServer(addr, reg, rec)
+}
+
+// SamplePoint is one interval of a sampled telemetry time series
+// (Options.SampleInterval; Result.Series).
+type SamplePoint = telemetry.SamplePoint
 
 // --- scenario engine ------------------------------------------------------
 
