@@ -61,6 +61,18 @@
 // /debug/pprof/*, expvar) for the whole sweep; the endpoint tracks
 // whichever engine is currently under measurement.
 //
+// The commit experiment sweeps the PR 9 commit-pipelining layer on the
+// commit-bound write storm (write-dominated mix, long traversals off):
+// NOrec with group commit off vs on and striped TL2 with lock coalescing
+// off vs on, each crossed with threads, plus the same variants under an
+// open-loop zipf hotspot with affinity routing off vs on. Points carry the
+// pipeline counters (batches published, batch sizes, coalesced lock
+// acquisitions) and, for the open-loop rows, response-time percentiles.
+// Checked in as BENCH_pr9.json; knobs-off rows are the regression guard
+// against earlier PRs' write-storm numbers. The other throughput
+// experiments accept -group-commit/-coalesce to run under the pipelined
+// commit protocol.
+//
 // The scenarios experiment sweeps the built-in multi-phase scenario
 // library (steady, ramp-up, spike, read-burst-write-storm,
 // hotspot-migration, engine-sweep; the CI smoke scenario is skipped)
@@ -125,6 +137,11 @@ type config struct {
 	// for every throughput experiment; the mvcc experiment sweeps its
 	// own K grid and ignores it.
 	versions int
+	// groupCommit/coalesce (-group-commit / -coalesce) turn the commit
+	// pipelining knobs on for every throughput experiment; the commit
+	// experiment sweeps its own grid and ignores them.
+	groupCommit bool
+	coalesce    bool
 }
 
 // jsonPoint is one measured data point in -json output. Fields that do not
@@ -192,6 +209,19 @@ type jsonPoint struct {
 	Arrivals        int64    `json:"arrivals,omitempty"`
 	ShedOps         int64    `json:"shed_ops,omitempty"`
 	ShedPct         *float64 `json:"shed_pct,omitempty"`
+	// Commit-pipelining-sweep fields: which knobs a point ran under
+	// (group commit, lock coalescing, affinity routing, each "on"/"off")
+	// and what the pipeline did — batches published, transactions those
+	// batches carried (leader + followers), and commit locks taken via
+	// coalesced group-word CAS runs. For open-loop affinity points the
+	// response percentiles land in P50/P99ResponseMs like the scenario
+	// rows.
+	GroupCommit     string `json:"group_commit,omitempty"`
+	Coalescing      string `json:"coalescing,omitempty"`
+	Affinity        string `json:"affinity,omitempty"`
+	GroupCommits    uint64 `json:"group_commits,omitempty"`
+	GroupCommitSize uint64 `json:"group_commit_size,omitempty"`
+	CoalescedLocks  uint64 `json:"coalesced_locks,omitempty"`
 	// Telemetry-sweep fields: the sampler cadence a point ran under, the
 	// per-interval time series it produced (throughput, abort and
 	// false-conflict percentages, snapshot restarts, shed rate per
@@ -220,6 +250,8 @@ type jsonReport struct {
 	ClockShards int    `json:"clock_shards,omitempty"`
 	Versions    int    `json:"versions,omitempty"`
 	ROSnapshot  string `json:"ro_snapshot,omitempty"`
+	GroupCommit string `json:"group_commit,omitempty"`
+	Coalescing  string `json:"coalescing,omitempty"`
 	GoVersion   string `json:"go_version"`
 	GOOS        string `json:"goos"`
 	GOARCH      string `json:"goarch"`
@@ -258,7 +290,7 @@ func i64ptr(v int64) *int64     { return &v }
 func f64ptr(v float64) *float64 { return &v }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, table3, fig6, headline, ablations, overhead, scenarios, orecs, snapshot, mvcc, chaos, telemetry or all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, table3, fig6, headline, ablations, overhead, scenarios, orecs, snapshot, mvcc, chaos, telemetry, commit or all")
 	size := flag.String("size", "small", "structure size: tiny, small or medium (paper scale)")
 	seconds := flag.Float64("seconds", 1.0, "measurement duration per data point, in seconds")
 	threadsFlag := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
@@ -268,6 +300,8 @@ func main() {
 	clockShards := flag.Int("clock-shards", 0, "TL2 commit-clock shards (0 or 1 = single clock)")
 	roSnapshot := flag.String("ro-snapshot", "on", "read-only snapshot fast path: on or off")
 	versions := flag.Int("versions", 0, "committed versions kept per Var for snapshot reads (0 or 1 = single version)")
+	groupCommitFlag := flag.Bool("group-commit", false, "NOrec combining-queue group commit for every throughput experiment")
+	coalesceFlag := flag.Bool("coalesce", false, "TL2 commit-time lock coalescing for every throughput experiment")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file (\"-\" for stdout)")
 	listen := flag.String("listen", "", "serve live telemetry (/metrics, /debug/pprof/, expvar) on this address for the duration of the driver")
 	flag.Parse()
@@ -305,12 +339,20 @@ func main() {
 		size: *size, params: params, seconds: *seconds, threads: threads, seed: *seed,
 		granularity: granularity, orecStripes: *orecStripes, clockShards: *clockShards,
 		disableSnap: disableSnap, versions: *versions,
+		groupCommit: *groupCommitFlag, coalesce: *coalesceFlag,
 	}
 	if *jsonPath != "" {
+		onOff := func(b bool) string {
+			if b {
+				return "on"
+			}
+			return "off"
+		}
 		jsonOut = &jsonReport{
 			Size: cfg.size, Seconds: cfg.seconds, Threads: cfg.threads, Seed: cfg.seed,
 			Granularity: cfg.granularity.String(), OrecStripes: cfg.orecStripes, ClockShards: cfg.clockShards,
 			Versions: cfg.versions, ROSnapshot: *roSnapshot,
+			GroupCommit: onOff(cfg.groupCommit), Coalescing: onOff(cfg.coalesce),
 			GoVersion:  runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 			NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
 			Engines: stm.Registered(), Strategies: sync7.Strategies(),
@@ -345,8 +387,9 @@ func main() {
 		"mvcc":      mvccSweep,
 		"chaos":     chaosSweep,
 		"telemetry": telemetrySweep,
+		"commit":    commitSweep,
 	}
-	order := []string{"fig3", "fig4", "table3", "fig6", "headline", "ablations", "overhead", "scenarios", "orecs", "snapshot", "mvcc", "chaos", "telemetry"}
+	order := []string{"fig3", "fig4", "table3", "fig6", "headline", "ablations", "overhead", "scenarios", "orecs", "snapshot", "mvcc", "chaos", "telemetry", "commit"}
 	if *exp == "all" {
 		for _, name := range order {
 			curExp = name
@@ -396,6 +439,8 @@ func measure(cfg config, o stmbench7.Options) *stmbench7.Result {
 	o.ClockShards = cfg.clockShards
 	o.Versions = cfg.versions
 	o.DisableROSnapshot = cfg.disableSnap
+	o.GroupCommit = cfg.groupCommit
+	o.LockCoalescing = cfg.coalesce
 	ex, s, err := stmbench7.Setup(o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
@@ -1184,15 +1229,17 @@ func scenarioSweep(cfg config) {
 			"engine", "phase", "threads", "mode", "ops/s", "abort%", "p50[ms]", "p99[ms]")
 		for _, strat := range strategies {
 			rep, err := scenario.Run(sc, scenario.RunOptions{
-				Params:      cfg.params,
-				Strategy:    strat,
-				Seed:        cfg.seed,
-				Threads:     threads,
-				TimeScale:   cfg.seconds,
-				Granularity: cfg.granularity,
-				OrecStripes: cfg.orecStripes,
-				ClockShards: cfg.clockShards,
-				OnEngine:    repointTelemetry,
+				Params:         cfg.params,
+				Strategy:       strat,
+				Seed:           cfg.seed,
+				Threads:        threads,
+				TimeScale:      cfg.seconds,
+				Granularity:    cfg.granularity,
+				OrecStripes:    cfg.orecStripes,
+				ClockShards:    cfg.clockShards,
+				GroupCommit:    cfg.groupCommit,
+				LockCoalescing: cfg.coalesce,
+				OnEngine:       repointTelemetry,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -1351,6 +1398,8 @@ func chaosSweep(cfg config) {
 		o.ClockShards = cfg.clockShards
 		o.Versions = cfg.versions
 		o.DisableROSnapshot = cfg.disableSnap
+		o.GroupCommit = cfg.groupCommit
+		o.LockCoalescing = cfg.coalesce
 		res, err := stmbench7.Run(o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
@@ -1526,6 +1575,149 @@ func chaosSweep(cfg config) {
 	fmt.Println()
 }
 
+// commitSweep measures the PR 9 commit-pipelining layer. Two grids over
+// the commit-bound write storm (write-dominated mix, long traversals off —
+// the shape where NOrec serializes behind its sequence lock and TL2 pays
+// one CAS per orec):
+//
+//   - storm: each engine with its pipelining knob off vs on — NOrec classic
+//     vs combining-queue group commit, striped TL2 per-orec vs coalesced
+//     group-word locking — crossed with threads. Knobs-off rows are the
+//     regression guard; knobs-on rows carry the pipeline counters
+//     (batches, batch sizes, coalesced acquisitions).
+//   - hotspot: the same variants under an open-loop zipf hotspot
+//     (theta 0.9), affinity routing off vs on, crossed with threads —
+//     the thread/data-mapping half of the layer. Arrival rate scales with
+//     the worker count so the offered load per worker is constant; rows
+//     report response-time percentiles with queueing included.
+//
+// Group-commit batches form when a committer finds the sequence lock held,
+// so their frequency rises with real commit overlap; single-core hosts
+// (GOMAXPROCS=1) see few batches and the knob's gain there is bounded by
+// the saved validation retries, not lock-handoff traffic.
+func commitSweep(cfg config) {
+	type variant struct {
+		label       string
+		strategy    string
+		granularity stm.Granularity
+		gc, co      bool
+	}
+	variants := []variant{
+		{"norec/classic", "norec", stm.ObjectGranularity, false, false},
+		{"norec/group", "norec", stm.ObjectGranularity, true, false},
+		{"tl2/per-orec", "tl2", stm.StripedGranularity, false, false},
+		{"tl2/coalesced", "tl2", stm.StripedGranularity, false, true},
+	}
+	onOff := func(b bool) string {
+		if b {
+			return "on"
+		}
+		return "off"
+	}
+	runPoint := func(o stmbench7.Options) *stmbench7.Result {
+		o.Params = cfg.params
+		o.Seed = cfg.seed
+		o.Workload = ops.WriteDominated
+		o.LongTraversals = false
+		o.StructureMods = true
+		o.Duration = time.Duration(cfg.seconds * float64(time.Second))
+		res, err := stmbench7.Run(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return res
+	}
+
+	fmt.Println("=== Commit pipelining: group commit, lock coalescing, affinity routing ===")
+	fmt.Printf("    (write-dominated mix, long traversals off, %gs per point; knobs-off\n", cfg.seconds)
+	fmt.Println("     rows are the pre-pipelining baseline)")
+	fmt.Printf("%-16s %8s %12s %8s %9s %9s %10s\n",
+		"variant", "threads", "ops/s", "abort%", "batches", "batched", "coalesced")
+	for _, v := range variants {
+		for _, th := range cfg.threads {
+			res := runPoint(stmbench7.Options{
+				Threads:        th,
+				Strategy:       v.strategy,
+				Granularity:    v.granularity,
+				GroupCommit:    v.gc,
+				LockCoalescing: v.co,
+			})
+			es := res.EngineStats
+			fmt.Printf("%-16s %8d %12.0f %8.1f %9d %9d %10d\n",
+				v.label, th, res.Throughput(), 100*es.AbortRate(),
+				es.GroupCommits, es.GroupCommitSize, es.CoalescedLocks)
+			record(jsonPoint{
+				Variant:         v.label + "/storm",
+				Workload:        ops.WriteDominated.String(),
+				Threads:         th,
+				OpsPerSec:       res.Throughput(),
+				AbortPct:        f64ptr(100 * es.AbortRate()),
+				Commits:         es.Commits,
+				Aborts:          es.ConflictAborts,
+				Validations:     es.Validations,
+				Granularity:     v.granularity.String(),
+				GroupCommit:     onOff(v.gc),
+				Coalescing:      onOff(v.co),
+				GroupCommits:    es.GroupCommits,
+				GroupCommitSize: es.GroupCommitSize,
+				CoalescedLocks:  es.CoalescedLocks,
+			})
+		}
+	}
+
+	fmt.Println("\n  hotspot (open loop, zipf theta 0.9, rate 4000/s per worker):")
+	fmt.Printf("  %-16s %-4s %8s %12s %8s %9s %9s\n",
+		"variant", "aff", "threads", "ops/s", "abort%", "p50[ms]", "p99[ms]")
+	for _, v := range variants {
+		for _, aff := range []bool{false, true} {
+			for _, th := range cfg.threads {
+				res := runPoint(stmbench7.Options{
+					Threads:           th,
+					Strategy:          v.strategy,
+					Granularity:       v.granularity,
+					GroupCommit:       v.gc,
+					LockCoalescing:    v.co,
+					SkewTheta:         0.9,
+					OpenLoop:          true,
+					ArrivalRate:       4000 * float64(th),
+					Affinity:          aff,
+					CollectHistograms: true,
+				})
+				es := res.EngineStats
+				pt := jsonPoint{
+					Variant:         v.label + "/hotspot",
+					Workload:        ops.WriteDominated.String(),
+					Threads:         th,
+					OpsPerSec:       res.Throughput(),
+					AbortPct:        f64ptr(100 * es.AbortRate()),
+					Commits:         es.Commits,
+					Aborts:          es.ConflictAborts,
+					Granularity:     v.granularity.String(),
+					GroupCommit:     onOff(v.gc),
+					Coalescing:      onOff(v.co),
+					Affinity:        onOff(aff),
+					GroupCommits:    es.GroupCommits,
+					GroupCommitSize: es.GroupCommitSize,
+					CoalescedLocks:  es.CoalescedLocks,
+					Arrivals:        res.Arrivals,
+				}
+				p50s, p99s := "-", "-"
+				if ls, ok := res.ResponseLatency(); ok {
+					pt.P50ResponseMs = f64ptr(ls.P50Ms)
+					pt.P99ResponseMs = f64ptr(ls.P99Ms)
+					p50s = fmt.Sprintf("%.3f", ls.P50Ms)
+					p99s = fmt.Sprintf("%.3f", ls.P99Ms)
+				}
+				record(pt)
+				fmt.Printf("  %-16s %-4s %8d %12.0f %8.1f %9s %9s\n",
+					v.label, onOff(aff), th, res.Throughput(), 100*es.AbortRate(), p50s, p99s)
+			}
+		}
+	}
+	fmt.Println()
+}
+
 // repointTelemetry aims the live /metrics registry at a freshly built
 // engine (no-op without -listen). scenario.Run calls it via OnEngine.
 func repointTelemetry(eng stm.Engine) {
@@ -1569,6 +1761,8 @@ func telemetrySweep(cfg config) {
 			ClockShards:       cfg.clockShards,
 			Versions:          cfg.versions,
 			DisableROSnapshot: cfg.disableSnap,
+			GroupCommit:       cfg.groupCommit,
+			LockCoalescing:    cfg.coalesce,
 			Trace:             rec,
 			SampleInterval:    interval,
 		}

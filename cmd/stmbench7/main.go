@@ -44,6 +44,22 @@
 //	                          commit-path probe sites, e.g.
 //	                          "seed=7,precommit:1/40:80us,abort:1/24"
 //	                          (sites: precommit, lockhold, clocktick, abort)
+//	-group-commit             NOrec combining-queue group commit: committers
+//	                          that find the sequence lock held enqueue their
+//	                          write set and the holder publishes the whole
+//	                          batch under one acquisition (norec only)
+//	-coalesce                 TL2 commit-time lock coalescing: acquire sorted
+//	                          runs of adjacent striped-table orecs with one
+//	                          CAS per 64-bit group word (tl2 under
+//	                          -granularity striped only)
+//	-arrival-rate R           drive the run open-loop at R Poisson arrivals/s
+//	                          (total) instead of the closed loop; response
+//	                          time is measured from the scheduled arrival,
+//	                          queueing included
+//	-affinity                 route each open-loop arrival to the worker
+//	                          owning the composite-part partition its id draw
+//	                          lands in (work-stealing keeps the schedule
+//	                          complete); requires -arrival-rate
 //	-listen ADDR              serve live telemetry for the duration of the
 //	                          run: /metrics (Prometheus text format),
 //	                          /debug/pprof/, /debug/vars and /trace (the
@@ -70,9 +86,10 @@
 //	                      instead of a single static mix; -t becomes the
 //	                      default thread count for phases that don't set
 //	                      their own, and -l/-w/--no-* are ignored
-//	                      (-deadline/-serial-fallback/-fault-plan become run
-//	                      defaults a scenario may override; overload-shedding
-//	                      knobs are per-phase in the scenario file)
+//	                      (-deadline/-serial-fallback/-fault-plan and
+//	                      -group-commit/-coalesce become run defaults a
+//	                      scenario may override; overload-shedding and
+//	                      affinity knobs are per-phase in the scenario file)
 //	-scenario-scale F     multiply every phase duration by F (default 1)
 //	-list-scenarios       print the built-in scenario library and exit
 //
@@ -140,6 +157,10 @@ func run(args []string) error {
 	deadline := fs.Duration("deadline", 0, "per-transaction wall-clock retry budget (0 = none; stm engines only)")
 	serialFallback := fs.Bool("serial-fallback", false, "escalate transactions that exhaust their retry budget or deadline to irrevocable serial mode")
 	faultPlanFlag := fs.String("fault-plan", "", `deterministic fault-injection plan, e.g. "seed=7,precommit:1/40:80us,abort:1/24"`)
+	groupCommit := fs.Bool("group-commit", false, "NOrec combining-queue group commit (norec only)")
+	coalesce := fs.Bool("coalesce", false, "TL2 commit-time lock coalescing (tl2 under striped granularity only)")
+	arrivalRate := fs.Float64("arrival-rate", 0, "open-loop Poisson arrival rate in ops/s, total (0 = closed loop)")
+	affinity := fs.Bool("affinity", false, "affinity-aware open-loop scheduling (requires -arrival-rate)")
 	check := fs.Bool("check", false, "check structural invariants after the run")
 	chunks := fs.Int("chunks", 1, "manual chunks (§5 optimization when > 1)")
 	groupAtomic := fs.Bool("group-atomic", false, "group atomic-part state per composite (§5 optimization)")
@@ -181,6 +202,12 @@ func run(args []string) error {
 	}
 	if *deadline < 0 {
 		return fmt.Errorf("bad -deadline %v (must be >= 0)", *deadline)
+	}
+	if *arrivalRate < 0 {
+		return fmt.Errorf("bad -arrival-rate %v (must be >= 0)", *arrivalRate)
+	}
+	if *affinity && *arrivalRate == 0 && *scenarioArg == "" {
+		return fmt.Errorf("-affinity shards the open-loop arrival schedule; set -arrival-rate R")
 	}
 
 	params, ok := stmbench7.NamedParams(*size)
@@ -240,6 +267,9 @@ func run(args []string) error {
 	}
 
 	if *scenarioArg != "" {
+		if *affinity {
+			return fmt.Errorf("-affinity is per phase in scenario mode; set \"affinity\": true on the open-loop phases instead")
+		}
 		sc, err := stmbench7.LookupScenario(*scenarioArg)
 		if err != nil {
 			return err
@@ -269,6 +299,8 @@ func run(args []string) error {
 			TxDeadline:               *deadline,
 			SerialFallback:           *serialFallback,
 			FaultPlan:                faultPlan,
+			GroupCommit:              *groupCommit,
+			LockCoalescing:           *coalesce,
 			Trace:                    rec,
 			SampleInterval:           *sample,
 			OnEngine:                 func(eng stm.Engine) { reg.SetStats(eng.Stats) },
@@ -317,6 +349,11 @@ func run(args []string) error {
 		TxDeadline:               *deadline,
 		SerialFallback:           *serialFallback,
 		FaultPlan:                faultPlan,
+		GroupCommit:              *groupCommit,
+		LockCoalescing:           *coalesce,
+		OpenLoop:                 *arrivalRate > 0,
+		ArrivalRate:              *arrivalRate,
+		Affinity:                 *affinity,
 		Trace:                    rec,
 		SampleInterval:           *sample,
 		CollectHistograms:        *histograms,

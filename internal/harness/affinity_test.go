@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/ops"
+)
+
+// TestAffinityMatchesPlainDriver pins the routing-only contract: a
+// MaxOps-mode affinity run must attempt exactly the same operation
+// multiset as the plain open-loop driver — same schedule, same
+// per-arrival seeds, so partitioning and stealing may change WHO serves
+// an arrival but never WHAT runs.
+func TestAffinityMatchesPlainDriver(t *testing.T) {
+	o := baseOpts()
+	o.Strategy = "norec"
+	o.MaxOps = 100
+	o.Threads = 2
+	o.OpenLoop = true
+	o.ArrivalRate = 50000
+	o.SkewTheta = 0.8
+	run := func(affinity bool) *Result {
+		oo := o
+		oo.Affinity = affinity
+		res, err := Run(oo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, sharded := run(false), run(true)
+	if sharded.Arrivals != plain.Arrivals || sharded.Arrivals != 200 {
+		t.Fatalf("arrivals: plain %d, affinity %d, want 200 each", plain.Arrivals, sharded.Arrivals)
+	}
+	if sharded.TotalAttempted() != plain.TotalAttempted() {
+		t.Fatalf("attempted: plain %d, affinity %d", plain.TotalAttempted(), sharded.TotalAttempted())
+	}
+	for name, p := range plain.PerOp {
+		a := sharded.PerOp[name]
+		if a == nil || a.Attempted() != p.Attempted() {
+			t.Errorf("%s: plain attempted %d, affinity attempted %v — the op multiset must be identical",
+				name, p.Attempted(), a)
+		}
+	}
+}
+
+// TestAffinityPartitionsCoverSchedule checks the routing itself: every
+// arrival lands in exactly one partition, in ascending order within it,
+// and under heavy skew the partition owning the hotspot gets the bulk of
+// the arrivals.
+func TestAffinityPartitionsCoverSchedule(t *testing.T) {
+	o := Defaults(baseOpts())
+	o.MaxOps = 400
+	o.Threads = 4
+	o.OpenLoop = true
+	o.ArrivalRate = 50000
+	o.SkewTheta = 0.99
+	ex, s, err := Setup(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ex
+	picker := ops.NewPicker(o.Profile())
+	_, seeds, total, err := buildOpenLoopSchedule(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := buildAffinityPartitions(o, s, picker, seeds)
+	if len(parts) != o.Threads {
+		t.Fatalf("got %d partitions, want %d", len(parts), o.Threads)
+	}
+	seen := make([]bool, total)
+	covered := 0
+	maxPart := 0
+	for _, p := range parts {
+		prev := -1
+		for _, i := range p.arrivals {
+			if i <= prev {
+				t.Fatalf("partition arrivals out of order: %d after %d", i, prev)
+			}
+			prev = i
+			if seen[i] {
+				t.Fatalf("arrival %d routed twice", i)
+			}
+			seen[i] = true
+			covered++
+		}
+		if len(p.arrivals) > maxPart {
+			maxPart = len(p.arrivals)
+		}
+	}
+	if covered != total {
+		t.Fatalf("covered %d of %d arrivals", covered, total)
+	}
+	// theta=0.99 concentrates the zipf mass on the lowest ranks, which all
+	// map into one contiguous partition: the hot partition must clearly
+	// dominate a uniform split.
+	if maxPart <= total/o.Threads {
+		t.Errorf("hot partition holds %d of %d arrivals — no skew concentration visible", maxPart, total)
+	}
+}
+
+// TestAffinitySkewedRunCompletes runs the full mix (structure mods
+// included) through the affinity driver under a hotspot and checks the
+// structure afterwards — stealing plus partition cutoffs must not lose
+// or double-run arrivals.
+func TestAffinitySkewedRunCompletes(t *testing.T) {
+	o := baseOpts()
+	o.Strategy = "tl2"
+	o.MaxOps = 300
+	o.Threads = 4
+	o.OpenLoop = true
+	o.ArrivalRate = 100000
+	o.Affinity = true
+	o.SkewTheta = 0.9
+	o.CheckInvariants = true
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAttempted() != int64(o.Threads*o.MaxOps) {
+		t.Errorf("attempted %d, want %d", res.TotalAttempted(), o.Threads*o.MaxOps)
+	}
+	if res.Arrivals != res.TotalAttempted() {
+		t.Errorf("arrivals %d != attempted %d with shedding off", res.Arrivals, res.TotalAttempted())
+	}
+}
+
+// TestAffinityValidation: the flag is open-loop only.
+func TestAffinityValidation(t *testing.T) {
+	o := baseOpts()
+	o.Affinity = true
+	if _, err := Run(o); err == nil {
+		t.Error("closed-loop affinity accepted")
+	}
+}

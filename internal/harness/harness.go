@@ -72,6 +72,16 @@ type Options struct {
 	// older versions instead of restarting under write traffic. Ignored
 	// by engines without a snapshot timestamp.
 	Versions int
+	// GroupCommit enables NOrec's combining-queue group commit
+	// (-group-commit): committers that find the sequence lock held hand
+	// their write sets to the holder, which revalidates and publishes the
+	// whole batch under one acquisition. Ignored by every other strategy.
+	GroupCommit bool
+	// LockCoalescing makes TL2 acquire sorted runs of adjacent
+	// striped-table orecs with one CAS per 8-orec group word at commit
+	// time (-coalesce). Ignored under object granularity and by every
+	// other strategy.
+	LockCoalescing bool
 	// DisableROSnapshot turns off the read-only snapshot fast path
 	// (-ro-snapshot=off): read-only operations then run through the
 	// engine's plain Atomic path, restoring the pre-snapshot behavior.
@@ -145,6 +155,12 @@ type Options struct {
 	// ArrivalRate is the open-loop offered load in operations per
 	// second, across all workers. Required (> 0) when OpenLoop is set.
 	ArrivalRate float64
+	// Affinity shards the open-loop schedule over the workers by each
+	// arrival's predicted composite-part range (-affinity): skewed draws
+	// route to the partition-owning worker, with work stealing once a
+	// partition drains. Identical schedule and operation multiset as the
+	// plain open-loop driver — a pure routing change. Requires OpenLoop.
+	Affinity bool
 }
 
 // Defaults fills in unset fields: 1 thread, 1 s, read-dominated, coarse,
@@ -213,6 +229,9 @@ func (o Options) validate() error {
 	}
 	if !o.OpenLoop && (o.ShedAfter > 0 || o.QueueBound > 0) {
 		return fmt.Errorf("harness: ShedAfter/QueueBound shed overload from the open-loop queue; set OpenLoop (closed-loop workers have no queue to shed from)")
+	}
+	if o.Affinity && !o.OpenLoop {
+		return fmt.Errorf("harness: Affinity shards the open-loop arrival schedule; set OpenLoop (closed-loop workers draw their own streams and have no schedule to shard)")
 	}
 	return nil
 }
@@ -344,6 +363,8 @@ func Setup(o Options) (sync7.Executor, *core.Structure, error) {
 		OrecStripes:              o.OrecStripes,
 		ClockShards:              o.ClockShards,
 		Versions:                 o.Versions,
+		GroupCommit:              o.GroupCommit,
+		LockCoalescing:           o.LockCoalescing,
 		TxDeadline:               o.TxDeadline,
 		SerialFallback:           o.SerialFallback,
 		FaultPlan:                o.FaultPlan,
@@ -399,9 +420,12 @@ func RunOn(o Options, ex sync7.Executor, s *core.Structure) (*Result, error) {
 	}
 	var res *Result
 	var err error
-	if o.OpenLoop {
+	switch {
+	case o.OpenLoop && o.Affinity:
+		res, err = runOpenLoopAffinity(o, ex, s, live)
+	case o.OpenLoop:
 		res, err = runOpenLoop(o, ex, s, live)
-	} else {
+	default:
 		res, err = runClosedLoop(o, ex, s, live)
 	}
 	if sampler != nil {

@@ -36,32 +36,9 @@ func runOpenLoop(o Options, ex sync7.Executor, s *core.Structure, live *liveProg
 	profile := o.Profile()
 	picker := ops.NewPicker(profile)
 
-	// Build the arrival schedule. MaxOps mode issues exactly
-	// MaxOps*Threads arrivals; duration mode over-provisions by 25% and
-	// lets the deadline cut the tail (a Poisson process can run ahead of
-	// its expected count). The schedule is materialized up front — that
-	// is what makes arrival i deterministic no matter which worker
-	// serves it — so its size is capped rather than left to
-	// rate*duration: ~32 bytes per arrival means the cap costs ~256 MB,
-	// and any realistic configuration beyond it should split phases or
-	// lower the rate.
-	total := o.MaxOps * o.Threads
-	if o.MaxOps <= 0 {
-		total = int(o.ArrivalRate*o.Duration.Seconds()*1.25) + 16
-	}
-	if total > maxArrivals {
-		return nil, fmt.Errorf("harness: open-loop schedule of %d arrivals exceeds the %d cap (lower ArrivalRate or Duration, or split the phase)",
-			total, maxArrivals)
-	}
-	offsets := make([]time.Duration, total)
-	seeds := make([]uint64, total)
-	sr := rng.New(o.Seed ^ 0x0be7a9a1)
-	elapsedSec := 0.0
-	for i := range offsets {
-		// Exponential inter-arrival gap: -ln(1-U)/rate, U in [0, 1).
-		elapsedSec += -math.Log1p(-sr.Float64()) / o.ArrivalRate
-		offsets[i] = time.Duration(elapsedSec * float64(time.Second))
-		seeds[i] = sr.Uint64()
+	offsets, seeds, total, err := buildOpenLoopSchedule(o)
+	if err != nil {
+		return nil, err
 	}
 
 	perThread := make([]*threadStats, o.Threads)
@@ -148,6 +125,39 @@ func runOpenLoop(o Options, ex sync7.Executor, s *core.Structure, live *liveProg
 		res.Response = map[int64]int64{} // open-loop runs always report one
 	}
 	return res, nil
+}
+
+// buildOpenLoopSchedule materializes the arrival schedule shared by the
+// open-loop drivers (plain and affinity-sharded — both MUST build the
+// identical schedule, which is what makes `-affinity` a pure routing
+// change). MaxOps mode issues exactly MaxOps*Threads arrivals; duration
+// mode over-provisions by 25% and lets the deadline cut the tail (a
+// Poisson process can run ahead of its expected count). The schedule is
+// materialized up front — that is what makes arrival i deterministic no
+// matter which worker serves it — so its size is capped rather than left
+// to rate*duration: ~32 bytes per arrival means the cap costs ~256 MB,
+// and any realistic configuration beyond it should split phases or lower
+// the rate.
+func buildOpenLoopSchedule(o Options) (offsets []time.Duration, seeds []uint64, total int, err error) {
+	total = o.MaxOps * o.Threads
+	if o.MaxOps <= 0 {
+		total = int(o.ArrivalRate*o.Duration.Seconds()*1.25) + 16
+	}
+	if total > maxArrivals {
+		return nil, nil, 0, fmt.Errorf("harness: open-loop schedule of %d arrivals exceeds the %d cap (lower ArrivalRate or Duration, or split the phase)",
+			total, maxArrivals)
+	}
+	offsets = make([]time.Duration, total)
+	seeds = make([]uint64, total)
+	sr := rng.New(o.Seed ^ 0x0be7a9a1)
+	elapsedSec := 0.0
+	for i := range offsets {
+		// Exponential inter-arrival gap: -ln(1-U)/rate, U in [0, 1).
+		elapsedSec += -math.Log1p(-sr.Float64()) / o.ArrivalRate
+		offsets[i] = time.Duration(elapsedSec * float64(time.Second))
+		seeds[i] = sr.Uint64()
+	}
+	return offsets, seeds, total, nil
 }
 
 // spinSlack is how much of a wait is left to busy-spinning instead of

@@ -191,8 +191,14 @@ func KnobAxes(o Options) string {
 	if versions <= 1 {
 		versions = 1
 	}
-	return fmt.Sprintf("granularity %v, orec stripes %s, clock shards %d, versions %d",
-		o.Granularity, stripes, shards, versions)
+	onOff := func(b bool) string {
+		if b {
+			return "on"
+		}
+		return "off"
+	}
+	return fmt.Sprintf("granularity %v, orec stripes %s, clock shards %d, versions %d, group commit %s, coalescing %s",
+		o.Granularity, stripes, shards, versions, onOff(o.GroupCommit), onOff(o.LockCoalescing))
 }
 
 // safeRate divides two counters, returning 0 for an empty denominator.

@@ -31,22 +31,25 @@ import (
 // names ("long-traversal", "short-traversal", "short-operation",
 // "structure-modification") or the short aliases lt, st, op, sm.
 // Engine knobs (granularity, orec_stripes, clock_shards, versions,
-// ro_snapshot, tx_deadline, serial_fallback, fault_plan) are
-// top-level, not per phase: the orec table, commit clock, read-only
-// snapshot dispatch and robustness configuration are built into the
-// executor before the first phase runs, so they are a property of the
-// whole scenario. Unset values inherit the run's (CLI) settings;
-// ro_snapshot and serial_fallback take "on" or "off", tx_deadline a Go
+// ro_snapshot, tx_deadline, serial_fallback, fault_plan, group_commit,
+// coalescing) are top-level, not per phase: the orec table, commit
+// clock, read-only snapshot dispatch, robustness configuration and
+// commit protocol are built into the executor before the first phase
+// runs, so they are a property of the whole scenario. Unset values
+// inherit the run's (CLI) settings; ro_snapshot, serial_fallback,
+// group_commit and coalescing take "on" or "off", tx_deadline a Go
 // duration, fault_plan the stm.ParseFaultPlan syntax:
 //
 //	{"name": "hot", "granularity": "striped", "orec_stripes": 256,
 //	 "clock_shards": 4, "ro_snapshot": "off", "tx_deadline": "25ms",
 //	 "serial_fallback": "on", "fault_plan": "seed=7,abort:1/24",
+//	 "group_commit": "on", "coalescing": "on",
 //	 "phases": [...]}
 //
 // Open-loop phases may additionally shed overload: shed_after (duration)
 // refuses arrivals waiting longer than the budget, queue_bound (int > 0)
-// caps the backlog.
+// caps the backlog. "affinity": true (open-loop only) shards the arrival
+// schedule over composite-part-partition-owning workers.
 type fileScenario struct {
 	Name        string `json:"name"`
 	Description string `json:"description"`
@@ -58,11 +61,15 @@ type fileScenario struct {
 	// Robustness knobs, run-level like the metadata axes: tx_deadline is
 	// a Go duration string, serial_fallback takes "on"/"off", fault_plan
 	// uses stm.ParseFaultPlan syntax.
-	TxDeadline     string      `json:"tx_deadline,omitempty"`
-	SerialFallback string      `json:"serial_fallback,omitempty"`
-	FaultPlan      string      `json:"fault_plan,omitempty"`
-	Defaults       *filePhase  `json:"defaults,omitempty"`
-	Phases         []filePhase `json:"phases"`
+	TxDeadline     string `json:"tx_deadline,omitempty"`
+	SerialFallback string `json:"serial_fallback,omitempty"`
+	FaultPlan      string `json:"fault_plan,omitempty"`
+	// Commit-pipelining knobs, run-level like the metadata axes: both take
+	// "on"/"off" ("" inherits the run).
+	GroupCommit string      `json:"group_commit,omitempty"`
+	Coalescing  string      `json:"coalescing,omitempty"`
+	Defaults    *filePhase  `json:"defaults,omitempty"`
+	Phases      []filePhase `json:"phases"`
 }
 
 // filePhase is one phase (or the defaults object) on the wire. Pointer
@@ -83,6 +90,7 @@ type filePhase struct {
 	ArrivalRate    *float64           `json:"arrival_rate,omitempty"`
 	ShedAfter      *string            `json:"shed_after,omitempty"`
 	QueueBound     *int               `json:"queue_bound,omitempty"`
+	Affinity       *bool              `json:"affinity,omitempty"`
 }
 
 // parseCategory resolves a weight key.
@@ -147,6 +155,9 @@ func overlay(dst, src *filePhase) {
 	}
 	if src.QueueBound != nil {
 		dst.QueueBound = src.QueueBound
+	}
+	if src.Affinity != nil {
+		dst.Affinity = src.Affinity
 	}
 }
 
@@ -229,6 +240,9 @@ func resolvePhase(fp filePhase, index int) (Phase, error) {
 		}
 		ph.QueueBound = *fp.QueueBound
 	}
+	if fp.Affinity != nil {
+		ph.Affinity = *fp.Affinity
+	}
 	return ph, nil
 }
 
@@ -252,6 +266,8 @@ func Parse(data []byte) (*Scenario, error) {
 		TxDeadline:     fs.TxDeadline,
 		SerialFallback: fs.SerialFallback,
 		FaultPlan:      fs.FaultPlan,
+		GroupCommit:    fs.GroupCommit,
+		Coalescing:     fs.Coalescing,
 	}
 	for i, fp := range fs.Phases {
 		merged := filePhase{}
@@ -280,6 +296,9 @@ func Parse(data []byte) (*Scenario, error) {
 			}
 			if fp.QueueBound == nil {
 				merged.QueueBound = nil
+			}
+			if fp.Affinity == nil {
+				merged.Affinity = nil
 			}
 		}
 		ph, err := resolvePhase(merged, i)

@@ -11,9 +11,13 @@ import (
 	"repro/stm"
 )
 
-// phaseMode formats the driver column.
+// phaseMode formats the driver column ("aff@" marks the affinity-sharded
+// open-loop driver).
 func phaseMode(ph Phase) string {
 	if ph.OpenLoop {
+		if ph.Affinity {
+			return fmt.Sprintf("aff@%.0f/s", ph.ArrivalRate)
+		}
 		return fmt.Sprintf("open@%.0f/s", ph.ArrivalRate)
 	}
 	return "closed"
@@ -65,7 +69,8 @@ func WriteReport(w io.Writer, rep *Report) {
 		// options; the first phase's resolved knobs name the configuration.
 		fmt.Fprintf(w, "  engine knobs: %s\n", harness.KnobAxes(rep.Phases[0].Result.Options))
 	}
-	if sc.Granularity != "" || sc.OrecStripes > 0 || sc.ClockShards > 0 || sc.Versions > 0 || sc.ROSnapshot != "" {
+	if sc.Granularity != "" || sc.OrecStripes > 0 || sc.ClockShards > 0 || sc.Versions > 0 || sc.ROSnapshot != "" ||
+		sc.GroupCommit != "" || sc.Coalescing != "" {
 		fmt.Fprintf(w, "  metadata: granularity %s", cmp.Or(sc.Granularity, "inherited"))
 		if sc.OrecStripes > 0 {
 			fmt.Fprintf(w, ", %d orec stripes", sc.OrecStripes)
@@ -78,6 +83,12 @@ func WriteReport(w io.Writer, rep *Report) {
 		}
 		if sc.ROSnapshot != "" {
 			fmt.Fprintf(w, ", ro-snapshot %s", sc.ROSnapshot)
+		}
+		if sc.GroupCommit != "" {
+			fmt.Fprintf(w, ", group commit %s", sc.GroupCommit)
+		}
+		if sc.Coalescing != "" {
+			fmt.Fprintf(w, ", coalescing %s", sc.Coalescing)
 		}
 		fmt.Fprintln(w)
 	}

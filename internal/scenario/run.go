@@ -64,6 +64,12 @@ type RunOptions struct {
 	TxDeadline     time.Duration
 	SerialFallback bool
 	FaultPlan      *stm.FaultPlan
+	// GroupCommit and LockCoalescing tune the engines' commit pipeline
+	// exactly like the harness options of the same names. Run-level (the
+	// commit protocol is an engine configuration); a scenario that sets
+	// its own group_commit/coalescing overrides these.
+	GroupCommit    bool
+	LockCoalescing bool
 	// Trace installs a transaction flight recorder on the engine, exactly
 	// like the harness option of the same name. Run-level: one recorder
 	// observes every phase (use its Reset between scrapes to window it).
@@ -195,6 +201,20 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 		}
 		faultPlan = p
 	}
+	groupCommit := o.GroupCommit
+	switch sc.GroupCommit {
+	case "on":
+		groupCommit = true
+	case "off":
+		groupCommit = false
+	}
+	coalescing := o.LockCoalescing
+	switch sc.Coalescing {
+	case "on":
+		coalescing = true
+	case "off":
+		coalescing = false
+	}
 
 	ex, s, err := harness.Setup(harness.Options{
 		Params:                   o.Params,
@@ -211,6 +231,8 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 		TxDeadline:               txDeadline,
 		SerialFallback:           serialFallback,
 		FaultPlan:                faultPlan,
+		GroupCommit:              groupCommit,
+		LockCoalescing:           coalescing,
 		Trace:                    o.Trace,
 	})
 	if err != nil {
@@ -242,6 +264,7 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 			ArrivalRate:       ph.ArrivalRate,
 			ShedAfter:         ph.ShedAfter,
 			QueueBound:        ph.QueueBound,
+			Affinity:          ph.Affinity,
 			TxDeadline:        txDeadline,
 			SerialFallback:    serialFallback,
 			FaultPlan:         faultPlan,
@@ -252,6 +275,8 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 			OrecStripes:       orecStripes,
 			ClockShards:       clockShards,
 			Versions:          versions,
+			GroupCommit:       groupCommit,
+			LockCoalescing:    coalescing,
 			DisableROSnapshot: disableSnap,
 			SampleInterval:    o.SampleInterval,
 			CollectHistograms: o.CollectHistograms,

@@ -75,6 +75,11 @@ type Phase struct {
 	// QueueBound later arrivals are already due, the head arrival is
 	// shed. Zero = unbounded. Open-loop phases only.
 	QueueBound int
+	// Affinity routes each open-loop arrival to the worker owning the
+	// composite-part partition its id draw lands in (work-stealing keeps
+	// the schedule complete) — a pure routing change: the op multiset is
+	// identical to the plain driver's. Open-loop phases only.
+	Affinity bool
 }
 
 // categoryEnabled mirrors ops.Profile.Enabled at the category level: a
@@ -137,7 +142,18 @@ type Scenario struct {
 	// ("seed=7,precommit:1/40:80us,abort:1/24"; "" = inherit).
 	// Run-level like the other engine knobs.
 	FaultPlan string
-	Phases    []Phase
+	// GroupCommit pins NOrec's combining-queue group commit for the whole
+	// run: "" inherits the RunOptions (i.e. the CLI flag), "on" batches
+	// committers behind the sequence lock, "off" forces the classic
+	// one-at-a-time protocol. Run-level: the commit protocol is an engine
+	// configuration, built before the first phase.
+	GroupCommit string
+	// Coalescing pins TL2's commit-time lock coalescing for the whole run:
+	// "" inherits the RunOptions, "on" acquires sorted runs of adjacent
+	// striped-table orecs with one CAS per group word, "off" forces
+	// per-orec CAS. Run-level like GroupCommit.
+	Coalescing string
+	Phases     []Phase
 }
 
 // Validate checks the scenario for the error classes the parser and the
@@ -185,6 +201,16 @@ func (sc *Scenario) Validate() error {
 	if _, err := stm.ParseFaultPlan(sc.FaultPlan); err != nil {
 		return fmt.Errorf("scenario %q: bad fault_plan: %w", sc.Name, err)
 	}
+	switch sc.GroupCommit {
+	case "", "on", "off":
+	default:
+		return fmt.Errorf("scenario %q: bad group_commit %q (want on or off)", sc.Name, sc.GroupCommit)
+	}
+	switch sc.Coalescing {
+	case "", "on", "off":
+	default:
+		return fmt.Errorf("scenario %q: bad coalescing %q (want on or off)", sc.Name, sc.Coalescing)
+	}
 	for i, ph := range sc.Phases {
 		label := ph.Name
 		if label == "" {
@@ -218,6 +244,8 @@ func (sc *Scenario) Validate() error {
 			return bad("negative queue_bound %d", ph.QueueBound)
 		case !ph.OpenLoop && (ph.ShedAfter > 0 || ph.QueueBound > 0):
 			return bad("shed_after/queue_bound shed from the open-loop queue; this phase is closed-loop")
+		case !ph.OpenLoop && ph.Affinity:
+			return bad("affinity shards the open-loop arrival schedule; this phase is closed-loop")
 		}
 		if ph.Weights != nil {
 			sum, enabledSum := 0.0, 0.0

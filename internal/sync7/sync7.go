@@ -81,6 +81,15 @@ type Config struct {
 	// (0 or 1 = single-version; ignored by engines without a snapshot
 	// timestamp — ostm, the lock strategies).
 	Versions int
+	// GroupCommit enables NOrec's combining-queue group commit: committers
+	// that find the sequence lock held hand their write sets to the holder,
+	// which publishes the whole batch under one acquisition. Ignored by
+	// every other strategy.
+	GroupCommit bool
+	// LockCoalescing makes TL2 acquire sorted runs of adjacent striped-table
+	// orecs with one CAS per group word at commit time. Ignored under object
+	// granularity and by every other strategy.
+	LockCoalescing bool
 	// TxDeadline bounds each transaction's wall-clock retry window: an
 	// attempt never starts after the deadline has passed (the first always
 	// runs). Zero = no deadline. Ignored by lock strategies and direct.
@@ -113,6 +122,8 @@ func (c Config) engineOptions() stm.EngineOptions {
 		OrecStripes:    c.OrecStripes,
 		ClockShards:    c.ClockShards,
 		Versions:       c.Versions,
+		GroupCommit:    c.GroupCommit,
+		LockCoalescing: c.LockCoalescing,
 		TxDeadline:     c.TxDeadline,
 		SerialFallback: c.SerialFallback,
 		Faults:         c.FaultPlan,

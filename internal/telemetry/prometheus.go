@@ -53,6 +53,9 @@ var statFamilies = []statFamily{
 	{"stm_timeout_aborts_total", "counter", "Atomic calls that gave up on an expired TxDeadline.", func(s stm.Stats) uint64 { return s.TimeoutAborts }},
 	{"stm_serial_fallbacks_total", "counter", "Transactions escalated to the irrevocable serial token.", func(s stm.Stats) uint64 { return s.SerialFallbacks }},
 	{"stm_injected_faults_total", "counter", "FaultPlan probe firings (stalls applied and conflicts forced).", func(s stm.Stats) uint64 { return s.InjectedFaults }},
+	{"stm_group_commits_total", "counter", "Sequence-lock acquisitions that published a batch of more than one transaction.", func(s stm.Stats) uint64 { return s.GroupCommits }},
+	{"stm_group_commit_size_total", "counter", "Transactions published by group-commit batches (leader plus followers).", func(s stm.Stats) uint64 { return s.GroupCommitSize }},
+	{"stm_coalesced_locks_total", "counter", "TL2 commit locks acquired via coalesced group-word CAS runs.", func(s stm.Stats) uint64 { return s.CoalescedLocks }},
 	{"stm_clock_shards", "gauge", "Commit-clock shards (1 = classic global clock, 0 = no commit clock).", func(s stm.Stats) uint64 { return s.ClockShards }},
 	{"stm_clock_shard_spread", "gauge", "Gap between the most- and least-advanced commit-clock shard.", func(s stm.Stats) uint64 { return s.ClockShardSpread }},
 }

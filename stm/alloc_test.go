@@ -250,6 +250,65 @@ func TestAllocVersionedSnapshotSteadyState(t *testing.T) {
 	}
 }
 
+// TestAllocCommitPipelining pins the commit-pipelining paths to the same
+// budgets as their classic counterparts. Single-threaded there is never a
+// lock holder to combine behind, so group commit runs its uncontended
+// leader path — but that IS the steady-state hot path, and it must not
+// cost a byte more than classic NOrec (the combining queue lives entirely
+// in descriptor fields; enqueue/drain never allocate). Coalescing swaps
+// per-orec CAS for group-word CAS and must be equally free.
+func TestAllocCommitPipelining(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation skews allocation counts")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	makers := map[string]func() Engine{
+		"norec-group":     func() Engine { return NewNOrecWith(NOrecConfig{GroupCommit: true}) },
+		"norec-group-mv8": func() Engine { return NewNOrecWith(NOrecConfig{GroupCommit: true, Versions: 8}) },
+		"tl2-coalesce": func() Engine {
+			return NewTL2With(TL2Config{Granularity: StripedGranularity, LockCoalescing: true})
+		},
+		"tl2-coalesce-16stripe": func() Engine {
+			return NewTL2With(TL2Config{Granularity: StripedGranularity, OrecStripes: 16, LockCoalescing: true})
+		},
+	}
+	for name, mk := range makers {
+		t.Run(name, func(t *testing.T) {
+			eng := mk()
+			cells := setupAllocCells(t, eng)
+			readFn := func(tx Tx) error {
+				for _, c := range cells {
+					c.Get(tx)
+				}
+				return nil
+			}
+			if got := measureAllocs(func() { eng.Atomic(readFn) }); got != 0 {
+				t.Errorf("read-only transaction: %v allocs/op, want 0", got)
+			}
+			writeFn := func(tx Tx) error {
+				cells[0].Set(tx, 7)
+				return nil
+			}
+			if got := measureAllocs(func() { eng.Atomic(writeFn) }); got > 1 {
+				t.Errorf("small write transaction: %v allocs/op, want <= 1 (the published box)", got)
+			}
+			// A wide write set exercises coalesced multi-orec runs (and the
+			// group-commit leader's whole-set publish): one box per written
+			// Var, nothing for the locking machinery.
+			wideFn := func(tx Tx) error {
+				for i, c := range cells {
+					c.Set(tx, i)
+				}
+				return nil
+			}
+			if got := measureAllocs(func() { eng.Atomic(wideFn) }); got > float64(len(cells)) {
+				t.Errorf("%d-var write transaction: %v allocs/op, want <= %d (one published box per Var)",
+					len(cells), got, len(cells))
+			}
+		})
+	}
+}
+
 // TestAllocTracing pins the flight recorder's allocation contract on both
 // sides of the nil probe. Disabled (the default every other test here
 // builds): a trace-less engine costs one branch per probe site and keeps

@@ -21,7 +21,9 @@
 //     extension, and lazy write buffering (Dalessandro, Spear, Scott;
 //     PPoPP 2010). Reads are cheapest of the three designs; validation is
 //     O(read set) per global commit and write commits serialize, which the
-//     benchmark's long traversals and write-heavy workloads expose.
+//     benchmark's long traversals and write-heavy workloads expose (the
+//     GroupCommit knob batches the serialized commits — see the "Commit
+//     pipelining" chapter and groupcommit.go).
 //
 //   - Direct (NewDirect): a pass-through engine with no logging and no
 //     conflict detection. It exists so that code written against the stm.Tx
@@ -311,6 +313,52 @@
 // from the same space: their ids order commit-time lock acquisition in
 // TL2 (through their orecs), and the data structure under test must be
 // built from the space of the engine that will run it.
+//
+// # Commit pipelining
+//
+// Write-heavy workloads are commit-bound: NOrec serializes every write
+// commit behind its one sequence lock, and TL2 pays one CAS per write-set
+// orec on acquire and one atomic store per orec on release. Two default-off
+// knobs attack exactly those costs (EngineOptions.GroupCommit /
+// LockCoalescing, NOrecConfig.GroupCommit / TL2Config.LockCoalescing,
+// -group-commit / -coalesce in both CLIs, group_commit / coalescing in
+// scenario JSON; a third, harness-level knob — affinity-aware open-loop
+// scheduling — lives in internal/harness/affinity.go and is routing only,
+// no engine involvement):
+//
+//   - NOrec group commit (groupcommit.go). A committer that finds the
+//     sequence lock held does not spin-and-revalidate: it enqueues its
+//     descriptor on a bounded lock-free combining queue and waits to be
+//     signaled. Whichever committer next acquires the lock drains the
+//     queue, revalidates each follower's read set ONCE against the
+//     post-batch state, publishes every write set under the single
+//     acquisition, and releases the sequence word once for the whole
+//     batch — amortizing validation and halving sequence-word traffic.
+//     Commits still happen one batch at a time; the knob softens the
+//     serialization cost, it does not remove the serialization. Opacity
+//     is preserved because followers park at the commit point (their
+//     reads are complete) and the holder applies its own writes first,
+//     then validates each follower against everything published before
+//     it. Batches count in Stats.GroupCommits/GroupCommitSize (only
+//     real batches, size > 1) and emit a group-drain trace event; the
+//     queue is embedded in pooled descriptors, so steady state stays
+//     0 allocs (alloc_test.go).
+//
+//   - TL2 lock coalescing (orec.go, tl2.go). Striped orec tables carry
+//     one extra gate bit array, one 64-bit group word per 8 orecs. The
+//     already-sorted write set is scanned for runs of adjacent stripe
+//     ids, and each run is acquired with ONE CAS on its group word
+//     (released with one atomic AND), falling back to per-orec bits on
+//     group contention. Coalesced acquisitions count in
+//     Stats.CoalescedLocks. Object granularity has no adjacency to
+//     exploit, so the knob requires striped mode and is ignored
+//     elsewhere.
+//
+// Both knobs default off, and off means bit-for-bit the classic
+// protocols — the conformance, property, chaos and alloc suites run the
+// full engine matrix with the knobs on to pin the semantics either way.
+// `experiments -exp commit` sweeps group commit x coalescing x affinity x
+// threads on the write storm (BENCH_pr9.json).
 //
 // # Robustness & liveness
 //

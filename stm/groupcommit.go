@@ -1,0 +1,237 @@
+package stm
+
+// NOrec group commit: a combining-queue commit pipeline.
+//
+// The classic NOrec commit serializes every writer behind the single
+// sequence lock: a committer that loses the acquisition CAS re-validates
+// its whole read set and tries again, so under write storms the lock
+// word is hammered and validation work is repeated per failed attempt.
+// Group commit turns the losers into followers instead:
+//
+//   - A committer that finds the sequence lock HELD pushes its own
+//     descriptor onto a per-engine Treiber stack (gcHead, linked through
+//     the descriptors' gcNext fields — no allocation) and spins on its
+//     private outcome word (gcState) instead of the shared lock.
+//
+//   - Whoever wins the acquisition CAS — a fresh committer or an
+//     enqueued one — becomes the batch leader: it publishes its own
+//     write set, takes the whole stack with one Swap, and for each
+//     follower re-validates the follower's read set ONCE against the
+//     current committed state (which includes the batch members already
+//     applied, so intra-batch conflicts abort the later member) before
+//     publishing its writes and signaling its outcome.
+//
+//   - One seqlock release covers the whole batch: every published box is
+//     stamped with the same post-release time, so the batch is a single
+//     atomic step to every reader — opacity is untouched, because the
+//     lock is odd for the entire drain exactly as it is for one classic
+//     writer, and each member's reads were validated against the state
+//     its writes land on.
+//
+// The yield is amortization, not extra parallelism: validation is paid
+// once per follower (not once per failed CAS) and the sequence word sees
+// one acquire/release pair per batch instead of per transaction.
+// Stats.GroupCommits / Stats.GroupCommitSize measure the realized batch
+// sizes; drains that publish a single transaction count toward neither.
+//
+// Liveness has no dedicated leader: every waiting follower keeps racing
+// the acquisition CAS, so a batch can never be orphaned — if no one
+// holds the lock, some waiter wins it and drains. A follower that has
+// been enqueued never abandons the queue on its own: its descriptor is
+// owned by the next leader until gcState is signaled. The one wrinkle is
+// a follower that wins the CAS after a prior leader already resolved it
+// (the signal and the release race the follower's own acquisition
+// attempt); drainGroup re-checks its own gcState and, when already
+// decided, acts as a pure lock holder for the waiters it pops.
+//
+// Serial-fallback transactions bypass the queue entirely (they hold the
+// exclusive token; the classic CAS path succeeds on its first try), and
+// with GroupCommit off none of this code runs — the classic commit path
+// is bit-for-bit unchanged.
+
+// Follower outcome states, written by the draining leader into the
+// member's gcState and read by the spinning member. gcPending must be
+// zero: commitGrouped resets the word before each enqueue.
+const (
+	gcPending   uint32 = iota // enqueued, no leader has decided the outcome yet
+	gcCommitted               // a leader validated the read set and published the writes
+	gcConflict                // revalidation failed against the batch state; retry the attempt
+)
+
+// groupCommitBound caps the combining queue (approximately — gcLen is a
+// racy gauge). A committer that finds the queue full spins like a
+// classic one instead of enqueuing; 64 is far above any realistic
+// thread count, the bound only guards against unbounded growth if a
+// leader stalls inside a fault-injection window.
+const groupCommitBound = 64
+
+// commitGrouped is the GroupCommit replacement for the classic
+// acquire/validate CAS loop. It returns like commit: true on publish,
+// false on a conflict abort (the caller counts it and retries).
+func (tx *norecTx) commitGrouped() bool {
+	e := tx.eng
+	for {
+		s := e.seq.Load()
+		if s&1 == 0 {
+			// Lock free: race for it like a classic committer.
+			if s == tx.snapshot && e.seq.CompareAndSwap(s, s+1) {
+				return tx.drainGroup(s, false)
+			}
+			if s != tx.snapshot {
+				// Time moved on: validate (throws on conflict) and
+				// retry the acquisition at the extended snapshot.
+				tx.snapshot = tx.validate()
+			}
+			continue
+		}
+		// Lock held: join the holder's batch instead of spinning on the
+		// sequence word — unless the queue is at its bound, in which
+		// case wait for the release like a classic committer would.
+		if int(e.gcLen.Add(1)) > groupCommitBound {
+			e.gcLen.Add(-1)
+			spinHint()
+			continue
+		}
+		tx.gcState.Store(gcPending)
+		for {
+			head := e.gcHead.Load()
+			tx.gcNext = head
+			if e.gcHead.CompareAndSwap(head, tx) {
+				break
+			}
+		}
+		// Enqueued: from here the descriptor belongs to the next leader
+		// until gcState is signaled. Keep racing the acquisition CAS so
+		// the batch cannot be orphaned if every committer enqueued.
+		for {
+			switch tx.gcState.Load() {
+			case gcCommitted:
+				return true
+			case gcConflict:
+				return false
+			}
+			if s := e.seq.Load(); s&1 == 0 && e.seq.CompareAndSwap(s, s+1) {
+				return tx.drainGroup(s, true)
+			}
+			spinHint()
+		}
+	}
+}
+
+// drainGroup runs with the sequence lock held at odd value s+1: publish
+// the leader's own write set, drain the combining queue, publish every
+// member that still validates, and release the lock once for the whole
+// batch. leaderEnqueued says tx reached the CAS from the waiting loop,
+// i.e. it sits on the stack (or was already resolved by a prior leader).
+func (tx *norecTx) drainGroup(s uint64, leaderEnqueued bool) bool {
+	e := tx.eng
+	if tx.tr.rec != nil {
+		tx.tr.note(TraceLock, uint64(len(tx.writes)), 0)
+	}
+	// Lock-holder pause (see commit): followers that arrive during the
+	// stall enqueue and are drained below — the stall widens the batch.
+	if f := e.faults; f != nil {
+		f.stallAt(FaultLockHold, &e.stats)
+	}
+	keep := e.cfg.Versions
+	selfOK, selfDecided := true, false
+	if leaderEnqueued {
+		// A prior leader may have popped and resolved this tx between
+		// the waiting loop's last gcState check and the winning CAS; if
+		// so its writes are already published (or its reads already
+		// doomed) and it must not be applied again.
+		switch tx.gcState.Load() {
+		case gcCommitted:
+			selfDecided = true
+		case gcConflict:
+			selfOK, selfDecided = false, true
+		}
+	}
+	batch, committed := 0, 0
+	if !selfDecided {
+		// The leader's own commit goes first, so its snapshot-time CAS
+		// keeps the classic meaning: when s == snapshot no commit has
+		// intervened and no batch member has been applied yet, so the
+		// read set is valid by construction and revalidation is skipped
+		// (exactly the classic path). An enqueued leader may have won
+		// the CAS at a later time and must revalidate.
+		if s != tx.snapshot {
+			tx.st.validations += uint64(len(tx.reads))
+			for _, r := range tx.reads {
+				if !tx.stillValid(r) {
+					selfOK = false
+					break
+				}
+			}
+		}
+		if selfOK {
+			for i := range tx.writes {
+				w := &tx.writes[i]
+				publishVersion(w.v, &box{val: w.val, wv: s + 2}, keep, &tx.st)
+			}
+			committed++
+		}
+		batch++
+	}
+	// Take the whole queue in one step; members pushed after this Swap
+	// wait for the next leader. Members are applied in pop order, each
+	// validated against the state that includes the batch writes already
+	// published, so intra-batch conflicts abort the later member.
+	drained := 0
+	for m := e.gcHead.Swap(nil); m != nil; {
+		next := m.gcNext // read before the signal: a signaled member may be pooled immediately
+		drained++
+		if m != tx { // an enqueued, undecided leader pops itself; it was applied above
+			batch++
+			if tx.applyMember(m, s, keep) {
+				committed++
+			}
+		}
+		m = next
+	}
+	if drained != 0 {
+		e.gcLen.Add(int32(-drained))
+	}
+	if batch > 1 {
+		e.stats.groupCommits.Add(1)
+		e.stats.groupCommitSize.Add(uint64(batch))
+		if tx.tr.rec != nil {
+			tx.tr.note(TraceGroupDrain, uint64(batch), uint64(committed))
+		}
+	}
+	// Clock-stamp delay, then the batch's single release. If nothing was
+	// published the acquisition is unwound to the old time instead of
+	// advancing it — readers see no spurious epoch change.
+	if f := e.faults; f != nil {
+		f.stallAt(FaultClockTick, &e.stats)
+	}
+	if committed > 0 {
+		e.seq.Store(s + 2)
+	} else {
+		e.seq.Store(s)
+	}
+	return selfOK
+}
+
+// applyMember resolves one drained follower under the held lock:
+// revalidate its read set against the current committed state, publish
+// its write set on success, and signal the outcome. The gcState store is
+// the release edge that makes the leader's writes into m.st (validation
+// and publish counters) visible to the follower's flush; after the
+// signal the member may wake, finish and be pooled, so m must not be
+// touched again.
+func (tx *norecTx) applyMember(m *norecTx, s uint64, keep int) bool {
+	m.st.validations += uint64(len(m.reads))
+	for _, r := range m.reads {
+		if !m.stillValid(r) {
+			m.gcState.Store(gcConflict)
+			return false
+		}
+	}
+	for i := range m.writes {
+		w := &m.writes[i]
+		publishVersion(w.v, &box{val: w.val, wv: s + 2}, keep, &m.st)
+	}
+	m.gcState.Store(gcCommitted)
+	return true
+}

@@ -29,6 +29,14 @@ type NOrecConfig struct {
 	// clamp. Only the snapshot read path consults older versions. See
 	// mvcc.go for the opacity argument and the space bound.
 	Versions int
+	// GroupCommit enables the combining-queue group commit: a committer
+	// that finds the sequence lock held enqueues its write set instead
+	// of spinning, and the lock holder drains the queue — revalidating
+	// each follower's read set once and publishing the whole batch —
+	// under its single acquisition. Default off: the classic commit path
+	// runs bit for bit unchanged. See groupcommit.go for the protocol
+	// and Stats.GroupCommits/GroupCommitSize for the yield.
+	GroupCommit bool
 	// TxDeadline bounds one Atomic call's wall-clock time across all
 	// attempts (0 = no deadline); see EngineOptions.TxDeadline.
 	TxDeadline time.Duration
@@ -64,9 +72,15 @@ type NOrecConfig struct {
 //     writers pay for every commit anywhere in the heap — even to Vars
 //     the traversal never touches. STMBench7's long traversals against
 //     short-operation background load exhibit exactly this trade-off.
-//   - Write commits are serialized by the single lock: disjoint-access
-//     writers do not scale. The benchmark's write-dominated workloads
-//     make the cost visible.
+//   - Write commits serialize behind the single lock: disjoint-access
+//     writers do not scale in the classic protocol, and the benchmark's
+//     write-dominated workloads make the cost visible. The GroupCommit
+//     knob softens exactly this point: committers that find the lock
+//     held hand their write sets to the holder through a combining
+//     queue, so one acquisition publishes a whole batch and validation
+//     is paid once per follower instead of once per failed CAS (see
+//     groupcommit.go; the serialization itself remains — commits still
+//     happen one batch at a time).
 //
 // NOrec sits outside the orec metadata axis by definition — "no ownership
 // records" is the design — so the Granularity/OrecStripes/ClockShards
@@ -86,6 +100,15 @@ type NOrec struct {
 	// write-back phase, even otherwise. An even value doubles as the
 	// snapshot time of every committed state.
 	seq atomic.Uint64
+	// grouped enables the combining-queue commit path (cfg.GroupCommit).
+	grouped bool
+	// gcHead is the combining queue: a Treiber stack of committers that
+	// found the sequence lock held, linked through their descriptors'
+	// gcNext fields (no allocation). The holder takes the whole stack
+	// with one Swap and publishes it as a batch; see groupcommit.go.
+	gcHead atomic.Pointer[norecTx]
+	// gcLen approximately bounds the queue (see groupCommitBound).
+	gcLen atomic.Int32
 	// gate is the serial-fallback token (nil unless SerialFallback).
 	gate *serialGate
 	// faults is the engine's private fault-plan snapshot (nil = none).
@@ -99,6 +122,7 @@ func init() {
 	RegisterTunable("norec", func(o EngineOptions) Engine {
 		return NewNOrecWith(NOrecConfig{
 			Versions:       o.Versions,
+			GroupCommit:    o.GroupCommit,
 			TxDeadline:     o.TxDeadline,
 			SerialFallback: o.SerialFallback,
 			Faults:         o.Faults,
@@ -110,7 +134,7 @@ func init() {
 // NewNOrecWith returns a NOrec engine with explicit configuration.
 func NewNOrecWith(cfg NOrecConfig) *NOrec {
 	cfg.Versions = normalizeVersions(cfg.Versions)
-	e := &NOrec{cfg: cfg}
+	e := &NOrec{cfg: cfg, grouped: cfg.GroupCommit}
 	if cfg.SerialFallback {
 		e.gate = &serialGate{}
 	}
@@ -226,6 +250,7 @@ func (e *NOrec) runSerial(tx *norecTx, fn func(tx Tx) error) error {
 func (e *NOrec) putTx(tx *norecTx) {
 	clear(tx.writes[:cap(tx.writes)])
 	clear(tx.reads[:cap(tx.reads)])
+	tx.gcNext = nil // a pooled descriptor must not pin its last batch's neighbor
 	e.txPool.put(tx)
 }
 
@@ -280,6 +305,13 @@ type norecTx struct {
 	writeIdx varIndex // *Var -> index into writes
 
 	tr traceTap // flight-recorder handle (tr.rec nil = tracing off)
+
+	// Group-commit linkage (groupcommit.go): gcNext threads the combining
+	// queue's Treiber stack through pooled descriptors, gcState is the
+	// follower's outcome word (written by the draining leader, read by the
+	// waiting follower). Untouched with GroupCommit off.
+	gcNext  *norecTx
+	gcState atomic.Uint32
 
 	serial   bool // attempt runs under the exclusive serial token (suppresses fault probes)
 	injected bool // last abort of this call was a FaultPlan forced abort
@@ -433,6 +465,11 @@ func (tx *norecTx) commit() bool {
 			throwInjectedFault()
 		}
 		f.stallAt(FaultPreCommit, &tx.eng.stats)
+	}
+	if tx.eng.grouped && !tx.serial {
+		// Combining-queue protocol: acquire-or-enqueue instead of the
+		// validate-and-retry CAS loop below. See groupcommit.go.
+		return tx.commitGrouped()
 	}
 	for !tx.eng.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
 		// Either a writer holds the lock or time moved on: validate

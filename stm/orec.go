@@ -122,7 +122,29 @@ type orecTable struct {
 	granularity Granularity
 	stripes     []orec // striped mode only; power-of-two length
 	mask        uint64
+	// groups are the lock-coalescing gate words, one per orecGroupSpan
+	// adjacent stripes (striped mode only). Bit k of groups[g] gates the
+	// commit lock of stripe g*orecGroupSpan+k: a coalescing TL2 engine
+	// acquires a sorted run of same-span stripes with ONE CAS on the
+	// group word (setting the run's bits together) instead of one CAS
+	// per orec, then marks each orec's meta lock bit with a plain store —
+	// safe because every committer of such an engine goes through the
+	// group word, so the bits are the committers' mutual exclusion and
+	// the meta bit is purely the reader-visible signal. Engines without
+	// coalescing never touch the array.
+	groups []padUint64
 }
+
+// orecGroupSpan is the number of adjacent stripes one group word guards;
+// orecGroupShift and orecGroupMask derive a stripe's word and bit.
+const (
+	orecGroupSpan  = 8
+	orecGroupShift = 3
+	orecGroupMask  = orecGroupSpan - 1
+)
+
+// orecGroupBit returns the gate bit for a stripe id within its group word.
+func orecGroupBit(id uint64) uint64 { return 1 << (id & orecGroupMask) }
 
 // normalizeStripes resolves a requested stripe count to the table size
 // actually built: defaulted, clamped, and rounded up to a power of two.
@@ -154,6 +176,10 @@ func (t *orecTable) configure(g Granularity, stripes int) error {
 		t.stripes[i].id = uint64(i)
 	}
 	t.mask = uint64(n - 1)
+	// Gate words are built unconditionally with the striped table (they
+	// cost 1/8 of the table itself) so LockCoalescing stays a pure engine
+	// knob: the engine decides per commit whether to use them.
+	t.groups = make([]padUint64, (n+orecGroupSpan-1)/orecGroupSpan)
 	return nil
 }
 
@@ -182,6 +208,10 @@ func orecHash(id uint64) uint64 {
 //   - ClockShards: TL2 (the only engine with a global version clock).
 //   - Versions: TL2 and NOrec (the engines with a snapshot timestamp an
 //     older version can be resolved against; see mvcc.go).
+//   - GroupCommit: NOrec (the only engine whose commits serialize behind
+//     one sequence lock and can therefore batch behind its holder).
+//   - LockCoalescing: TL2 under striped granularity (the only engine with
+//     commit-time per-orec locking over an adjacency-structured table).
 //   - TxDeadline / SerialFallback / Faults: TL2, NOrec and OSTM (every
 //     engine with a retry loop; direct executes once and has nothing to
 //     bound, escalate or inject into).
@@ -199,6 +229,19 @@ type EngineOptions struct {
 	// under write traffic (0 or 1 = single-version; clamped to 64). See
 	// mvcc.go for the opacity argument and the space bound.
 	Versions int
+	// GroupCommit enables NOrec's combining-queue group commit: a
+	// committer that finds the sequence lock held enqueues its write set
+	// instead of spinning, and the holder publishes the whole batch —
+	// revalidating each follower's read set once — under its single
+	// acquisition. Default off (bit-for-bit the classic commit path).
+	// Ignored by engines without a global commit lock. See groupcommit.go.
+	GroupCommit bool
+	// LockCoalescing makes TL2's commit lock sorted runs of adjacent
+	// striped-table orecs with one CAS per 8-stripe group word instead of
+	// one CAS per orec, falling back to per-orec gate bits on group
+	// contention. Default off. Ignored under object granularity and by
+	// engines without commit-time locking.
+	LockCoalescing bool
 	// TxDeadline bounds one Atomic call's total wall-clock time across
 	// all of its attempts (0 = no deadline). The deadline is checked
 	// between attempts — the attempt in flight always finishes — so an

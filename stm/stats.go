@@ -80,6 +80,22 @@ type Stats struct {
 	// conflicts forced. Deterministic for a given plan seed and probe-hit
 	// sequence; always 0 with no plan installed.
 	InjectedFaults uint64
+	// GroupCommits counts NOrec seqlock acquisitions that published more
+	// than one transaction: a lock holder drained at least one follower
+	// from the combining queue and committed the whole batch under its
+	// single acquisition. Always 0 with group commit off (the default)
+	// and on engines without a group-commit path. See stm/groupcommit.go.
+	GroupCommits uint64
+	// GroupCommitSize is the cumulative batch size (leader plus followers)
+	// over all group commits, so GroupCommitSize/GroupCommits is the mean
+	// batch. A batch of 1 (nobody was waiting) counts toward neither.
+	GroupCommitSize uint64
+	// CoalescedLocks counts TL2 write-set orec locks acquired as part of a
+	// coalesced span CAS: runs of adjacent striped-table orecs taken with
+	// one CAS on their shared group word instead of one CAS each. Always 0
+	// with lock coalescing off, under object granularity, and on engines
+	// without commit-time locking.
+	CoalescedLocks uint64
 	// ClockShards is the number of commit-clock shards (TL2: 1 for the
 	// classic global clock; 0 for engines without a commit clock). A
 	// snapshot property, not a counter: Delta carries the newer value.
@@ -132,6 +148,13 @@ type statCounters struct {
 	timeoutAborts   padUint64
 	serialFallbacks padUint64
 	injectedFaults  padUint64
+	// Commit-pipelining counters. Group-commit drains happen at most once
+	// per seqlock acquisition (well below per-attempt), so the leader bumps
+	// them directly; coalesced lock acquisition is per-commit frequency and
+	// batches through txStats like lockFailures does.
+	groupCommits    padUint64
+	groupCommitSize padUint64
+	coalescedLocks  padUint64
 }
 
 // txStats is the per-transaction accumulator for the high-frequency
@@ -149,6 +172,7 @@ type txStats struct {
 	versionReads   uint64
 	versionMisses  uint64
 	versionBytes   uint64
+	coalescedLocks uint64
 }
 
 // flushTx adds a transaction's locally accumulated counters to the shared
@@ -195,6 +219,10 @@ func (c *statCounters) flushTx(s *txStats) {
 		c.versionBytes.Add(s.versionBytes)
 		s.versionBytes = 0
 	}
+	if s.coalescedLocks != 0 {
+		c.coalescedLocks.Add(s.coalescedLocks)
+		s.coalescedLocks = 0
+	}
 }
 
 // snapshot returns the current totals. Each counter is loaded atomically,
@@ -225,6 +253,9 @@ func (c *statCounters) snapshot() Stats {
 		TimeoutAborts:    c.timeoutAborts.Load(),
 		SerialFallbacks:  c.serialFallbacks.Load(),
 		InjectedFaults:   c.injectedFaults.Load(),
+		GroupCommits:     c.groupCommits.Load(),
+		GroupCommitSize:  c.groupCommitSize.Load(),
+		CoalescedLocks:   c.coalescedLocks.Load(),
 	}
 }
 
@@ -292,6 +323,9 @@ func (s Stats) Add(o Stats) Stats {
 		TimeoutAborts:    s.TimeoutAborts + o.TimeoutAborts,
 		SerialFallbacks:  s.SerialFallbacks + o.SerialFallbacks,
 		InjectedFaults:   s.InjectedFaults + o.InjectedFaults,
+		GroupCommits:     s.GroupCommits + o.GroupCommits,
+		GroupCommitSize:  s.GroupCommitSize + o.GroupCommitSize,
+		CoalescedLocks:   s.CoalescedLocks + o.CoalescedLocks,
 		ClockShards:      s.ClockShards,
 		ClockShardSpread: s.ClockShardSpread,
 	}
@@ -343,6 +377,14 @@ func (s Stats) Lines() []string {
 	if s.SerialFallbacks > 0 {
 		lines = append(lines, fmt.Sprintf("serial fallback: %d escalations", s.SerialFallbacks))
 	}
+	if s.GroupCommits > 0 || s.CoalescedLocks > 0 {
+		avg := 0.0
+		if s.GroupCommits > 0 {
+			avg = float64(s.GroupCommitSize) / float64(s.GroupCommits)
+		}
+		lines = append(lines, fmt.Sprintf("commit pipeline: %d group commits (avg batch %.1f), %d coalesced locks",
+			s.GroupCommits, avg, s.CoalescedLocks))
+	}
 	return lines
 }
 
@@ -371,6 +413,9 @@ func (s Stats) Delta(prev Stats) Stats {
 		TimeoutAborts:    s.TimeoutAborts - prev.TimeoutAborts,
 		SerialFallbacks:  s.SerialFallbacks - prev.SerialFallbacks,
 		InjectedFaults:   s.InjectedFaults - prev.InjectedFaults,
+		GroupCommits:     s.GroupCommits - prev.GroupCommits,
+		GroupCommitSize:  s.GroupCommitSize - prev.GroupCommitSize,
+		CoalescedLocks:   s.CoalescedLocks - prev.CoalescedLocks,
 		// Snapshot properties, not counters: the newer snapshot's view.
 		ClockShards:      s.ClockShards,
 		ClockShardSpread: s.ClockShardSpread,

@@ -74,6 +74,27 @@ var txEngineMakers = map[string]func() Engine{
 	"tl2-striped-mv8": func() Engine {
 		return NewTL2With(TL2Config{Granularity: StripedGranularity, OrecStripes: 16, Versions: 8})
 	},
+
+	// Commit-pipelining variants (see groupcommit.go and the coalescing
+	// path in tl2.go). The group-commit entries push every batch-protocol
+	// interleaving through the full semantics/stress/property battery;
+	// the coalescing entries reuse the tiny 16-stripe table so sorted
+	// write sets constantly form multi-orec runs inside one group word
+	// AND contend on it (the per-bit fallback path gets hammered too).
+	"norec-group":     func() Engine { return NewNOrecWith(NOrecConfig{GroupCommit: true}) },
+	"norec-group-mv2": func() Engine { return NewNOrecWith(NOrecConfig{GroupCommit: true, Versions: 2}) },
+	"norec-group-refvalidate": func() Engine {
+		return NewNOrecWith(NOrecConfig{GroupCommit: true, ReferenceValidation: true})
+	},
+	"tl2-striped-coalesce": func() Engine {
+		return NewTL2With(TL2Config{Granularity: StripedGranularity, OrecStripes: 16, LockCoalescing: true})
+	},
+	"tl2-striped-coalesce-mv2": func() Engine {
+		return NewTL2With(TL2Config{Granularity: StripedGranularity, OrecStripes: 16, LockCoalescing: true, Versions: 2})
+	},
+	"tl2-striped-coalesce-extend": func() Engine {
+		return NewTL2With(TL2Config{Granularity: StripedGranularity, OrecStripes: 16, LockCoalescing: true, TimestampExtension: true})
+	},
 }
 
 // init adds every registered engine (except the non-transactional direct

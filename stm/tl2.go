@@ -50,6 +50,15 @@ type TL2Config struct {
 	// validating Atomic path is unchanged. See mvcc.go for the opacity
 	// argument and the space bound.
 	Versions int
+	// LockCoalescing acquires and releases sorted runs of adjacent
+	// striped-table orecs with one CAS per 8-stripe group word instead of
+	// one CAS per orec (Stats.CoalescedLocks counts the locks acquired
+	// that way), falling back to per-orec gate bits when the group word
+	// is contended. Commit-lock mutual exclusion moves to the table's
+	// gate words; the orec meta lock bit stays the reader-visible signal,
+	// so the read path is unchanged. Ignored under object granularity
+	// (there is no adjacency to exploit without the striped table).
+	LockCoalescing bool
 	// TxDeadline bounds one Atomic call's wall-clock time across all
 	// attempts (0 = no deadline); see EngineOptions.TxDeadline.
 	TxDeadline time.Duration
@@ -81,6 +90,9 @@ type TL2 struct {
 	txPool   txPool[tl2Tx]
 	snapPool txPool[tl2SnapTx] // read-only snapshot descriptors (RunReadOnly)
 	striped  bool
+	// coalesce routes commit-time locking through the striped table's
+	// group gate words (LockCoalescing under striped granularity).
+	coalesce bool
 	// clock is the global version clock (optionally sharded; see
 	// clock.go). It advances by 2 so that version numbers are always
 	// even; bit 0 of an orec's meta word is its lock bit.
@@ -103,6 +115,7 @@ func init() {
 			OrecStripes:    o.OrecStripes,
 			ClockShards:    o.ClockShards,
 			Versions:       o.Versions,
+			LockCoalescing: o.LockCoalescing,
 			TxDeadline:     o.TxDeadline,
 			SerialFallback: o.SerialFallback,
 			Faults:         o.Faults,
@@ -121,6 +134,7 @@ func NewTL2With(cfg TL2Config) *TL2 {
 	}
 	cfg.Versions = normalizeVersions(cfg.Versions)
 	e := &TL2{cfg: cfg, striped: cfg.Granularity == StripedGranularity}
+	e.coalesce = cfg.LockCoalescing && e.striped
 	if err := e.space.ConfigureOrecs(cfg.Granularity, cfg.OrecStripes); err != nil {
 		panic(err) // unreachable: the space is brand new and the size is clamped
 	}
@@ -415,13 +429,188 @@ func (tx *tl2Tx) Update(v *Var, f func(val any) any) {
 
 // releaseLocks restores the saved meta of the first `entries` write-set
 // entries' orecs, undoing a failed commit's lock acquisitions (same-orec
-// duplicates carry dupMeta and are skipped).
+// duplicates carry dupMeta and are skipped). Under lock coalescing the
+// gate bit in the table's group word is cleared after the meta restore —
+// per orec here, since this is the rare failure path; the success path
+// coalesces its gate clears per group word (see unlockWrites).
 func (tx *tl2Tx) releaseLocks(entries int) {
+	coalesce := tx.eng.coalesce
+	groups := tx.eng.space.orecs.groups
 	for i := 0; i < entries; i++ {
 		if tx.lockedMeta[i] == dupMeta {
 			continue
 		}
-		tx.writes[i].v.orc.meta.Store(tx.lockedMeta[i])
+		o := tx.writes[i].v.orc
+		o.meta.Store(tx.lockedMeta[i])
+		if coalesce {
+			groups[o.id>>orecGroupShift].And(^orecGroupBit(o.id))
+		}
+	}
+}
+
+// lockWriteSetCoalesced acquires the sorted write set's orec locks through
+// the striped table's group gate words: each run of adjacent same-group
+// orecs is claimed with ONE CAS setting the run's bits in the shared word,
+// then each orec's meta lock bit is marked with a plain store — legal
+// because under coalescing every committer of this engine serializes on
+// the gate bits, making the meta bit a reader-only signal that is always
+// even once the gate is owned. A contended multi-bit CAS falls back to
+// claiming that run's bits one orec at a time, so an overlapping commit to
+// a different stripe of the same word delays rather than kills the run.
+// Returns false (with everything already released) when a gate bit stays
+// contended past the CommitLockSpins bound.
+func (tx *tl2Tx) lockWriteSetCoalesced() bool {
+	groups := tx.eng.space.orecs.groups
+	spinBound := tx.eng.cfg.CommitLockSpins
+	i := 0
+	for i < len(tx.writes) {
+		o := tx.writes[i].v.orc
+		if i > 0 && tx.writes[i-1].v.orc == o {
+			tx.lockedMeta[i] = dupMeta
+			i++
+			continue
+		}
+		// Collect the run: distinct orecs (dups ride along) sharing o's
+		// group word. The write set is sorted by orec id, so same-group
+		// stripes are adjacent.
+		g := o.id >> orecGroupShift
+		mask := orecGroupBit(o.id)
+		run := 1
+		j := i + 1
+		for j < len(tx.writes) {
+			oj := tx.writes[j].v.orc
+			if oj == tx.writes[j-1].v.orc {
+				j++ // duplicate of the previous entry; marked below
+				continue
+			}
+			if oj.id>>orecGroupShift != g {
+				break
+			}
+			mask |= orecGroupBit(oj.id)
+			run++
+			j++
+		}
+		// One CAS for the whole run; on contention, per-orec gate bits.
+		word := &groups[g]
+		spins := 0
+		coalesced := false
+		for {
+			old := word.Load()
+			if old&mask == 0 {
+				if word.CompareAndSwap(old, old|mask) {
+					coalesced = run > 1
+					break
+				}
+				continue // raced another committer; retry, no spin charged
+			}
+			if run > 1 {
+				// Group contention: fall back to claiming this run's
+				// bits one orec at a time so the free stripes make
+				// progress while the busy one is waited out.
+				if !tx.lockRunPerOrec(word, i, j, spinBound) {
+					return false
+				}
+				break
+			}
+			spins++
+			if spins > spinBound {
+				tx.releaseLocks(i)
+				return false
+			}
+			spinHint()
+		}
+		// Gate bits held for [i, j): record pre-lock metas and raise the
+		// reader-visible lock bits. The metas are even by the gate-word
+		// invariant (a locked meta implies a set gate bit).
+		for k := i; k < j; k++ {
+			v := tx.writes[k].v
+			ok := v.orc
+			if k > i && tx.writes[k-1].v.orc == ok {
+				tx.lockedMeta[k] = dupMeta
+				continue
+			}
+			m := ok.meta.Load()
+			tx.lockedMeta[k] = m
+			ok.meta.Store(m | 1)
+			ok.lastWriter.Store(v.id)
+		}
+		if coalesced {
+			tx.st.coalescedLocks += uint64(run)
+		}
+		i = j
+	}
+	return true
+}
+
+// lockRunPerOrec is lockWriteSetCoalesced's contention fallback: claim the
+// gate bits of the distinct orecs in write-set entries [i, j) one at a
+// time. On spin exhaustion it clears the bits it took, restores the fully
+// acquired prefix via releaseLocks(i), and reports failure.
+func (tx *tl2Tx) lockRunPerOrec(word *padUint64, i, j, spinBound int) bool {
+	var held uint64
+	for k := i; k < j; k++ {
+		o := tx.writes[k].v.orc
+		if k > i && tx.writes[k-1].v.orc == o {
+			continue
+		}
+		bit := orecGroupBit(o.id)
+		spins := 0
+		for {
+			old := word.Load()
+			if old&bit == 0 {
+				if word.CompareAndSwap(old, old|bit) {
+					held |= bit
+					break
+				}
+				continue
+			}
+			spins++
+			if spins > spinBound {
+				if held != 0 {
+					word.And(^held)
+				}
+				tx.releaseLocks(i)
+				return false
+			}
+			spinHint()
+		}
+	}
+	return true
+}
+
+// unlockWrites publishes wv to every locked orec's meta and, under lock
+// coalescing, clears the gate bits — one atomic And per group word, the
+// release-side mirror of the coalesced acquire.
+func (tx *tl2Tx) unlockWrites(wv uint64) {
+	if !tx.eng.coalesce {
+		for i := range tx.writes {
+			if tx.lockedMeta[i] == dupMeta {
+				continue
+			}
+			tx.writes[i].v.orc.meta.Store(wv)
+		}
+		return
+	}
+	groups := tx.eng.space.orecs.groups
+	curG := ^uint64(0)
+	var mask uint64
+	for i := range tx.writes {
+		if tx.lockedMeta[i] == dupMeta {
+			continue
+		}
+		o := tx.writes[i].v.orc
+		o.meta.Store(wv)
+		g := o.id >> orecGroupShift
+		if g != curG {
+			if mask != 0 {
+				groups[curG].And(^mask)
+			}
+			curG, mask = g, 0
+		}
+		mask |= orecGroupBit(o.id)
+	}
+	if mask != 0 {
+		groups[curG].And(^mask)
 	}
 }
 
@@ -482,30 +671,37 @@ func (tx *tl2Tx) commit() bool {
 		tx.lockedMeta = make([]uint64, len(tx.writes))
 	}
 	tx.lockedMeta = tx.lockedMeta[:len(tx.writes)]
-	for i := range tx.writes {
-		v := tx.writes[i].v
-		o := v.orc
-		if i > 0 && tx.writes[i-1].v.orc == o {
-			tx.lockedMeta[i] = dupMeta
-			continue
+	if tx.eng.coalesce {
+		if !tx.lockWriteSetCoalesced() {
+			tx.st.lockFailures++
+			return false
 		}
-		spins := 0
-		for {
-			m := o.meta.Load()
-			if m&1 == 0 && o.meta.CompareAndSwap(m, m|1) {
-				tx.lockedMeta[i] = m
-				if tx.eng.striped {
-					o.lastWriter.Store(v.id)
+	} else {
+		for i := range tx.writes {
+			v := tx.writes[i].v
+			o := v.orc
+			if i > 0 && tx.writes[i-1].v.orc == o {
+				tx.lockedMeta[i] = dupMeta
+				continue
+			}
+			spins := 0
+			for {
+				m := o.meta.Load()
+				if m&1 == 0 && o.meta.CompareAndSwap(m, m|1) {
+					tx.lockedMeta[i] = m
+					if tx.eng.striped {
+						o.lastWriter.Store(v.id)
+					}
+					break
 				}
-				break
+				spins++
+				if spins > tx.eng.cfg.CommitLockSpins {
+					tx.releaseLocks(i)
+					tx.st.lockFailures++
+					return false
+				}
+				spinHint()
 			}
-			spins++
-			if spins > tx.eng.cfg.CommitLockSpins {
-				tx.releaseLocks(i)
-				tx.st.lockFailures++
-				return false
-			}
-			spinHint()
 		}
 	}
 
@@ -585,12 +781,7 @@ func (tx *tl2Tx) commit() bool {
 	if f := tx.eng.faults; f != nil && !tx.serial {
 		f.stallAt(FaultLockHold, &tx.eng.stats)
 	}
-	for i := range tx.writes {
-		if tx.lockedMeta[i] == dupMeta {
-			continue
-		}
-		tx.writes[i].v.orc.meta.Store(wv)
-	}
+	tx.unlockWrites(wv)
 	return true
 }
 
