@@ -73,6 +73,18 @@
 // experiments accept -group-commit/-coalesce to run under the pipelined
 // commit protocol.
 //
+// The adaptive experiment pits the PR 10 self-tuning runtime against
+// every pinned engine on the two scenarios whose best configuration is
+// not knowable up front: hotspot-migration (the contention pattern walks
+// across the structure mid-run) and chaos-storm (fault injection plus
+// deadline pressure). Every pinned STM engine runs each scenario as the
+// baseline grid; then the adaptive runtime runs it once per start engine,
+// reconfiguring mid-run via quiesce-and-swap as the controller's policy
+// rules fire. Points carry the reconfiguration count, quiesce stalls and
+// the decision timeline; the verdict line compares each adaptive row
+// against the best pinned row under the documented switch-cost budget.
+// Checked in as BENCH_pr10.json.
+//
 // The scenarios experiment sweeps the built-in multi-phase scenario
 // library (steady, ramp-up, spike, read-burst-write-storm,
 // hotspot-migration, engine-sweep; the CI smoke scenario is skipped)
@@ -222,6 +234,16 @@ type jsonPoint struct {
 	GroupCommits    uint64 `json:"group_commits,omitempty"`
 	GroupCommitSize uint64 `json:"group_commit_size,omitempty"`
 	CoalescedLocks  uint64 `json:"coalesced_locks,omitempty"`
+	// Adaptive-sweep fields: whether the self-tuning runtime drove the
+	// point ("on" rows start on Variant's engine and may reconfigure
+	// mid-run; "off" rows are the pinned baselines), how many
+	// quiesce-and-swap reconfigurations the controller committed, how many
+	// drains hit the hard deadline, and the decision timeline itself.
+	Adaptive         string   `json:"adaptive,omitempty"`
+	Reconfigurations uint64   `json:"reconfigurations,omitempty"`
+	ReconfigStalls   uint64   `json:"reconfig_stalls,omitempty"`
+	Decisions        []string `json:"decisions,omitempty"`
+	VsBestPinnedPct  *float64 `json:"vs_best_pinned_pct,omitempty"`
 	// Telemetry-sweep fields: the sampler cadence a point ran under, the
 	// per-interval time series it produced (throughput, abort and
 	// false-conflict percentages, snapshot restarts, shed rate per
@@ -290,7 +312,7 @@ func i64ptr(v int64) *int64     { return &v }
 func f64ptr(v float64) *float64 { return &v }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, table3, fig6, headline, ablations, overhead, scenarios, orecs, snapshot, mvcc, chaos, telemetry, commit or all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, table3, fig6, headline, ablations, overhead, scenarios, orecs, snapshot, mvcc, chaos, telemetry, commit, adaptive or all")
 	size := flag.String("size", "small", "structure size: tiny, small or medium (paper scale)")
 	seconds := flag.Float64("seconds", 1.0, "measurement duration per data point, in seconds")
 	threadsFlag := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
@@ -353,7 +375,7 @@ func main() {
 			Granularity: cfg.granularity.String(), OrecStripes: cfg.orecStripes, ClockShards: cfg.clockShards,
 			Versions: cfg.versions, ROSnapshot: *roSnapshot,
 			GroupCommit: onOff(cfg.groupCommit), Coalescing: onOff(cfg.coalesce),
-			GoVersion:  runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+			GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 			NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
 			Engines: stm.Registered(), Strategies: sync7.Strategies(),
 		}
@@ -388,8 +410,9 @@ func main() {
 		"chaos":     chaosSweep,
 		"telemetry": telemetrySweep,
 		"commit":    commitSweep,
+		"adaptive":  adaptiveSweep,
 	}
-	order := []string{"fig3", "fig4", "table3", "fig6", "headline", "ablations", "overhead", "scenarios", "orecs", "snapshot", "mvcc", "chaos", "telemetry", "commit"}
+	order := []string{"fig3", "fig4", "table3", "fig6", "headline", "ablations", "overhead", "scenarios", "orecs", "snapshot", "mvcc", "chaos", "telemetry", "commit", "adaptive"}
 	if *exp == "all" {
 		for _, name := range order {
 			curExp = name
@@ -1798,6 +1821,192 @@ func telemetrySweep(cfg config) {
 			fmt.Printf("  tl2 time series (%v cadence)\n", interval)
 			harness.WriteSeries(os.Stdout, "    ", res.Series)
 			fmt.Println()
+		}
+	}
+	fmt.Println()
+}
+
+// adaptiveSwitchBudget is the documented switch cost the self-tuning
+// runtime is allowed to pay relative to the best pinned engine: quiesce
+// drains, state transfer and the intervals spent on the wrong engine
+// before the controller's rules fire. An adaptive row "recovers" a
+// scenario when its aggregate throughput is at least the best pinned
+// row's times (1 - budget).
+const adaptiveSwitchBudget = 0.10
+
+// adaptiveSweepReps is how many times each sweep row runs; the reported
+// row is the best repetition (see runOne in adaptiveSweep for why max,
+// not mean, on a timeshared single-CPU container).
+const adaptiveSweepReps = 3
+
+// adaptiveSweep measures the PR-10 self-tuning runtime on the two
+// scenarios whose best configuration shifts mid-run:
+//
+//   - hotspot-migration: the zipf hotspot walks across the id space
+//     phase by phase, so the conflict profile (and with it the best
+//     engine/granularity choice) moves under the runtime's feet.
+//   - chaos-storm: the chaos fault plan plus a 25ms deadline — the
+//     deadline-pressure and conflict-storm rules' home turf.
+//
+// Each scenario first runs pinned on every STM engine (the baseline
+// grid), then adaptively once per start engine. Adaptive rows record the
+// reconfiguration count, quiesce stalls and the controller's decision
+// timeline; the verdict line holds each adaptive row against the best
+// pinned row minus the switch-cost budget.
+func adaptiveSweep(cfg config) {
+	scenarios := []string{"hotspot-migration", "chaos-storm"}
+	threads := 4
+	if n := len(cfg.threads); n > 0 {
+		threads = cfg.threads[n-1]
+	}
+	fmt.Printf("=== Adaptive sweep: self-tuning runtime vs pinned engines ===\n")
+	fmt.Printf("    (phase durations x%g via -seconds; %d workers; switch-cost budget %.0f%%;\n",
+		cfg.seconds, threads, 100*adaptiveSwitchBudget)
+	fmt.Printf("     ops/s is the scenario aggregate: total succeeded ops / scenario wall time)\n")
+
+	runRep := func(sc *scenario.Scenario, strat string, adaptive bool) (float64, stm.Stats, []string) {
+		rep, err := scenario.Run(sc, scenario.RunOptions{
+			Params:         cfg.params,
+			Strategy:       strat,
+			Seed:           cfg.seed,
+			Threads:        threads,
+			TimeScale:      cfg.seconds,
+			Granularity:    cfg.granularity,
+			OrecStripes:    cfg.orecStripes,
+			ClockShards:    cfg.clockShards,
+			Versions:       cfg.versions,
+			GroupCommit:    cfg.groupCommit,
+			LockCoalescing: cfg.coalesce,
+			Adaptive:       adaptive,
+			OnEngine:       repointTelemetry,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		var total stm.Stats
+		var succeeded int64
+		var decisions []string
+		for i := len(rep.Phases) - 1; i >= 0; i-- {
+			total = total.Add(rep.Phases[i].Result.EngineStats)
+			succeeded += rep.Phases[i].Result.TotalSucceeded()
+		}
+		for _, pr := range rep.Phases {
+			for _, d := range pr.Result.Reconfigs {
+				decisions = append(decisions, fmt.Sprintf("%s: %s", pr.Phase.Name, d))
+			}
+		}
+		opsPerSec := 0.0
+		if rep.Elapsed > 0 {
+			opsPerSec = float64(succeeded) / rep.Elapsed.Seconds()
+		}
+		return opsPerSec, total, decisions
+	}
+	// Each row is the best of adaptiveSweepReps repetitions. Phases here
+	// are a few hundred milliseconds on a timeshared single-CPU container,
+	// so a single repetition carries ±15-20% interference noise — and the
+	// noise is one-sided (interference only slows a run down), so the max
+	// is the capacity estimate. Pinned and adaptive rows get identical
+	// treatment, and a forced GC between repetitions keeps heap carried
+	// over from earlier rows in the same process from biasing later ones.
+	runOne := func(sc *scenario.Scenario, strat string, adaptive bool) (float64, stm.Stats, []string) {
+		var bestOps float64
+		var bestStats stm.Stats
+		var bestDec []string
+		for rep := 0; rep < adaptiveSweepReps; rep++ {
+			runtime.GC()
+			ops, es, dec := runRep(sc, strat, adaptive)
+			if ops > bestOps {
+				bestOps, bestStats, bestDec = ops, es, dec
+			}
+		}
+		return bestOps, bestStats, bestDec
+	}
+	onOff := func(b bool) string {
+		if b {
+			return "on"
+		}
+		return "off"
+	}
+
+	for _, name := range scenarios {
+		sc, ok := scenario.Builtin(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown scenario %q\n", name)
+			os.Exit(1)
+		}
+		fmt.Printf("\n  scenario %q — %s\n", sc.Name, sc.Description)
+		fmt.Printf("  %-16s %-9s %10s %8s %9s %8s\n",
+			"engine", "adaptive", "ops/s", "abort%", "reconfigs", "stalls")
+
+		type row struct {
+			strat     string
+			adaptive  bool
+			opsPerSec float64
+			stats     stm.Stats
+			decisions []string
+		}
+		var rows []row
+		bestPinned := 0.0
+		for _, strat := range sync7.STMStrategies() {
+			ops, es, _ := runOne(sc, strat, false)
+			rows = append(rows, row{strat, false, ops, es, nil})
+			if ops > bestPinned {
+				bestPinned = ops
+			}
+		}
+		for _, strat := range sync7.STMStrategies() {
+			ops, es, dec := runOne(sc, strat, true)
+			rows = append(rows, row{strat, true, ops, es, dec})
+		}
+		for _, r := range rows {
+			label := r.strat
+			if r.adaptive {
+				label = "adaptive(" + r.strat + ")"
+			}
+			fmt.Printf("  %-16s %-9s %10.0f %8.1f %9d %8d\n",
+				label, onOff(r.adaptive), r.opsPerSec, 100*r.stats.AbortRate(),
+				r.stats.Reconfigurations, r.stats.ReconfigStalls)
+			pt := jsonPoint{
+				Variant:          label,
+				Scenario:         sc.Name,
+				Threads:          threads,
+				OpsPerSec:        r.opsPerSec,
+				AbortPct:         f64ptr(100 * r.stats.AbortRate()),
+				Commits:          r.stats.Commits,
+				Aborts:           r.stats.ConflictAborts,
+				TimeoutAborts:    r.stats.TimeoutAborts,
+				Adaptive:         onOff(r.adaptive),
+				Reconfigurations: r.stats.Reconfigurations,
+				ReconfigStalls:   r.stats.ReconfigStalls,
+				Decisions:        r.decisions,
+			}
+			if r.adaptive && bestPinned > 0 {
+				pt.VsBestPinnedPct = f64ptr(100 * r.opsPerSec / bestPinned)
+			}
+			record(pt)
+		}
+		for _, r := range rows {
+			if len(r.decisions) == 0 {
+				continue
+			}
+			fmt.Printf("\n  decisions, adaptive(%s):\n", r.strat)
+			for _, d := range r.decisions {
+				fmt.Printf("    %s\n", d)
+			}
+		}
+		floor := bestPinned * (1 - adaptiveSwitchBudget)
+		fmt.Printf("\n  verdict: best pinned %.0f ops/s, floor %.0f ops/s (budget %.0f%%)\n",
+			bestPinned, floor, 100*adaptiveSwitchBudget)
+		for _, r := range rows {
+			if !r.adaptive {
+				continue
+			}
+			verdict := "RECOVERED"
+			if r.opsPerSec < floor {
+				verdict = "BELOW FLOOR"
+			}
+			fmt.Printf("    adaptive(%s) %.0f ops/s — %s\n", r.strat, r.opsPerSec, verdict)
 		}
 	}
 	fmt.Println()

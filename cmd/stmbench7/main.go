@@ -52,6 +52,12 @@
 //	                          runs of adjacent striped-table orecs with one
 //	                          CAS per 64-bit group word (tl2 under
 //	                          -granularity striped only)
+//	-adaptive                 adaptive self-tuning runtime: start on the -g
+//	                          engine, watch the live abort/conflict profile
+//	                          and reconfigure (engine, granularity, versions,
+//	                          group commit) mid-run via quiesce-and-swap;
+//	                          decisions are listed in the report (stm
+//	                          strategies only)
 //	-arrival-rate R           drive the run open-loop at R Poisson arrivals/s
 //	                          (total) instead of the closed loop; response
 //	                          time is measured from the scheduled arrival,
@@ -87,8 +93,8 @@
 //	                      default thread count for phases that don't set
 //	                      their own, and -l/-w/--no-* are ignored
 //	                      (-deadline/-serial-fallback/-fault-plan and
-//	                      -group-commit/-coalesce become run defaults a
-//	                      scenario may override; overload-shedding and
+//	                      -group-commit/-coalesce/-adaptive become run
+//	                      defaults a scenario may override; overload-shedding and
 //	                      affinity knobs are per-phase in the scenario file)
 //	-scenario-scale F     multiply every phase duration by F (default 1)
 //	-list-scenarios       print the built-in scenario library and exit
@@ -159,6 +165,7 @@ func run(args []string) error {
 	faultPlanFlag := fs.String("fault-plan", "", `deterministic fault-injection plan, e.g. "seed=7,precommit:1/40:80us,abort:1/24"`)
 	groupCommit := fs.Bool("group-commit", false, "NOrec combining-queue group commit (norec only)")
 	coalesce := fs.Bool("coalesce", false, "TL2 commit-time lock coalescing (tl2 under striped granularity only)")
+	adaptive := fs.Bool("adaptive", false, "adaptive self-tuning runtime: live engine reconfiguration via quiesce-and-swap (stm strategies only)")
 	arrivalRate := fs.Float64("arrival-rate", 0, "open-loop Poisson arrival rate in ops/s, total (0 = closed loop)")
 	affinity := fs.Bool("affinity", false, "affinity-aware open-loop scheduling (requires -arrival-rate)")
 	check := fs.Bool("check", false, "check structural invariants after the run")
@@ -301,6 +308,7 @@ func run(args []string) error {
 			FaultPlan:                faultPlan,
 			GroupCommit:              *groupCommit,
 			LockCoalescing:           *coalesce,
+			Adaptive:                 *adaptive,
 			Trace:                    rec,
 			SampleInterval:           *sample,
 			OnEngine:                 func(eng stm.Engine) { reg.SetStats(eng.Stats) },
@@ -351,6 +359,7 @@ func run(args []string) error {
 		FaultPlan:                faultPlan,
 		GroupCommit:              *groupCommit,
 		LockCoalescing:           *coalesce,
+		Adaptive:                 *adaptive,
 		OpenLoop:                 *arrivalRate > 0,
 		ArrivalRate:              *arrivalRate,
 		Affinity:                 *affinity,

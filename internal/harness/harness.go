@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/ops"
 	"repro/internal/rng"
@@ -82,6 +83,14 @@ type Options struct {
 	// time (-coalesce). Ignored under object granularity and by every
 	// other strategy.
 	LockCoalescing bool
+	// Adaptive (-adaptive) wraps the engine in the stm.Adaptive
+	// reconfigurable runtime and runs the internal/adapt closed-loop
+	// controller alongside the benchmark: Strategy picks the INITIAL
+	// engine, and the controller may swap engine and knobs live
+	// (quiesce-and-swap) when the observed Stats deltas cross its policy
+	// thresholds. The decision timeline lands in Result.Reconfigs.
+	// Requires an STM strategy.
+	Adaptive bool
 	// DisableROSnapshot turns off the read-only snapshot fast path
 	// (-ro-snapshot=off): read-only operations then run through the
 	// engine's plain Atomic path, restoring the pre-snapshot behavior.
@@ -285,6 +294,10 @@ type Result struct {
 	// point per interval with throughput, abort rate, snapshot restarts
 	// and shed rate over that interval.
 	Series []telemetry.SamplePoint
+	// Reconfigs is the adaptive controller's decision timeline for this
+	// run (nil unless Options.Adaptive): every switch, stalled switch and
+	// guardrail pin, in firing order.
+	Reconfigs []adapt.Decision
 }
 
 // liveProgress publishes in-flight driver progress for the telemetry
@@ -369,6 +382,7 @@ func Setup(o Options) (sync7.Executor, *core.Structure, error) {
 		SerialFallback:           o.SerialFallback,
 		FaultPlan:                o.FaultPlan,
 		Trace:                    o.Trace,
+		Adaptive:                 o.Adaptive,
 		DisableROSnapshot:        o.DisableROSnapshot,
 	})
 	if err != nil {
@@ -418,6 +432,20 @@ func RunOn(o Options, ex sync7.Executor, s *core.Structure) (*Result, error) {
 			live.ops.Load, live.sheds.Load)
 		sampler.Start()
 	}
+	// The adaptive control loop runs for the duration of the drive, fed
+	// by the same delta-over-baseline view the sampler gets. The
+	// controller starts from the runtime's CURRENT configuration — in a
+	// multi-phase scenario a later phase inherits whatever the previous
+	// phase's controller switched to.
+	var adriver *adapt.Driver
+	if o.Adaptive {
+		if ae, ok := ex.Engine().(*stm.Adaptive); ok {
+			name, opts := ae.Current()
+			opts.Faults, opts.Trace = nil, nil
+			ctrl := adapt.NewController(adapt.Setting{Engine: name, Options: opts}, adapt.DefaultConfig())
+			adriver = adapt.Start(ae, ctrl, adapt.DefaultInterval)
+		}
+	}
 	var res *Result
 	var err error
 	switch {
@@ -427,6 +455,12 @@ func RunOn(o Options, ex sync7.Executor, s *core.Structure) (*Result, error) {
 		res, err = runOpenLoop(o, ex, s, live)
 	default:
 		res, err = runClosedLoop(o, ex, s, live)
+	}
+	if adriver != nil {
+		decisions := adriver.Stop()
+		if res != nil {
+			res.Reconfigs = decisions
+		}
 	}
 	if sampler != nil {
 		series := sampler.Stop()

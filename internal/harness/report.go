@@ -151,6 +151,13 @@ func WriteReport(w io.Writer, r *Result) {
 		if o.FaultPlan != nil {
 			fmt.Fprintf(w, "  fault injection: plan %q, %d faults fired\n", o.FaultPlan.String(), es.InjectedFaults)
 		}
+		if o.Adaptive {
+			fmt.Fprintf(w, "  adaptive: on, %d reconfigurations, %d quiesce stalls\n",
+				es.Reconfigurations, es.ReconfigStalls)
+			for _, d := range r.Reconfigs {
+				fmt.Fprintf(w, "    %s\n", d)
+			}
+		}
 	}
 
 	if len(r.Series) > 0 {
@@ -197,8 +204,8 @@ func KnobAxes(o Options) string {
 		}
 		return "off"
 	}
-	return fmt.Sprintf("granularity %v, orec stripes %s, clock shards %d, versions %d, group commit %s, coalescing %s",
-		o.Granularity, stripes, shards, versions, onOff(o.GroupCommit), onOff(o.LockCoalescing))
+	return fmt.Sprintf("granularity %v, orec stripes %s, clock shards %d, versions %d, group commit %s, coalescing %s, adaptive %s",
+		o.Granularity, stripes, shards, versions, onOff(o.GroupCommit), onOff(o.LockCoalescing), onOff(o.Adaptive))
 }
 
 // safeRate divides two counters, returning 0 for an empty denominator.

@@ -32,13 +32,14 @@ import (
 // "structure-modification") or the short aliases lt, st, op, sm.
 // Engine knobs (granularity, orec_stripes, clock_shards, versions,
 // ro_snapshot, tx_deadline, serial_fallback, fault_plan, group_commit,
-// coalescing) are top-level, not per phase: the orec table, commit
-// clock, read-only snapshot dispatch, robustness configuration and
-// commit protocol are built into the executor before the first phase
-// runs, so they are a property of the whole scenario. Unset values
-// inherit the run's (CLI) settings; ro_snapshot, serial_fallback,
-// group_commit and coalescing take "on" or "off", tx_deadline a Go
-// duration, fault_plan the stm.ParseFaultPlan syntax:
+// coalescing, adaptive) are top-level, not per phase: the orec table,
+// commit clock, read-only snapshot dispatch, robustness configuration,
+// commit protocol and adaptive-runtime wrapper are built into the
+// executor before the first phase runs, so they are a property of the
+// whole scenario. Unset values inherit the run's (CLI) settings;
+// ro_snapshot, serial_fallback, group_commit, coalescing and adaptive
+// take "on" or "off", tx_deadline a Go duration, fault_plan the
+// stm.ParseFaultPlan syntax:
 //
 //	{"name": "hot", "granularity": "striped", "orec_stripes": 256,
 //	 "clock_shards": 4, "ro_snapshot": "off", "tx_deadline": "25ms",
@@ -66,10 +67,13 @@ type fileScenario struct {
 	FaultPlan      string `json:"fault_plan,omitempty"`
 	// Commit-pipelining knobs, run-level like the metadata axes: both take
 	// "on"/"off" ("" inherits the run).
-	GroupCommit string      `json:"group_commit,omitempty"`
-	Coalescing  string      `json:"coalescing,omitempty"`
-	Defaults    *filePhase  `json:"defaults,omitempty"`
-	Phases      []filePhase `json:"phases"`
+	GroupCommit string `json:"group_commit,omitempty"`
+	Coalescing  string `json:"coalescing,omitempty"`
+	// Adaptive ("on"/"off", "" inherits the run) wraps the engine in the
+	// reconfigurable adaptive runtime, run-level like the other knobs.
+	Adaptive string      `json:"adaptive,omitempty"`
+	Defaults *filePhase  `json:"defaults,omitempty"`
+	Phases   []filePhase `json:"phases"`
 }
 
 // filePhase is one phase (or the defaults object) on the wire. Pointer
@@ -268,6 +272,7 @@ func Parse(data []byte) (*Scenario, error) {
 		FaultPlan:      fs.FaultPlan,
 		GroupCommit:    fs.GroupCommit,
 		Coalescing:     fs.Coalescing,
+		Adaptive:       fs.Adaptive,
 	}
 	for i, fp := range fs.Phases {
 		merged := filePhase{}

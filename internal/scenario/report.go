@@ -56,7 +56,10 @@ func phaseLatency(pr PhaseResult) (harness.LatencySummary, bool) {
 // Open-loop rows report p50/p99 response time (queueing included);
 // closed-loop rows report p50/p99 TTC when histograms were collected.
 // false% is the share of conflict aborts attributed to orec striping
-// (always 0 under object granularity).
+// (always 0 under object granularity). The cfl/tmo/inj columns are the
+// per-phase abort-cause breakdown — conflict aborts, deadline give-ups
+// and injected-fault firings — as attribution, not a partition (injected
+// conflicts also count as conflicts; see stm.Stats.Lines).
 func WriteReport(w io.Writer, rep *Report) {
 	sc := rep.Scenario
 	fmt.Fprintf(w, "Scenario %q — %d phases, strategy %s, %d composite parts, seed %d, gomaxprocs %d\n",
@@ -70,7 +73,7 @@ func WriteReport(w io.Writer, rep *Report) {
 		fmt.Fprintf(w, "  engine knobs: %s\n", harness.KnobAxes(rep.Phases[0].Result.Options))
 	}
 	if sc.Granularity != "" || sc.OrecStripes > 0 || sc.ClockShards > 0 || sc.Versions > 0 || sc.ROSnapshot != "" ||
-		sc.GroupCommit != "" || sc.Coalescing != "" {
+		sc.GroupCommit != "" || sc.Coalescing != "" || sc.Adaptive != "" {
 		fmt.Fprintf(w, "  metadata: granularity %s", cmp.Or(sc.Granularity, "inherited"))
 		if sc.OrecStripes > 0 {
 			fmt.Fprintf(w, ", %d orec stripes", sc.OrecStripes)
@@ -89,6 +92,9 @@ func WriteReport(w io.Writer, rep *Report) {
 		}
 		if sc.Coalescing != "" {
 			fmt.Fprintf(w, ", coalescing %s", sc.Coalescing)
+		}
+		if sc.Adaptive != "" {
+			fmt.Fprintf(w, ", adaptive %s", sc.Adaptive)
 		}
 		fmt.Fprintln(w)
 	}
@@ -110,8 +116,9 @@ func WriteReport(w io.Writer, rep *Report) {
 	}
 	fmt.Fprintln(w)
 
-	fmt.Fprintf(w, "  %-14s %7s %-12s %-15s %-12s %8s %10s %8s %7s %8s %8s %9s %9s\n",
-		"phase", "threads", "mode", "workload", "skew", "length", "ops/s", "abort%", "false%", "snapRst", "verMiss", "p50[ms]", "p99[ms]")
+	fmt.Fprintf(w, "  %-14s %7s %-12s %-15s %-12s %8s %10s %8s %7s %7s %7s %7s %8s %8s %9s %9s\n",
+		"phase", "threads", "mode", "workload", "skew", "length", "ops/s", "abort%", "false%",
+		"cfl", "tmo", "inj", "snapRst", "verMiss", "p50[ms]", "p99[ms]")
 	for _, pr := range rep.Phases {
 		ph, res := pr.Phase, pr.Result
 		p50, p99 := "-", "-"
@@ -119,13 +126,26 @@ func WriteReport(w io.Writer, rep *Report) {
 			p50 = fmt.Sprintf("%.3f", ls.P50Ms)
 			p99 = fmt.Sprintf("%.3f", ls.P99Ms)
 		}
-		fmt.Fprintf(w, "  %-14s %7d %-12s %-15s %-12s %8s %10.0f %8.1f %7.1f %8d %8d %9s %9s\n",
+		es := res.EngineStats
+		fmt.Fprintf(w, "  %-14s %7d %-12s %-15s %-12s %8s %10.0f %8.1f %7.1f %7d %7d %7d %8d %8d %9s %9s\n",
 			ph.Name, ph.Threads, phaseMode(ph), ph.Workload.String(), phaseSkew(ph),
-			phaseLength(ph), res.Throughput(), 100*res.EngineStats.AbortRate(),
-			100*res.EngineStats.FalseConflictRate(),
-			res.EngineStats.SnapshotRestarts, res.EngineStats.VersionMisses, p50, p99)
+			phaseLength(ph), res.Throughput(), 100*es.AbortRate(),
+			100*es.FalseConflictRate(),
+			es.ConflictAborts, es.TimeoutAborts, es.InjectedFaults,
+			es.SnapshotRestarts, es.VersionMisses, p50, p99)
 	}
 	fmt.Fprintln(w)
+
+	for _, pr := range rep.Phases {
+		if len(pr.Result.Reconfigs) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  Adaptive decisions, phase %q\n", pr.Phase.Name)
+		for _, d := range pr.Result.Reconfigs {
+			fmt.Fprintf(w, "    %s\n", d)
+		}
+		fmt.Fprintln(w)
+	}
 
 	for _, pr := range rep.Phases {
 		if len(pr.Result.Series) == 0 {

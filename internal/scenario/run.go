@@ -70,6 +70,11 @@ type RunOptions struct {
 	// its own group_commit/coalescing overrides these.
 	GroupCommit    bool
 	LockCoalescing bool
+	// Adaptive wraps the engine in the reconfigurable stm.Adaptive
+	// runtime with the closed-loop controller running in every phase,
+	// exactly like the harness option of the same name. Run-level; a
+	// scenario that sets its own "adaptive" key overrides this.
+	Adaptive bool
 	// Trace installs a transaction flight recorder on the engine, exactly
 	// like the harness option of the same name. Run-level: one recorder
 	// observes every phase (use its Reset between scrapes to window it).
@@ -215,6 +220,13 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 	case "off":
 		coalescing = false
 	}
+	adaptive := o.Adaptive
+	switch sc.Adaptive {
+	case "on":
+		adaptive = true
+	case "off":
+		adaptive = false
+	}
 
 	ex, s, err := harness.Setup(harness.Options{
 		Params:                   o.Params,
@@ -233,6 +245,7 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 		FaultPlan:                faultPlan,
 		GroupCommit:              groupCommit,
 		LockCoalescing:           coalescing,
+		Adaptive:                 adaptive,
 		Trace:                    o.Trace,
 	})
 	if err != nil {
@@ -247,27 +260,27 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 	for i, raw := range sc.Phases {
 		ph := resolve(raw, o)
 		res, err := harness.RunOn(harness.Options{
-			Params:            o.Params,
-			Seed:              phaseSeed(o.Seed, i),
-			Threads:           ph.Threads,
-			Duration:          ph.Duration,
-			MaxOps:            ph.MaxOps,
-			Workload:          ph.Workload,
-			LongTraversals:    ph.LongTraversals,
-			StructureMods:     ph.StructureMods,
-			Reduced:           ph.Reduced,
-			Strategy:          o.Strategy,
-			CategoryWeights:   ph.Weights,
-			SkewTheta:         ph.SkewTheta,
-			SkewShift:         ph.SkewShift,
-			OpenLoop:          ph.OpenLoop,
-			ArrivalRate:       ph.ArrivalRate,
-			ShedAfter:         ph.ShedAfter,
-			QueueBound:        ph.QueueBound,
-			Affinity:          ph.Affinity,
-			TxDeadline:        txDeadline,
-			SerialFallback:    serialFallback,
-			FaultPlan:         faultPlan,
+			Params:          o.Params,
+			Seed:            phaseSeed(o.Seed, i),
+			Threads:         ph.Threads,
+			Duration:        ph.Duration,
+			MaxOps:          ph.MaxOps,
+			Workload:        ph.Workload,
+			LongTraversals:  ph.LongTraversals,
+			StructureMods:   ph.StructureMods,
+			Reduced:         ph.Reduced,
+			Strategy:        o.Strategy,
+			CategoryWeights: ph.Weights,
+			SkewTheta:       ph.SkewTheta,
+			SkewShift:       ph.SkewShift,
+			OpenLoop:        ph.OpenLoop,
+			ArrivalRate:     ph.ArrivalRate,
+			ShedAfter:       ph.ShedAfter,
+			QueueBound:      ph.QueueBound,
+			Affinity:        ph.Affinity,
+			TxDeadline:      txDeadline,
+			SerialFallback:  serialFallback,
+			FaultPlan:       faultPlan,
 			// Engine-level knobs were applied at Setup; echoing them in
 			// the per-phase options keeps the report headers (KnobAxes)
 			// naming the configuration that actually ran.
@@ -277,6 +290,7 @@ func Run(sc *Scenario, o RunOptions) (*Report, error) {
 			Versions:          versions,
 			GroupCommit:       groupCommit,
 			LockCoalescing:    coalescing,
+			Adaptive:          adaptive,
 			DisableROSnapshot: disableSnap,
 			SampleInterval:    o.SampleInterval,
 			CollectHistograms: o.CollectHistograms,

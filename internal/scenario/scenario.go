@@ -153,7 +153,14 @@ type Scenario struct {
 	// striped-table orecs with one CAS per group word, "off" forces
 	// per-orec CAS. Run-level like GroupCommit.
 	Coalescing string
-	Phases     []Phase
+	// Adaptive pins the adaptive self-tuning runtime for the whole run:
+	// "" inherits the RunOptions (i.e. the CLI flag), "on" wraps the
+	// strategy's engine in the reconfigurable stm.Adaptive runtime with
+	// the closed-loop controller driving it every phase, "off" forces the
+	// plain pinned engine. Run-level: the wrapper is an engine
+	// configuration, built before the first phase.
+	Adaptive string
+	Phases   []Phase
 }
 
 // Validate checks the scenario for the error classes the parser and the
@@ -210,6 +217,11 @@ func (sc *Scenario) Validate() error {
 	case "", "on", "off":
 	default:
 		return fmt.Errorf("scenario %q: bad coalescing %q (want on or off)", sc.Name, sc.Coalescing)
+	}
+	switch sc.Adaptive {
+	case "", "on", "off":
+	default:
+		return fmt.Errorf("scenario %q: bad adaptive %q (want on or off)", sc.Name, sc.Adaptive)
 	}
 	for i, ph := range sc.Phases {
 		label := ph.Name

@@ -106,6 +106,14 @@ type Config struct {
 	// attempt-lifecycle probe sites (nil = off, zero overhead). Ignored
 	// by lock strategies and direct.
 	Trace *stm.TraceRecorder
+	// Adaptive wraps the engine in the stm.Adaptive reconfigurable
+	// runtime (-adaptive): Strategy picks the INITIAL engine, and a
+	// closed-loop controller (internal/adapt) may swap engine and knobs
+	// live via quiesce-and-swap. Requires an STM strategy; OSTM's
+	// strategy-level knobs (CM, validation mode, visible reads) are not
+	// carried across swaps — the adaptive runtime drives engines through
+	// the stm registry's cross-engine options only.
+	Adaptive bool
 	// DisableROSnapshot turns off the read-only snapshot fast path
 	// (-ro-snapshot=off): operations marked ops.Op.ReadOnly then run
 	// through the engine's plain Atomic path like everything else. The
@@ -137,6 +145,16 @@ func New(cfg Config) (Executor, error) {
 	reg, ok := lookup(cfg.Strategy)
 	if !ok {
 		return nil, fmt.Errorf("sync7: unknown strategy %q (want %s)", cfg.Strategy, strings.Join(Strategies(), ", "))
+	}
+	if cfg.Adaptive {
+		if reg.kind != KindSTM {
+			return nil, fmt.Errorf("sync7: adaptive requires an STM strategy, got %q (%s)", cfg.Strategy, reg.kind)
+		}
+		eng, err := stm.NewAdaptive(cfg.Strategy, cfg.engineOptions())
+		if err != nil {
+			return nil, err
+		}
+		return newSTMExec(eng, cfg.Strategy, cfg), nil
 	}
 	return reg.factory(cfg)
 }

@@ -1,0 +1,430 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// adaptiveHops is the reconfiguration itinerary the transfer tests walk:
+// every engine protocol, both orec granularities, and a multi-version
+// generation, so state survives crossing every axis the runtime can
+// retune.
+var adaptiveHops = []struct {
+	engine string
+	opts   EngineOptions
+}{
+	{"tl2", EngineOptions{}},
+	{"norec", EngineOptions{Versions: 4}},
+	{"tl2", EngineOptions{Granularity: StripedGranularity, OrecStripes: 64, LockCoalescing: true}},
+	{"ostm", EngineOptions{}},
+	{"norec", EngineOptions{GroupCommit: true}},
+}
+
+// TestAdaptiveStateTransfer walks the full itinerary, writing a distinct
+// generation marker before each hop and checking after it that every Var
+// still holds exactly the committed value — values survive protocol,
+// granularity and version-depth changes.
+func TestAdaptiveStateTransfer(t *testing.T) {
+	const cellsN = 32
+	a, err := NewAdaptive("tl2", EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := make([]*Cell[int], cellsN)
+	for i := range cells {
+		cells[i] = NewCell(a.VarSpace(), i)
+	}
+	check := func(gen int) {
+		t.Helper()
+		if err := a.Atomic(func(tx Tx) error {
+			for i, c := range cells {
+				if got, want := c.Get(tx), 1000*gen+i; got != want {
+					t.Errorf("gen %d cell %d = %d, want %d", gen, i, got, want)
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("gen %d check: %v", gen, err)
+		}
+		if err := RunReadOnly(Engine(a), func(tx Tx) error {
+			for i, c := range cells {
+				if got, want := c.Get(tx), 1000*gen+i; got != want {
+					t.Errorf("gen %d snapshot cell %d = %d, want %d", gen, i, got, want)
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("gen %d snapshot check: %v", gen, err)
+		}
+	}
+	check(0)
+	for gen, hop := range adaptiveHops {
+		if err := a.Atomic(func(tx Tx) error {
+			for i, c := range cells {
+				c.Set(tx, 1000*(gen+1)+i)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("write gen %d: %v", gen+1, err)
+		}
+		if err := a.Reconfigure(hop.engine, hop.opts); err != nil {
+			t.Fatalf("Reconfigure(%s, %+v): %v", hop.engine, hop.opts, err)
+		}
+		if want := "adaptive(" + hop.engine + ")"; a.Name() != want {
+			t.Errorf("Name() = %q, want %q", a.Name(), want)
+		}
+		check(gen + 1)
+	}
+	if got, want := a.Stats().Reconfigurations, uint64(len(adaptiveHops)); got != want {
+		t.Errorf("Reconfigurations = %d, want %d", got, want)
+	}
+}
+
+// TestAdaptiveTransferTruncatesChains: a multi-version generation grows
+// prev chains; the swap must rebuild every Var as a single fresh head at
+// wv = 0 (the NewVar timestamp), or the next generation would interpret a
+// retired engine's version timestamps against its own clock.
+func TestAdaptiveTransferTruncatesChains(t *testing.T) {
+	a, err := NewAdaptive("tl2", EngineOptions{Versions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := a.VarSpace().NewVar(0, nil)
+	for i := 1; i <= 8; i++ {
+		if err := a.Atomic(func(tx Tx) error { tx.Write(v, i); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b := v.cur.Load(); b.prev.Load() == nil {
+		t.Fatal("precondition: no version chain grew under Versions=4")
+	}
+	if err := a.Reconfigure("norec", EngineOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	b := v.cur.Load()
+	if b.prev.Load() != nil {
+		t.Error("version chain survived the swap; want a truncated fresh head")
+	}
+	if b.wv != 0 {
+		t.Errorf("transferred head wv = %d, want 0 (older than every snapshot)", b.wv)
+	}
+	if got, ok := b.val.(int); !ok || got != 8 {
+		t.Errorf("transferred value = %v, want 8", b.val)
+	}
+}
+
+// TestAdaptiveOrecRepointing: after a swap the Vars' orecs must belong to
+// the NEW engine's table — striped coalescing indexes the engine's own
+// group words by orec id, so stale orecs would corrupt the commit path.
+// Both directions (object -> striped -> object) plus new Vars allocated
+// after the swap are checked.
+func TestAdaptiveOrecRepointing(t *testing.T) {
+	a, err := NewAdaptive("tl2", EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := a.VarSpace().NewVar(0, nil)
+	if err := a.Reconfigure("tl2", EngineOptions{Granularity: StripedGranularity, OrecStripes: 64, LockCoalescing: true}); err != nil {
+		t.Fatal(err)
+	}
+	cur := a.cur.Load().eng.VarSpace()
+	if want := cur.orecs.orecFor(v.id); v.orc != want {
+		t.Error("old Var's orec not re-pointed into the striped generation's table")
+	}
+	w := a.VarSpace().NewVar(0, nil)
+	if want := cur.orecs.orecFor(w.id); w.orc != want {
+		t.Error("post-swap NewVar drew its orec from a retired table")
+	}
+	// The coalescing commit path must actually work against the
+	// transferred orecs.
+	if err := a.Atomic(func(tx Tx) error { tx.Write(v, 1); tx.Write(w, 2); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptiveQuiesceStallEscalates choreographs a stuck drain: one
+// transaction parks in user code, Reconfigure's drain hits a short
+// deadline and must return ErrQuiesceStalled promptly (never hang), the
+// runtime must keep admitting transactions in serial degradation, and
+// once the straggler finishes a retried Reconfigure must succeed and
+// degradation must lift.
+func TestAdaptiveQuiesceStallEscalates(t *testing.T) {
+	a, err := NewAdaptive("norec", EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetDrainDeadline(20 * time.Millisecond)
+	c := NewCell(a.VarSpace(), 0)
+
+	parked := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	var once sync.Once
+	go func() {
+		done <- a.Atomic(func(tx Tx) error {
+			c.Get(tx)
+			once.Do(func() { close(parked) })
+			<-release
+			return nil
+		})
+	}()
+	<-parked
+
+	start := time.Now()
+	err = a.Reconfigure("tl2", EngineOptions{})
+	if !errors.Is(err, ErrQuiesceStalled) {
+		t.Fatalf("Reconfigure with a parked transaction: err = %v, want ErrQuiesceStalled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("stalled drain took %v; the deadline did not bound it", d)
+	}
+	s := a.Stats()
+	if s.ReconfigStalls != 1 || s.Reconfigurations != 0 {
+		t.Fatalf("after stall: stalls = %d, reconfigs = %d; want 1, 0", s.ReconfigStalls, s.Reconfigurations)
+	}
+	if name, _ := a.Current(); name != "norec" {
+		t.Fatalf("stalled swap changed the engine to %q", name)
+	}
+
+	// Serial degradation: new transactions are admitted while the
+	// straggler still holds the gate count.
+	if !a.gate.degraded.Load() {
+		t.Error("gate not degraded after a stalled drain")
+	}
+	if err := a.Atomic(func(tx Tx) error { c.Update(tx, func(v int) int { return v + 1 }); return nil }); err != nil {
+		t.Fatalf("degraded-mode transaction: %v", err)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("parked transaction: %v", err)
+	}
+	if err := a.Reconfigure("tl2", EngineOptions{}); err != nil {
+		t.Fatalf("retried Reconfigure after drain cleared: %v", err)
+	}
+	if a.gate.degraded.Load() {
+		t.Error("degradation did not lift after the gate went idle")
+	}
+	if err := a.Atomic(func(tx Tx) error {
+		if got := c.Get(tx); got != 1 {
+			t.Errorf("value after stall episode = %d, want 1", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s = a.Stats()
+	if s.ReconfigStalls != 1 || s.Reconfigurations != 1 {
+		t.Errorf("final: stalls = %d, reconfigs = %d; want 1, 1", s.ReconfigStalls, s.Reconfigurations)
+	}
+}
+
+// TestAdaptiveStatsMonotoneAcrossSwaps: the wrapper folds retired
+// generations into a base, so cumulative counters never go backwards when
+// an engine (and its from-zero counters) is replaced.
+func TestAdaptiveStatsMonotoneAcrossSwaps(t *testing.T) {
+	a, err := NewAdaptive("tl2", EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCell(a.VarSpace(), 0)
+	var wantCommits uint64
+	prev := a.Stats()
+	for gen, hop := range adaptiveHops {
+		for i := 0; i < 10; i++ {
+			if err := a.Atomic(func(tx Tx) error { c.Update(tx, func(v int) int { return v + 1 }); return nil }); err != nil {
+				t.Fatal(err)
+			}
+			wantCommits++
+		}
+		if err := a.Reconfigure(hop.engine, hop.opts); err != nil {
+			t.Fatalf("hop %d: %v", gen, err)
+		}
+		s := a.Stats()
+		if s.Commits < prev.Commits || s.Writes < prev.Writes {
+			t.Fatalf("hop %d: counters went backwards: %+v -> %+v", gen, prev, s)
+		}
+		prev = s
+	}
+	if got := a.Stats().Commits; got != wantCommits {
+		t.Errorf("Commits = %d, want %d (base fold lost or double-counted)", got, wantCommits)
+	}
+}
+
+// TestAdaptiveChaosSwapBankInvariant is the mid-run engine-switch chaos
+// battery (run under -race in CI): concurrent transfers and snapshot
+// readers under the chaos-storm fault plan while a reconfiguration loop
+// walks the itinerary. Opacity must hold across every swap — each balance
+// sum observed, mid-run and final, is conserved.
+func TestAdaptiveChaosSwapBankInvariant(t *testing.T) {
+	const (
+		accounts = 16
+		initial  = 100
+		writers  = 3
+		readers  = 2
+	)
+	plan := mustFaultPlan("seed=7,precommit:1/40:80µs,lockhold:1/56:120µs,clocktick:1/72:40µs,abort:1/24")
+	a, err := NewAdaptive("norec", EngineOptions{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := stressIters(t, 400)
+	cells := make([]*Cell[int], accounts)
+	for i := range cells {
+		cells[i] = NewCell(a.VarSpace(), initial)
+	}
+	total := accounts * initial
+
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(seed uint64) {
+			defer writerWG.Done()
+			x := seed*2654435761 + 12345
+			next := func(n int) int {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				return int(x % uint64(n))
+			}
+			for i := 0; i < iters; i++ {
+				from, to := next(accounts), next(accounts)
+				if err := a.Atomic(func(tx Tx) error {
+					cells[from].Update(tx, func(v int) int { return v - 1 })
+					cells[to].Update(tx, func(v int) int { return v + 1 })
+					return nil
+				}); err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+			}
+		}(uint64(w + 1))
+	}
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sum := 0
+				if err := a.RunReadOnly(func(tx Tx) error {
+					sum = 0
+					for _, c := range cells {
+						sum += c.Get(tx)
+					}
+					return nil
+				}); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				if sum != total {
+					t.Errorf("mid-run sum = %d, want %d (opacity violated across a swap)", sum, total)
+					return
+				}
+			}
+		}()
+	}
+
+	// The reconfiguration loop: walk the itinerary until the writers
+	// finish. Stalls are fine (retried on the next lap) — errors other
+	// than a stall are not.
+	swapDone := make(chan struct{})
+	go func() {
+		defer close(swapDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			hop := adaptiveHops[i%len(adaptiveHops)]
+			if err := a.Reconfigure(hop.engine, hop.opts); err != nil && !errors.Is(err, ErrQuiesceStalled) {
+				t.Errorf("Reconfigure(%s): %v", hop.engine, err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	<-swapDone
+
+	if err := a.Atomic(func(tx Tx) error {
+		sum := 0
+		for _, c := range cells {
+			sum += c.Get(tx)
+		}
+		if sum != total {
+			t.Errorf("final sum = %d, want %d", sum, total)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("final check: %v", err)
+	}
+	s := a.Stats()
+	if s.Reconfigurations == 0 {
+		t.Error("Reconfigurations = 0 — the battery never actually swapped engines")
+	}
+	if s.InjectedFaults == 0 {
+		t.Error("InjectedFaults = 0 — the fault plan did not carry across generations")
+	}
+}
+
+// TestAdaptiveTraceEvents: swaps, stalls and pins must land in the flight
+// recorder as TraceReconfig events with the right code in A.
+func TestAdaptiveTraceEvents(t *testing.T) {
+	rec := NewTraceRecorder(256)
+	a, err := NewAdaptive("tl2", EngineOptions{Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Reconfigure("norec", EngineOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	a.NotePin()
+	var swaps, pins int
+	for _, ev := range rec.Events() {
+		if ev.Kind != TraceReconfig {
+			continue
+		}
+		switch ev.A {
+		case TraceReconfigSwap:
+			swaps++
+		case TraceReconfigPin:
+			pins++
+		}
+	}
+	if swaps != 1 || pins != 1 {
+		t.Errorf("trace: swaps = %d, pins = %d; want 1, 1", swaps, pins)
+	}
+}
+
+// TestAdaptiveRejectsUnknownEngine: a bad target must fail the build step
+// and leave the current generation untouched.
+func TestAdaptiveRejectsUnknownEngine(t *testing.T) {
+	if _, err := NewAdaptive("no-such-engine", EngineOptions{}); err == nil {
+		t.Fatal("NewAdaptive accepted an unknown engine")
+	}
+	a, err := NewAdaptive("tl2", EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Reconfigure("no-such-engine", EngineOptions{}); err == nil {
+		t.Fatal("Reconfigure accepted an unknown engine")
+	}
+	if name, _ := a.Current(); name != "tl2" {
+		t.Errorf("failed Reconfigure changed the engine to %q", name)
+	}
+	if err := a.Atomic(func(tx Tx) error { return nil }); err != nil {
+		t.Errorf("engine unusable after a failed Reconfigure: %v", err)
+	}
+}

@@ -469,4 +469,53 @@
 // in reports and -json), and -listen ADDR (live /metrics, /debug/pprof/*,
 // expvar and /trace while the run executes). `experiments -exp telemetry`
 // sweeps the layer per engine; BENCH_pr8.json checks in the curves.
+//
+// # Adaptive runtime
+//
+// Adaptive (adaptive.go) is a reconfigurable engine: an Engine +
+// SnapshotReader implementation whose inner engine can be swapped live
+// by Reconfigure(engine, opts) while transactions keep flowing through
+// the wrapper. The swap protocol is quiesce-and-swap behind a one-word
+// epoch gate (drainingBit | in-flight count):
+//
+//   - quiesce: set the draining bit (new transactions spin at the
+//     gate), wait for the in-flight count to hit zero;
+//   - transfer: re-home every live Var from the stable VarSpace onto
+//     the freshly built engine — current value re-boxed at
+//     write-version 0 (version chains truncate to the head: a fresh
+//     engine has no history to prove snapshot membership against, the
+//     same contract as a restart), orec re-pointed into the new
+//     engine's table so engine-private metadata (TL2 coalescing group
+//     words index orecs by id) stays self-consistent;
+//   - flip the engine pointer, fold the retired engine's counters into
+//     a cumulative base (Stats stays monotone across generations),
+//     reopen the gate.
+//
+// Opacity across the swap follows from the window being provably
+// transaction-free — the full argument is the adaptive.go file header.
+// The drain has a hard deadline (SetDrainDeadline, default 250ms): a
+// stalled drain abandons the swap with ErrQuiesceStalled, keeps the old
+// engine, and enters a serial degradation mode (admitted transactions
+// serialize on a token) that lifts the next time the gate goes idle —
+// a stalled reconfiguration costs a switch, never liveness. Swaps,
+// stalls and stall time are counted in Stats.Reconfigurations /
+// ReconfigStalls / ReconfigStallNs and recorded by the flight recorder.
+//
+// The VarSpace an Adaptive hands out is stable across swaps and tracks
+// its Vars weakly: a Var the structure deleted is garbage to the
+// collector, not transfer work — strong tracking would pin every Var
+// ever allocated and convert structure churn into unbounded GC scan
+// cost on the transaction hot path. Vars allocated inside transactions
+// (STMBench7 structural ops) are tracked concurrently and transferred
+// only if still reachable at swap time, which is sound because an
+// unreachable Var can never be read again.
+//
+// Policy lives outside: the repository's internal/adapt package is a
+// deterministic controller (ordered rules over per-interval Stats
+// deltas, dwell/cooldown/switch-budget hysteresis, a thrash guardrail
+// that pins after two non-improving switches) whose Driver polls Stats
+// and calls Reconfigure. The wrapper itself is policy-free; any caller
+// may drive Reconfigure directly. Both CLIs expose the stack as
+// -adaptive; `experiments -exp adaptive` races the self-tuning runtime
+// against every pinned engine (BENCH_pr10.json).
 package stm

@@ -99,6 +99,41 @@ func TestParseFaultPlan(t *testing.T) {
 	})
 }
 
+// FuzzParseFaultPlan hardens the plan grammar: arbitrary input must never
+// panic the parser, and any input it accepts must round-trip through
+// String into an equivalent plan — String's rendering is the canonical
+// fixed point, so parse(String(p)) must render identically.
+func FuzzParseFaultPlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"precommit:1/64:100µs",
+		"seed=7,precommit:1/48:80µs,lockhold:1/64:120µs,clocktick:1/96:40µs,abort:1/24",
+		"abort:1/1",
+		"lockhold:1/8",
+		"seed=7",
+		"precommit:1/8:1ms:extra",
+		"mystery:1/8",
+		",",
+		"seed=18446744073709551615,abort:1/18446744073709551615",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseFaultPlan(s) // must not panic, whatever s is
+		if err != nil || p == nil {
+			return
+		}
+		rendered := p.String()
+		q, err := ParseFaultPlan(rendered)
+		if err != nil {
+			t.Fatalf("canonical form rejected: ParseFaultPlan(%q) -> %q, reparse: %v", s, rendered, err)
+		}
+		if again := q.String(); again != rendered {
+			t.Fatalf("not a fixed point: %q -> %q -> %q", s, rendered, again)
+		}
+	})
+}
+
 // TestFaultInjectionDeterministic pins the acceptance criterion: the same
 // plan seed against the same single-threaded transaction sequence fires
 // the same faults — bit-for-bit equal InjectedFaults (and forced-abort
